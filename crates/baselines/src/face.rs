@@ -1,0 +1,296 @@
+//! FACE — Feasible and Actionable Counterfactual Explanations
+//! (Poyiadzi et al., 2020 [19]).
+//!
+//! FACE returns an *existing* training instance of the desired class,
+//! reached through a high-density path: build a k-NN graph over the
+//! training data with density-weighted edge costs
+//! `w_ij = d_ij · (−log f̂((x_i + x_j)/2))`, then run Dijkstra from the
+//! query and return the cheapest-to-reach candidate whose prediction is
+//! the desired class and whose density clears a threshold. Because the
+//! endpoint is a real datum, it is always "in-distribution" — but nothing
+//! ties it causally to the query, which is why FACE's sparsity is the
+//! worst in Table IV.
+
+use crate::method::{BaselineContext, CfMethod};
+use cfx_manifold::Kde;
+use cfx_models::BlackBox;
+use cfx_tensor::Tensor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// FACE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FaceConfig {
+    /// Neighbours per node in the graph.
+    pub k: usize,
+    /// Density quantile below which candidates are rejected (0 disables).
+    pub density_quantile: f32,
+    /// Cap on the training subsample used for the graph (the O(n²) k-NN
+    /// build dominates otherwise).
+    pub max_graph_nodes: usize,
+}
+
+impl Default for FaceConfig {
+    fn default() -> Self {
+        FaceConfig { k: 10, density_quantile: 0.1, max_graph_nodes: 1500 }
+    }
+}
+
+/// A fitted FACE explainer: the k-NN graph, densities and classifier.
+pub struct Face {
+    nodes: Vec<Vec<f32>>,
+    /// `adj[i]` = (neighbour, edge cost).
+    adj: Vec<Vec<(usize, f32)>>,
+    node_pred: Vec<u8>,
+    density_ok: Vec<bool>,
+    kde: Kde,
+    blackbox: BlackBox,
+    k: usize,
+}
+
+impl Face {
+    /// Builds the density-weighted graph over (a subsample of) the
+    /// training data.
+    pub fn fit(ctx: &BaselineContext<'_>, config: FaceConfig) -> Self {
+        let n_all = ctx.train_x.rows();
+        let n = n_all.min(config.max_graph_nodes);
+        // Deterministic stride subsample keeps the class mix.
+        let stride = (n_all as f32 / n as f32).max(1.0);
+        let indices: Vec<usize> = (0..n)
+            .map(|i| ((i as f32 * stride) as usize).min(n_all - 1))
+            .collect();
+        let nodes: Vec<Vec<f32>> = indices
+            .iter()
+            .map(|&i| ctx.train_x.row_slice(i).to_vec())
+            .collect();
+
+        let kde = Kde::fit_scott(nodes.clone());
+        let densities: Vec<f32> =
+            nodes.iter().map(|p| kde.density(p)).collect();
+        let threshold = quantile(&mut densities.clone(), config.density_quantile);
+        let density_ok: Vec<bool> =
+            densities.iter().map(|&d| d >= threshold).collect();
+
+        let node_tensor = Tensor::from_rows(&nodes);
+        let node_pred = ctx.blackbox.predict(&node_tensor);
+
+        // k-NN edges with density-penalized costs.
+        let mut adj = vec![Vec::with_capacity(config.k); nodes.len()];
+        for i in 0..nodes.len() {
+            let mut dists: Vec<(f32, usize)> = (0..nodes.len())
+                .filter(|&j| j != i)
+                .map(|j| (euclid(&nodes[i], &nodes[j]), j))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+            for &(d, j) in dists.iter().take(config.k) {
+                let cost = edge_cost(&kde, &nodes[i], &nodes[j], d);
+                adj[i].push((j, cost));
+            }
+        }
+        // Symmetrize so Dijkstra can traverse either direction.
+        let snapshot: Vec<Vec<(usize, f32)>> = adj.clone();
+        for (i, edges) in snapshot.iter().enumerate() {
+            for &(j, cost) in edges {
+                if !adj[j].iter().any(|&(t, _)| t == i) {
+                    adj[j].push((i, cost));
+                }
+            }
+        }
+
+        Face {
+            nodes,
+            adj,
+            node_pred,
+            density_ok,
+            kde,
+            blackbox: ctx.blackbox.clone(),
+            k: config.k,
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn graph_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn explain_one(&self, x: &[f32], desired: u8) -> Vec<f32> {
+        // Connect the query to its k nearest graph nodes, then Dijkstra.
+        let mut entry: Vec<(f32, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(j, p)| (euclid(x, p), j))
+            .collect();
+        entry.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+
+        let mut dist = vec![f32::INFINITY; self.nodes.len()];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        for &(d, j) in entry.iter().take(self.k) {
+            let cost = edge_cost(&self.kde, x, &self.nodes[j], d);
+            if cost < dist[j] {
+                dist[j] = cost;
+                heap.push(HeapEntry { cost, node: j });
+            }
+        }
+        let mut best: Option<usize> = None;
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if self.node_pred[node] == desired && self.density_ok[node] {
+                best = Some(node);
+                break; // Dijkstra pops in cost order: first hit is optimal
+            }
+            for &(next, w) in &self.adj[node] {
+                let nd = cost + w;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    heap.push(HeapEntry { cost: nd, node: next });
+                }
+            }
+        }
+        match best {
+            Some(node) => self.nodes[node].clone(),
+            // Disconnected: fall back to the nearest desired-class node.
+            None => entry
+                .iter()
+                .find(|&&(_, j)| self.node_pred[j] == desired)
+                .map(|&(_, j)| self.nodes[j].clone())
+                .unwrap_or_else(|| x.to_vec()),
+        }
+    }
+}
+
+impl CfMethod for Face {
+    fn name(&self) -> String {
+        "FACE [19]".into()
+    }
+
+    fn counterfactuals(&self, x: &Tensor) -> Tensor {
+        let desired = self.blackbox.predict(x);
+        let mut rows = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            rows.push(self.explain_one(x.row_slice(r), 1 - desired[r]));
+        }
+        Tensor::from_rows(&rows)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f32,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn euclid(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// FACE's density-weighted edge cost: distance × −log density at the
+/// midpoint (low-density regions are expensive to cross).
+fn edge_cost(kde: &Kde, a: &[f32], b: &[f32], dist: f32) -> f32 {
+    let mid: Vec<f32> =
+        a.iter().zip(b).map(|(&x, &y)| (x + y) / 2.0).collect();
+    let penalty = (-kde.log_density(&mid)).max(0.1);
+    dist * penalty
+}
+
+fn quantile(values: &mut [f32], q: f32) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    let idx = ((values.len() as f32 - 1.0) * q.clamp(0.0, 1.0)) as usize;
+    values[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_data::{DatasetId, EncodedDataset};
+    use cfx_models::BlackBoxConfig;
+
+    fn setup() -> (EncodedDataset, BlackBox) {
+        let raw = DatasetId::Adult.generate_clean(1000, 41);
+        let data = EncodedDataset::from_raw(&raw);
+        let cfg = BlackBoxConfig { epochs: 10, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &cfg);
+        bb.train(&data.x, &data.y, &cfg);
+        (data, bb)
+    }
+
+    #[test]
+    fn face_returns_training_instances_of_desired_class() {
+        let (data, bb) = setup();
+        let ctx = BaselineContext::new(&data, data.x.clone(), &bb, 0);
+        let face = Face::fit(&ctx, FaceConfig { max_graph_nodes: 500, ..Default::default() });
+        let x = data.x.slice_rows(0, 20);
+        let cf = face.counterfactuals(&x);
+        let desired = ctx.desired(&x);
+        let preds = bb.predict(&cf);
+        let mut flips = 0;
+        for r in 0..x.rows() {
+            // Each counterfactual must be an actual graph node.
+            let row = cf.row_slice(r);
+            assert!(
+                face.nodes.iter().any(|n| n.as_slice() == row),
+                "row {r} is not a training instance"
+            );
+            flips += (preds[r] == desired[r]) as usize;
+        }
+        // Dijkstra only stops on desired-class nodes, so validity is high.
+        assert!(flips >= 18, "only {flips}/20 valid");
+    }
+
+    #[test]
+    fn graph_is_connected_enough_for_dijkstra() {
+        let (data, bb) = setup();
+        let ctx = BaselineContext::new(&data, data.x.clone(), &bb, 1);
+        let face = Face::fit(&ctx, FaceConfig { max_graph_nodes: 300, ..Default::default() });
+        assert_eq!(face.graph_size(), 300);
+        // Every node has at least k edges after symmetrization.
+        assert!(face.adj.iter().all(|e| e.len() >= face.k));
+    }
+
+    #[test]
+    fn quantile_helper() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&mut v, 0.0), 1.0);
+        assert_eq!(quantile(&mut v, 1.0), 5.0);
+        assert_eq!(quantile(&mut v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn heap_is_min_ordered() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry { cost: 3.0, node: 0 });
+        h.push(HeapEntry { cost: 1.0, node: 1 });
+        h.push(HeapEntry { cost: 2.0, node: 2 });
+        assert_eq!(h.pop().unwrap().node, 1);
+        assert_eq!(h.pop().unwrap().node, 2);
+        assert_eq!(h.pop().unwrap().node, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! The common interface every counterfactual method implements, so the
+//! Table IV harness can evaluate all nine rows identically.
+
+use cfx_data::EncodedDataset;
+use cfx_models::BlackBox;
+use cfx_tensor::Tensor;
+
+/// Shared inputs for fitting a baseline: the encoded dataset, the training
+/// rows, and the frozen black-box classifier all methods must flip.
+pub struct BaselineContext<'a> {
+    /// The full encoded dataset (schema + encoding for feature handling).
+    pub data: &'a EncodedDataset,
+    /// Training rows (the 80 % split).
+    pub train_x: Tensor,
+    /// The frozen classifier.
+    pub blackbox: &'a BlackBox,
+    /// RNG seed for any stochastic component.
+    pub seed: u64,
+}
+
+impl<'a> BaselineContext<'a> {
+    /// Builds a context using the given training rows.
+    pub fn new(
+        data: &'a EncodedDataset,
+        train_x: Tensor,
+        blackbox: &'a BlackBox,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(train_x.cols(), data.width(), "training width mismatch");
+        BaselineContext { data, train_x, blackbox, seed }
+    }
+
+    /// The desired class per row (opposite of the black-box prediction).
+    pub fn desired(&self, x: &Tensor) -> Vec<u8> {
+        self.blackbox.predict(x).iter().map(|&p| 1 - p).collect()
+    }
+}
+
+/// A fitted counterfactual generator.
+pub trait CfMethod {
+    /// Name as printed in Table IV.
+    fn name(&self) -> String;
+
+    /// One counterfactual per row of `x` (desired class = opposite of the
+    /// black box's prediction), in encoded `[0, 1]` space.
+    fn counterfactuals(&self, x: &Tensor) -> Tensor;
+}

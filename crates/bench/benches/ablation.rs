@@ -1,0 +1,94 @@
+//! Loss-composition benchmarks for the ablation axes DESIGN.md calls out:
+//! the per-batch cost of each loss term, constraint penalties included or
+//! excluded, and immutability masking on/off. (The *quality* side of the
+//! ablation lives in `src/bin/ablation.rs`; this measures the runtime
+//! overhead of the design choices.)
+
+use cfx_core::{cf_loss, CfLossWeights, Constraint, ImmutableMask};
+use cfx_data::{DatasetId, EncodedDataset};
+use cfx_tensor::init::uniform_tensor;
+use cfx_tensor::{Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (EncodedDataset, Vec<Constraint>) {
+    let raw = DatasetId::Adult.generate_clean(200, 0);
+    let data = EncodedDataset::from_raw(&raw);
+    let unary = Constraint::unary(&data.schema, &data.encoding, "age");
+    let binary = Constraint::binary(
+        &data.schema,
+        &data.encoding,
+        "education",
+        "age",
+        0.0,
+        0.2,
+    );
+    (data, vec![unary, binary])
+}
+
+fn bench_loss_composition(c: &mut Criterion) {
+    let (data, constraints) = setup();
+    let mut rng = StdRng::seed_from_u64(0);
+    let batch = 2048;
+    let width = data.width();
+    let x = uniform_tensor(batch, width, 0.0, 1.0, &mut rng);
+    let cf = uniform_tensor(batch, width, 0.0, 1.0, &mut rng);
+    let logits = uniform_tensor(batch, 1, -2.0, 2.0, &mut rng);
+    let desired = Tensor::ones(batch, 1);
+    let mu = uniform_tensor(batch, 10, -1.0, 1.0, &mut rng);
+    let lv = uniform_tensor(batch, 10, -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("cf_loss_2048");
+    group.sample_size(20);
+    let variants: Vec<(&str, Vec<Constraint>, CfLossWeights)> = vec![
+        ("no_constraints", vec![], CfLossWeights::default()),
+        ("unary_only", vec![constraints[0].clone()], CfLossWeights::default()),
+        ("both_constraints", constraints.clone(), CfLossWeights::default()),
+        ("no_sparsity", constraints.clone(), CfLossWeights {
+            sparsity: 0.0,
+            ..Default::default()
+        }),
+    ];
+    for (name, cs, w) in &variants {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.leaf(x.clone());
+                let cfv = tape.leaf(cf.clone());
+                let lg = tape.leaf(logits.clone());
+                let muv = tape.leaf(mu.clone());
+                let lvv = tape.leaf(lv.clone());
+                let parts = cf_loss(
+                    &mut tape, xv, cfv, lg, &desired, muv, lvv, cs, w, None,
+                );
+                tape.backward(parts.total);
+                black_box(tape.grad(cfv));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_overhead(c: &mut Criterion) {
+    let (data, _) = setup();
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = 2048;
+    let x = uniform_tensor(batch, data.width(), 0.0, 1.0, &mut rng);
+    let recon = uniform_tensor(batch, data.width(), 0.0, 1.0, &mut rng);
+    let frozen = ImmutableMask::from_schema(&data.schema, &data.encoding);
+    let open = ImmutableMask::all_mutable(data.width());
+
+    let mut group = c.benchmark_group("immutable_mask_2048");
+    group.bench_function("with_frozen_columns", |b| {
+        b.iter(|| black_box(frozen.apply(&x, &recon)))
+    });
+    group.bench_function("all_mutable", |b| {
+        b.iter(|| black_box(open.apply(&x, &recon)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss_composition, bench_mask_overhead);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Counterfactual-generation throughput per method: how long each fitted
+//! method needs to explain a batch of denied instances on Adult.
+
+use cfx_baselines::{
+    BaselineContext, Cchvae, CchvaeConfig, Cem, CemConfig, CfMethod,
+    DiceConfig, DiceRandom, Face, FaceConfig, PlainVaeConfig, Revise,
+    ReviseConfig,
+};
+use cfx_bench::{Harness, HarnessConfig, RunSize};
+use cfx_core::ConstraintMode;
+use cfx_data::DatasetId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let harness = Harness::build(
+        DatasetId::Adult,
+        HarnessConfig { size: RunSize::Quick, eval_cap: 32, ..Default::default() },
+    );
+    let x = harness.test_x();
+    let train_x = harness.train_x();
+    let ctx = BaselineContext::new(&harness.data, train_x, &harness.blackbox, 0);
+
+    let ours = harness.train_our_model(ConstraintMode::Unary);
+    let quick_vae = PlainVaeConfig { epochs: 10, ..Default::default() };
+    let methods: Vec<(&str, Box<dyn CfMethod>)> = vec![
+        (
+            "revise",
+            Box::new(Revise::fit(
+                &ctx,
+                ReviseConfig { vae: quick_vae, ..Default::default() },
+            )),
+        ),
+        (
+            "cchvae",
+            Box::new(Cchvae::fit(
+                &ctx,
+                CchvaeConfig { vae: quick_vae, ..Default::default() },
+            )),
+        ),
+        ("cem", Box::new(Cem::fit(&ctx, CemConfig::default()))),
+        ("dice_random", Box::new(DiceRandom::fit(&ctx, DiceConfig::default()))),
+        (
+            "face",
+            Box::new(Face::fit(
+                &ctx,
+                FaceConfig { max_graph_nodes: 800, ..Default::default() },
+            )),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("generate_32_cfs_adult");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("ours_unary"), |b| {
+        b.iter(|| black_box(ours.counterfactuals(&x)))
+    });
+    for (name, method) in &methods {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| black_box(method.counterfactuals(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Manifold-toolkit benchmarks: t-SNE cost per configuration, affinity
+//! construction, KDE query throughput — the Figure 6 pipeline pieces.
+
+use cfx_manifold::tsne::{joint_probabilities, pairwise_sq_dists};
+use cfx_manifold::{tsne, Kde, Pca, TsneConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synthetic_points(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 101) as f32 / 101.0
+                    + if i % 2 == 0 { 2.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_affinities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne_affinities");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 600] {
+        let data = synthetic_points(n, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let d2 = pairwise_sq_dists(d);
+                black_box(joint_probabilities(&d2, 30.0));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsne_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne_full");
+    group.sample_size(10);
+    let data = synthetic_points(200, 10);
+    for &iters in &[50usize, 200] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iters),
+            &iters,
+            |b, &iters| {
+                b.iter(|| {
+                    black_box(tsne(
+                        &data,
+                        &TsneConfig { n_iter: iters, ..Default::default() },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kde_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde_density");
+    group.sample_size(20);
+    for &support in &[200usize, 1500] {
+        let pts = synthetic_points(support, 10);
+        let kde = Kde::fit_scott(pts.clone());
+        let queries = synthetic_points(100, 10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(support),
+            &(),
+            |b, _| b.iter(|| black_box(kde.densities(&queries))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let data = synthetic_points(1000, 20);
+    c.bench_function("pca_fit_2_components_1000x20", |b| {
+        b.iter(|| black_box(Pca::fit(&data, 2)))
+    });
+}
+
+criterion_group!(benches, bench_affinities, bench_tsne_full, bench_kde_queries, bench_pca);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the numerical substrate: matmul kernels, a full
+//! tape forward+backward of the paper's VAE stack, and optimizer steps.
+
+use cfx_models::Cvae;
+use cfx_tensor::init::{randn_tensor, uniform_tensor};
+use cfx_tensor::{Adam, Module, Optimizer, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[(64usize, 32usize, 32usize), (2048, 30, 20), (2048, 200, 20)] {
+        let a = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
+        let b = uniform_tensor(k, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| black_box(a.matmul(b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_vae_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vae_tape");
+    for &(batch, width) in &[(256usize, 30usize), (2048, 30), (2048, 200)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vae = Cvae::paper(width, &mut rng);
+        let x = uniform_tensor(batch, width, 0.0, 1.0, &mut rng);
+        let cond = Tensor::zeros(batch, 1);
+        let eps = randn_tensor(batch, vae.latent_dim(), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{batch}_w{width}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut tape = Tape::new();
+                    let xv = tape.leaf(x.clone());
+                    let mut pv = Vec::new();
+                    let mut rng2 = StdRng::seed_from_u64(2);
+                    let out = vae.forward(
+                        &mut tape, xv, &cond, &eps, &mut pv, true, &mut rng2,
+                    );
+                    let loss = tape.mse_loss(out.recon, xv);
+                    tape.backward(loss);
+                    black_box(tape.grad(pv[0]));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_adam_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut vae = Cvae::paper(30, &mut rng);
+    let grads: Vec<Tensor> = vae
+        .export_params()
+        .iter()
+        .map(|t| randn_tensor(t.rows(), t.cols(), &mut rng))
+        .collect();
+    let mut opt = Adam::with_lr(1e-3);
+    c.bench_function("adam_step_full_vae", |b| {
+        b.iter(|| opt.step(&mut vae, black_box(&grads)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_vae_forward_backward, bench_adam_step
+}
+criterion_main!(benches);

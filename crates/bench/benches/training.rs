@@ -1,0 +1,75 @@
+//! Training-throughput benchmarks: one black-box epoch and one
+//! counterfactual-model epoch per dataset at the paper's batch size.
+
+use cfx_bench::{Harness, HarnessConfig, RunSize};
+use cfx_core::{ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
+use cfx_data::DatasetId;
+use cfx_models::{BlackBox, BlackBoxConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_blackbox_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blackbox_epoch");
+    group.sample_size(10);
+    for dataset in DatasetId::ALL {
+        let harness = Harness::build(
+            dataset,
+            HarnessConfig { size: RunSize::Quick, ..Default::default() },
+        );
+        let x = harness.train_x();
+        let (_, y) = harness.data.subset(&harness.split.train);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let cfg = BlackBoxConfig { epochs: 1, ..Default::default() };
+                    let mut bb = BlackBox::new(x.cols(), &cfg);
+                    black_box(bb.train(&x, &y, &cfg));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cf_model_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cf_model_epoch");
+    group.sample_size(10);
+    for dataset in DatasetId::ALL {
+        let harness = Harness::build(
+            dataset,
+            HarnessConfig { size: RunSize::Quick, ..Default::default() },
+        );
+        let x = harness.train_x();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let config =
+                        FeasibleCfConfig::paper(dataset, ConstraintMode::Unary)
+                            .with_epochs(1);
+                    let constraints = FeasibleCfModel::paper_constraints(
+                        dataset,
+                        &harness.data,
+                        ConstraintMode::Unary,
+                        config.c1,
+                        config.c2,
+                    );
+                    let mut model = FeasibleCfModel::new(
+                        &harness.data,
+                        harness.blackbox.clone(),
+                        constraints,
+                        config,
+                    );
+                    black_box(model.fit(&x));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blackbox_epoch, bench_cf_model_epoch);
+criterion_main!(benches);

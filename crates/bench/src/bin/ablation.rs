@@ -1,0 +1,86 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! 1. sparsity term on/off (§III-B's claim: fewer changes at no
+//!    feasibility cost);
+//! 2. feasibility-weight sweep (feasibility ↔ proximity trade-off);
+//! 3. immutable-attribute masking on/off (§III-C);
+//! 4. latent-size sweep (manifold quality ↔ reconstruction).
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin ablation -- adult [--size quick|half|paper]
+//! ```
+
+use cfx_bench::{parse_cli, FeasColumns, Harness};
+use cfx_core::{ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
+use cfx_data::DatasetId;
+use cfx_metrics::{format_table, TableRow};
+
+fn train_variant(
+    harness: &Harness,
+    label: &str,
+    tweak: impl FnOnce(&mut FeasibleCfConfig),
+) -> TableRow {
+    let mut config = FeasibleCfConfig::paper(harness.dataset, ConstraintMode::Unary)
+        .with_seed(harness.config.seed)
+        .with_step_budget_of(harness.dataset, harness.split.train.len());
+    tweak(&mut config);
+    let constraints = FeasibleCfModel::paper_constraints(
+        harness.dataset,
+        &harness.data,
+        ConstraintMode::Unary,
+        config.c1,
+        config.c2,
+    );
+    let mut model = FeasibleCfModel::new(
+        &harness.data,
+        harness.blackbox.clone(),
+        constraints,
+        config,
+    );
+    model.fit(&harness.train_x());
+    let x = harness.test_x();
+    let cf = model.counterfactuals(&x);
+    harness.evaluate(label, &x, &cf, FeasColumns::UnaryOnly)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dataset, config) = parse_cli(&args, DatasetId::Adult);
+    eprintln!("building harness for {} …", dataset.name());
+    let harness = Harness::build(dataset, config);
+
+    // 1 + 3: sparsity and immutability toggles.
+    let mut rows = Vec::new();
+    rows.push(train_variant(&harness, "full model (paper)", |_| {}));
+    rows.push(train_variant(&harness, "- sparsity term", |c| {
+        c.weights.sparsity = 0.0;
+    }));
+    rows.push(train_variant(&harness, "- immutable mask", |c| {
+        c.mask_immutable = false;
+    }));
+    rows.push(train_variant(&harness, "- feasibility term", |c| {
+        c.weights.feasibility = 0.0;
+    }));
+    println!("\nABLATION 1/3: component knock-outs ({})", dataset.name());
+    print!("{}", format_table("", &rows));
+
+    // 2: feasibility-weight sweep.
+    let mut sweep = Vec::new();
+    for w in [0.0f32, 1.0, 5.0, 10.0, 20.0, 40.0] {
+        sweep.push(train_variant(&harness, &format!("feas weight {w}"), |c| {
+            c.weights.feasibility = w;
+        }));
+    }
+    println!("\nABLATION 2: feasibility-weight sweep ({})", dataset.name());
+    print!("{}", format_table("", &sweep));
+
+    // 4: latent-size sweep.
+    let mut latent = Vec::new();
+    for dim in [2usize, 5, 10, 20] {
+        latent.push(train_variant(&harness, &format!("latent dim {dim}"), |c| {
+            c.latent_dim = dim;
+        }));
+    }
+    println!("\nABLATION 4: latent-size sweep ({})", dataset.name());
+    print!("{}", format_table("", &latent));
+}

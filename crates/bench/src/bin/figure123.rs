@@ -1,0 +1,157 @@
+//! Regenerates the spirit of the paper's illustrative **Figures 1–3** on
+//! a toy 2-D dataset: the decision boundary, a rejected individual, a
+//! cloud of counterfactual candidates, and the paper's selection logic —
+//! valid first (Fig. 1), then sparse (Fig. 2), then in a dense feasible
+//! region (Fig. 3) — all rendered as ASCII.
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin figure123
+//! ```
+
+use cfx_manifold::Kde;
+use cfx_models::{BlackBox, BlackBoxConfig};
+use cfx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const W: usize = 72;
+const H: usize = 26;
+
+fn main() {
+    // Toy loan world: x = (income, savings) in [0,1]²; approved when a
+    // nonlinear score clears a threshold.
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 600;
+    let mut xs = Vec::with_capacity(2 * n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let income: f32 = rng.gen();
+        let savings: f32 = (income * 0.6 + 0.4 * rng.gen::<f32>()).min(1.0);
+        let score = 1.4 * income + 0.8 * savings
+            + 0.3 * (income * 6.0).sin() * 0.2;
+        xs.push(income);
+        xs.push(savings);
+        ys.push((score > 1.15) as u8 as f32);
+    }
+    let x = Tensor::from_vec(n, 2, xs);
+    let y = Tensor::from_vec(n, 1, ys);
+
+    let cfg = BlackBoxConfig { epochs: 60, ..Default::default() };
+    let mut bb = BlackBox::new(2, &cfg);
+    bb.train(&x, &y, &cfg);
+    eprintln!("toy classifier accuracy: {:.1}%", 100.0 * bb.accuracy(&x, &y));
+
+    // The rejected individual of Figure 1.
+    let applicant = [0.35f32, 0.30];
+
+    // Candidate counterfactuals: random directions at random radii
+    // (Fig. 1's scatter of "all the possible scenarios").
+    let mut candidates: Vec<[f32; 2]> = Vec::new();
+    for _ in 0..60 {
+        let angle = rng.gen::<f32>() * std::f32::consts::TAU;
+        let radius = 0.1 + 0.5 * rng.gen::<f32>();
+        candidates.push([
+            (applicant[0] + radius * angle.cos()).clamp(0.0, 1.0),
+            (applicant[1] + radius * angle.sin()).clamp(0.0, 1.0),
+        ]);
+    }
+
+    // Feasibility: income (unary) may only increase — going down in
+    // income is not a plan.
+    let feasible = |c: &[f32; 2]| c[0] >= applicant[0] - 1e-6;
+    let valid = |c: &[f32; 2]| bb.predict(&Tensor::row(c))[0] == 1;
+    // Density of the approved population (Fig. 3's dense region).
+    let approved: Vec<Vec<f32>> = (0..n)
+        .filter(|&r| y[(r, 0)] > 0.5)
+        .map(|r| x.row_slice(r).to_vec())
+        .collect();
+    let kde = Kde::fit_scott(approved);
+
+    // The paper's selection cascade.
+    let best = candidates
+        .iter()
+        .filter(|c| valid(c) && feasible(c))
+        .min_by(|a, b| {
+            let sparsity = |c: &[f32; 2]| {
+                (c[0] - applicant[0]).abs() + (c[1] - applicant[1]).abs()
+            };
+            // Primary: fewest/smallest changes; tie-break: denser region.
+            sparsity(a)
+                .partial_cmp(&sparsity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    kde.density(b.as_slice())
+                        .partial_cmp(&kde.density(a.as_slice()))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        })
+        .copied();
+
+    // Render: '.' denied region, ':' approved region, o/x infeasible/
+    // feasible-invalid/valid candidates, A applicant, * the selection.
+    let mut canvas = vec![vec![' '; W]; H];
+    for (r, row) in canvas.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let px = c as f32 / (W - 1) as f32;
+            let py = 1.0 - r as f32 / (H - 1) as f32;
+            *cell = if bb.predict(&Tensor::row(&[px, py]))[0] == 1 {
+                ':'
+            } else {
+                '.'
+            };
+        }
+    }
+    let mut plot = |p: &[f32; 2], ch: char| {
+        let c = (p[0] * (W - 1) as f32).round() as usize;
+        let r = ((1.0 - p[1]) * (H - 1) as f32).round() as usize;
+        canvas[r.min(H - 1)][c.min(W - 1)] = ch;
+    };
+    for cand in &candidates {
+        let ch = match (valid(cand), feasible(cand)) {
+            (true, true) => 'x',
+            (true, false) => '!',
+            (false, _) => 'o',
+        };
+        plot(cand, ch);
+    }
+    plot(&applicant, 'A');
+    if let Some(b) = best {
+        plot(&b, '*');
+    }
+
+    println!(
+        "FIGURES 1-3 (illustrative): toy loan world — income → / savings ↑"
+    );
+    println!(
+        "'.' denied region   ':' approved region   A applicant\n\
+         'o' invalid candidate   '!' valid but infeasible (income would drop)\n\
+         'x' valid + feasible    '*' the selected counterfactual\n"
+    );
+    for row in &canvas {
+        println!("{}", row.iter().collect::<String>());
+    }
+    match best {
+        Some(b) => {
+            println!(
+                "\nselected counterfactual: income {:.2} -> {:.2}, savings {:.2} -> {:.2}",
+                applicant[0], b[0], applicant[1], b[1]
+            );
+            println!(
+                "density at selection: {:.2} (mean approved-region density {:.2})",
+                kde.density(b.as_slice()),
+                {
+                    let pts: Vec<f32> = (0..50)
+                        .map(|i| {
+                            kde.density(&[
+                                0.5 + 0.3 * ((i * 7) % 10) as f32 / 10.0,
+                                0.5 + 0.3 * ((i * 3) % 10) as f32 / 10.0,
+                            ])
+                        })
+                        .collect();
+                    pts.iter().sum::<f32>() / pts.len() as f32
+                }
+            );
+        }
+        None => println!("\nno valid + feasible candidate in this draw"),
+    }
+}

@@ -1,0 +1,123 @@
+//! Regenerates **Figure 6** — the per-dataset manifolds: t-SNE projections
+//! of (1) the training data, (2) latent samples of the trained VAE and
+//! (3) the predicted counterfactuals, each labeled feasible (x/X) or
+//! infeasible (o/O). Also covers **Figure 5** (the latent manifold sketch)
+//! via the KDE density summary, and augments the paper's qualitative
+//! "separable regions" claim with a k-NN separability score.
+//!
+//! Outputs three ASCII panels plus CSV files under `target/figures/`.
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin figure6 -- adult [--size quick|half|paper]
+//! ```
+
+use cfx_bench::{parse_cli, Harness};
+use cfx_core::ConstraintMode;
+use cfx_data::csv::points_to_csv;
+use cfx_data::DatasetId;
+use cfx_manifold::{ascii_scatter, knn_separability, tsne, Kde, TsneConfig};
+use cfx_tensor::Tensor;
+use std::fs;
+use std::path::PathBuf;
+
+/// Points per panel (t-SNE is O(n²)).
+const PANEL_POINTS: usize = 600;
+
+fn rows(t: &Tensor) -> Vec<Vec<f32>> {
+    (0..t.rows()).map(|r| t.row_slice(r).to_vec()).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dataset, mut config) = parse_cli(&args, DatasetId::Adult);
+    config.eval_cap = config.eval_cap.max(PANEL_POINTS);
+
+    eprintln!("building harness for {} …", dataset.name());
+    let harness = Harness::build(dataset, config);
+    let model = harness.train_our_model(ConstraintMode::Unary);
+
+    let take = PANEL_POINTS.min(harness.split.test.len());
+    let x = harness.data.x.gather_rows(&harness.split.test[..take]);
+    let train_take = PANEL_POINTS.min(harness.split.train.len());
+    let x_train = harness.data.x.gather_rows(&harness.split.train[..train_take]);
+
+    // Panel 1: training data (labels = class).
+    let train_labels: Vec<u8> = harness.blackbox.predict(&x_train);
+    // Panel 2: latent samples of the VAE for the test inputs, labeled by
+    // the feasibility of the counterfactual each decodes to.
+    let (latents, feas_labels) = model.manifold_points(&x);
+    // Panel 3: the predicted counterfactuals themselves.
+    let cf = model.counterfactuals(&x);
+
+    let out_dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&out_dir).expect("create target/figures");
+    let tsne_cfg = TsneConfig { n_iter: 400, ..Default::default() };
+
+    let panels: [(&str, Vec<Vec<f32>>, Vec<u8>); 3] = [
+        ("training data (o=class0, x=class1)", rows(&x_train), train_labels),
+        ("VAE latent samples (o=infeasible, x=feasible)", rows(&latents), feas_labels.clone()),
+        ("predicted counterfactuals (o=infeasible, x=feasible)", rows(&cf), feas_labels),
+    ];
+
+    println!(
+        "FIGURE 6: {} manifolds ({} points per panel, t-SNE perplexity {})",
+        dataset.name(),
+        take,
+        tsne_cfg.perplexity
+    );
+    for (i, (title, data, labels)) in panels.iter().enumerate() {
+        eprintln!("running t-SNE for panel {} …", i + 1);
+        let emb = tsne(data, &tsne_cfg);
+        let sep = knn_separability(&emb, labels, 10);
+        println!("\npanel {}: {title}", i + 1);
+        println!("k-NN(10) label separability: {sep:.3} (0.5≈mixed, 1.0≈separated)");
+        print!("{}", ascii_scatter(&emb, labels, 72, 24));
+
+        let name = match i {
+            0 => "train",
+            1 => "latent",
+            _ => "cf",
+        };
+        let path = out_dir.join(format!(
+            "figure6_{}_{}.csv",
+            match dataset {
+                DatasetId::Adult => "adult",
+                DatasetId::KddCensus => "kdd",
+                DatasetId::LawSchool => "law",
+            },
+            name
+        ));
+        fs::write(&path, points_to_csv(&emb, labels)).expect("write CSV");
+        println!("(points written to {})", path.display());
+    }
+
+    // Figure 5 flavor: density of the latent space under a Gaussian KDE —
+    // feasible counterfactuals should sit in denser latent regions.
+    let latent_rows = rows(&latents);
+    let kde = Kde::fit_scott(latent_rows.clone());
+    let (mut dens_feas, mut dens_inf) = (Vec::new(), Vec::new());
+    let (_, labels) = model.manifold_points(&x);
+    for (row, &l) in latent_rows.iter().zip(&labels) {
+        let d = kde.density(row);
+        if l == 1 {
+            dens_feas.push(d);
+        } else {
+            dens_inf.push(d);
+        }
+    }
+    let mean = |v: &[f32]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f32>() / v.len() as f32
+        }
+    };
+    println!(
+        "\nFIGURE 5 (density summary): mean latent KDE density — feasible {:.3e} \
+         ({} pts) vs infeasible {:.3e} ({} pts)",
+        mean(&dens_feas),
+        dens_feas.len(),
+        mean(&dens_inf),
+        dens_inf.len()
+    );
+}

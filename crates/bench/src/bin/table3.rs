@@ -1,0 +1,34 @@
+//! Regenerates **Table III** — the per-dataset hyper-parameters of the
+//! paper's model — by reading them out of [`FeasibleCfConfig::paper`].
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin table3
+//! ```
+
+use cfx_core::{ConstraintMode, FeasibleCfConfig};
+use cfx_data::DatasetId;
+
+fn main() {
+    println!("TABLE III: Implementation Settings");
+    println!(
+        "{:<22} {:<14} {:>13} {:>11} {:>7}",
+        "Datasets", "Method", "Learning rate", "Batch size", "Epochs"
+    );
+    for dataset in DatasetId::ALL {
+        for mode in [ConstraintMode::Unary, ConstraintMode::Binary] {
+            let cfg = FeasibleCfConfig::paper(dataset, mode);
+            println!(
+                "{:<22} {:<14} {:>13} {:>11} {:>7}",
+                dataset.name(),
+                mode.label(),
+                FeasibleCfConfig::table3_learning_rate(dataset, mode),
+                cfg.batch_size,
+                cfg.epochs,
+            );
+        }
+    }
+    println!(
+        "\nNote: the printed learning rates are the paper's (SGD-scale); \
+         training uses Adam at rate/100 (see FeasibleCfConfig::paper docs)."
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table IV** — the main results: nine methods × five
+//! metrics on one (or all) of the three benchmarks.
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin table4 -- adult [--size quick|half|paper] [--eval N] [--seed N]
+//! cargo run --release -p cfx-bench --bin table4 -- all --size quick
+//! ```
+
+use cfx_bench::{parse_cli, Harness};
+use cfx_data::DatasetId;
+use cfx_metrics::format_table;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.iter().any(|a| a == "all");
+    args.retain(|a| a != "all");
+    let (dataset, config) = parse_cli(&args, DatasetId::Adult);
+
+    let datasets: Vec<DatasetId> =
+        if all { DatasetId::ALL.to_vec() } else { vec![dataset] };
+
+    for ds in datasets {
+        let sub = match ds {
+            DatasetId::Adult => "(a) Adult Income dataset",
+            DatasetId::KddCensus => "(b) KDD-Census Income dataset",
+            DatasetId::LawSchool => "(c) Law School Dataset",
+        };
+        eprintln!("building harness for {} …", ds.name());
+        let harness = Harness::build(ds, config);
+        eprintln!(
+            "  {} cleaned rows, width {}, black-box val accuracy {:.1}%",
+            harness.data.len(),
+            harness.data.width(),
+            100.0 * harness.val_accuracy()
+        );
+        let rows = harness.run_table4(|line| eprintln!("  done: {line}"));
+        println!("\nTABLE IV {sub}");
+        print!("{}", format_table("", &rows));
+        println!("* Unary Constraint model / ** Binary Constraint model");
+    }
+}

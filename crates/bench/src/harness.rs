@@ -1,0 +1,398 @@
+//! The shared experiment pipeline behind every table/figure regenerator:
+//! generate → clean → encode → split 80/10/10 → train the black box →
+//! train/fit counterfactual methods → evaluate the §IV-D metrics.
+
+use cfx_baselines::{BaselineContext, CfMethod};
+use cfx_core::{
+    feasibility_rate, Constraint, ConstraintMode, FeasibleCfConfig,
+    FeasibleCfModel,
+};
+use cfx_data::{DatasetId, EncodedDataset, Split};
+use cfx_metrics::{
+    categorical_proximity, continuous_proximity, sparsity, validity_pct,
+    MetricContext, TableRow,
+};
+use cfx_models::{BlackBox, BlackBoxConfig};
+use cfx_tensor::Tensor;
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSize {
+    /// ~6 000 raw instances — seconds per dataset; CI-friendly.
+    Quick,
+    /// ~1/4 of the paper's instance counts.
+    Half,
+    /// The paper's Table I sizes.
+    Paper,
+}
+
+impl RunSize {
+    /// Parses `quick` / `half` / `paper`.
+    pub fn parse(s: &str) -> Option<RunSize> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(RunSize::Quick),
+            "half" => Some(RunSize::Half),
+            "paper" | "full" => Some(RunSize::Paper),
+            _ => None,
+        }
+    }
+
+    /// Raw instance count for a dataset at this size.
+    pub fn raw_count(&self, dataset: DatasetId) -> usize {
+        match self {
+            RunSize::Quick => 6_000,
+            RunSize::Half => dataset.paper_raw_size() / 4,
+            RunSize::Paper => dataset.paper_raw_size(),
+        }
+    }
+}
+
+/// Harness settings.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Experiment scale.
+    pub size: RunSize,
+    /// Master seed.
+    pub seed: u64,
+    /// Cap on evaluated test instances.
+    pub eval_cap: usize,
+    /// Black-box training epochs.
+    pub blackbox_epochs: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            size: RunSize::Quick,
+            seed: 42,
+            eval_cap: 500,
+            blackbox_epochs: 12,
+        }
+    }
+}
+
+/// A prepared experiment: data, split, trained black box, constraints and
+/// metric context for one dataset.
+pub struct Harness {
+    /// Which benchmark.
+    pub dataset: DatasetId,
+    /// Cleaned + encoded data.
+    pub data: EncodedDataset,
+    /// 80/10/10 split.
+    pub split: Split,
+    /// Trained, frozen classifier.
+    pub blackbox: BlackBox,
+    /// Metric context (stds, spans).
+    pub metrics: MetricContext,
+    /// The dataset's unary constraint (as a 1-element list).
+    pub unary: Vec<Constraint>,
+    /// The dataset's binary constraint (as a 1-element list).
+    pub binary: Vec<Constraint>,
+    /// Settings used.
+    pub config: HarnessConfig,
+}
+
+impl Harness {
+    /// Builds the pipeline for one dataset: generate, encode, split, train
+    /// the black box on the train split.
+    pub fn build(dataset: DatasetId, config: HarnessConfig) -> Harness {
+        let raw = dataset.generate(config.size.raw_count(dataset), config.seed);
+        let data = EncodedDataset::from_raw(&raw);
+        let split = Split::paper(data.len(), config.seed);
+        let (x_train, y_train) = data.subset(&split.train);
+
+        let bb_cfg = BlackBoxConfig {
+            epochs: config.blackbox_epochs,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+        blackbox.train(&x_train, &y_train, &bb_cfg);
+
+        let metrics = MetricContext::new(&data);
+        let paper_cfg =
+            FeasibleCfConfig::paper(dataset, ConstraintMode::Unary);
+        let unary = FeasibleCfModel::paper_constraints(
+            dataset,
+            &data,
+            ConstraintMode::Unary,
+            paper_cfg.c1,
+            paper_cfg.c2,
+        );
+        let binary = FeasibleCfModel::paper_constraints(
+            dataset,
+            &data,
+            ConstraintMode::Binary,
+            paper_cfg.c1,
+            paper_cfg.c2,
+        );
+        Harness { dataset, data, split, blackbox, metrics, unary, binary, config }
+    }
+
+    /// Training rows.
+    pub fn train_x(&self) -> Tensor {
+        self.data.subset(&self.split.train).0
+    }
+
+    /// Test rows to explain, capped at `eval_cap`.
+    ///
+    /// As in the paper's recourse framing (the loan example of §I; the
+    /// "Target class" column of Table I), counterfactuals are generated
+    /// for instances the classifier puts in the *negative* class, asking
+    /// how to reach the desired/target class.
+    pub fn test_x(&self) -> Tensor {
+        let all = self.data.x.gather_rows(&self.split.test);
+        let preds = self.blackbox.predict(&all);
+        let negatives: Vec<usize> = (0..all.rows())
+            .filter(|&r| preds[r] == 0)
+            .take(self.config.eval_cap)
+            .collect();
+        all.gather_rows(&negatives)
+    }
+
+    /// Classifier accuracy on the validation split.
+    pub fn val_accuracy(&self) -> f32 {
+        let (xv, yv) = self.data.subset(&self.split.val);
+        self.blackbox.accuracy(&xv, &yv)
+    }
+
+    /// Evaluates a counterfactual batch into a Table IV row. `feas` picks
+    /// which feasibility columns to fill (the paper prints "-" for the
+    /// unevaluated constraint of its own and Mahajan's single-constraint
+    /// models).
+    pub fn evaluate(
+        &self,
+        method: &str,
+        x: &Tensor,
+        cf: &Tensor,
+        feas: FeasColumns,
+    ) -> TableRow {
+        let desired: Vec<u8> = self
+            .blackbox
+            .predict(x)
+            .iter()
+            .map(|&p| 1 - p)
+            .collect();
+        let cf_pred = self.blackbox.predict(cf);
+        let xr: Vec<Vec<f32>> =
+            (0..x.rows()).map(|r| x.row_slice(r).to_vec()).collect();
+        let cr: Vec<Vec<f32>> =
+            (0..cf.rows()).map(|r| cf.row_slice(r).to_vec()).collect();
+
+        let feas_unary = 100.0 * feasibility_rate(&self.unary, x, cf);
+        let feas_binary = 100.0 * feasibility_rate(&self.binary, x, cf);
+        TableRow {
+            method: method.to_string(),
+            validity: validity_pct(&desired, &cf_pred),
+            feasibility_unary: match feas {
+                FeasColumns::Both | FeasColumns::UnaryOnly => Some(feas_unary),
+                FeasColumns::BinaryOnly => None,
+            },
+            feasibility_binary: match feas {
+                FeasColumns::Both | FeasColumns::BinaryOnly => Some(feas_binary),
+                FeasColumns::UnaryOnly => None,
+            },
+            continuous_proximity: continuous_proximity(&self.metrics, &xr, &cr),
+            categorical_proximity: categorical_proximity(&self.metrics, &xr, &cr),
+            sparsity: sparsity(&self.metrics, &xr, &cr),
+        }
+    }
+
+    /// Trains the paper's model for one constraint mode.
+    pub fn train_our_model(&self, mode: ConstraintMode) -> FeasibleCfModel {
+        let config = FeasibleCfConfig::paper(self.dataset, mode)
+            .with_seed(self.config.seed)
+            .with_step_budget_of(self.dataset, self.split.train.len());
+        let constraints = FeasibleCfModel::paper_constraints(
+            self.dataset,
+            &self.data,
+            mode,
+            config.c1,
+            config.c2,
+        );
+        let mut model = FeasibleCfModel::new(
+            &self.data,
+            self.blackbox.clone(),
+            constraints,
+            config,
+        );
+        model.fit(&self.train_x());
+        model
+    }
+
+    /// Runs the full Table IV(x) for this dataset: all seven baseline rows
+    /// plus the paper's unary and binary models, in the paper's order.
+    /// `progress` receives one line per completed row.
+    pub fn run_table4(&self, mut progress: impl FnMut(&str)) -> Vec<TableRow> {
+        let x = self.test_x();
+        let ctx = BaselineContext::new(
+            &self.data,
+            self.train_x(),
+            &self.blackbox,
+            self.config.seed,
+        );
+        let mut rows = Vec::new();
+        let baselines = baseline_constructors();
+        for (i, build) in baselines.into_iter().enumerate() {
+            let method = build(&ctx, self.dataset);
+            let cf = method.counterfactuals(&x);
+            // Mahajan rows show only their own constraint column.
+            let feas = match i {
+                0 => FeasColumns::UnaryOnly,
+                1 => FeasColumns::BinaryOnly,
+                _ => FeasColumns::Both,
+            };
+            let row = self.evaluate(&method.name(), &x, &cf, feas);
+            progress(&row.to_string());
+            rows.push(row);
+        }
+
+        let ours_a = self.train_our_model(ConstraintMode::Unary);
+        let cf_a = ours_a.counterfactuals(&x);
+        let row =
+            self.evaluate("Our method (a)*", &x, &cf_a, FeasColumns::UnaryOnly);
+        progress(&row.to_string());
+        rows.push(row);
+
+        let ours_b = self.train_our_model(ConstraintMode::Binary);
+        let cf_b = ours_b.counterfactuals(&x);
+        let row = self.evaluate(
+            "Our method (b)**",
+            &x,
+            &cf_b,
+            FeasColumns::BinaryOnly,
+        );
+        progress(&row.to_string());
+        rows.push(row);
+        rows
+    }
+}
+
+/// Which feasibility columns a Table IV row reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeasColumns {
+    /// Both unary and binary (library baselines).
+    Both,
+    /// Unary only (single-constraint unary models).
+    UnaryOnly,
+    /// Binary only (single-constraint binary models).
+    BinaryOnly,
+}
+
+type BaselineBuilder =
+    Box<dyn Fn(&BaselineContext<'_>, DatasetId) -> Box<dyn CfMethod>>;
+
+/// Constructors for the seven baseline rows, in the paper's order.
+fn baseline_constructors() -> Vec<BaselineBuilder> {
+    use cfx_baselines::*;
+    vec![
+        Box::new(|ctx, ds| {
+            Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Unary))
+        }),
+        Box::new(|ctx, ds| {
+            Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Binary))
+        }),
+        Box::new(|ctx, _| Box::new(Revise::fit(ctx, ReviseConfig::default()))),
+        Box::new(|ctx, _| Box::new(Cchvae::fit(ctx, CchvaeConfig::default()))),
+        Box::new(|ctx, _| Box::new(Cem::fit(ctx, CemConfig::default()))),
+        Box::new(|ctx, _| {
+            Box::new(DiceRandom::fit(ctx, DiceConfig::default()))
+        }),
+        Box::new(|ctx, _| Box::new(Face::fit(ctx, FaceConfig::default()))),
+    ]
+}
+
+/// Parses common CLI args: `[dataset] [--size quick|half|paper]
+/// [--seed N] [--eval N]`. Returns `(dataset, config)`.
+pub fn parse_cli(
+    args: &[String],
+    default_dataset: DatasetId,
+) -> (DatasetId, HarnessConfig) {
+    let mut dataset = default_dataset;
+    let mut config = HarnessConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                config.size = RunSize::parse(&args[i])
+                    .unwrap_or_else(|| panic!("bad --size {:?}", args[i]));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args[i].parse().expect("bad --seed");
+            }
+            "--eval" => {
+                i += 1;
+                config.eval_cap = args[i].parse().expect("bad --eval");
+            }
+            name => {
+                dataset = DatasetId::parse(name)
+                    .unwrap_or_else(|| panic!("unknown dataset {name:?}"));
+            }
+        }
+        i += 1;
+    }
+    (dataset, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_classifier_beats_majority() {
+        let cfg = HarnessConfig {
+            size: RunSize::Quick,
+            eval_cap: 50,
+            ..Default::default()
+        };
+        let h = Harness::build(DatasetId::Adult, cfg);
+        assert_eq!(
+            h.split.len(),
+            h.data.len(),
+            "split must cover the cleaned data"
+        );
+        assert!(h.val_accuracy() > 0.6);
+        assert_eq!(h.test_x().rows(), 50);
+    }
+
+    #[test]
+    fn evaluate_row_on_identity_cf_is_all_zero_changes() {
+        let cfg = HarnessConfig {
+            size: RunSize::Quick,
+            eval_cap: 30,
+            ..Default::default()
+        };
+        let h = Harness::build(DatasetId::LawSchool, cfg);
+        let x = h.test_x();
+        let row = h.evaluate("identity", &x, &x, FeasColumns::Both);
+        // cf == x: nothing changed, never valid, always feasible.
+        assert_eq!(row.validity, 0.0);
+        assert_eq!(row.feasibility_unary, Some(100.0));
+        assert_eq!(row.feasibility_binary, Some(100.0));
+        assert_eq!(row.sparsity, 0.0);
+        assert_eq!(row.continuous_proximity, 0.0);
+        assert_eq!(row.categorical_proximity, 0.0);
+    }
+
+    #[test]
+    fn cli_parser_handles_flags() {
+        let args: Vec<String> = ["kdd", "--size", "half", "--seed", "7", "--eval", "99"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (ds, cfg) = parse_cli(&args, DatasetId::Adult);
+        assert_eq!(ds, DatasetId::KddCensus);
+        assert_eq!(cfg.size, RunSize::Half);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.eval_cap, 99);
+    }
+
+    #[test]
+    fn run_sizes_scale() {
+        assert_eq!(RunSize::Paper.raw_count(DatasetId::Adult), 48_842);
+        assert_eq!(RunSize::Half.raw_count(DatasetId::Adult), 12_210);
+        assert_eq!(RunSize::Quick.raw_count(DatasetId::Adult), 6_000);
+    }
+}

@@ -1,0 +1,447 @@
+//! Causal feasibility constraints (§III-A).
+//!
+//! The paper avoids full causal graphs and instead uses two constraint
+//! templates that domain knowledge can instantiate on any dataset:
+//!
+//! * **Unary** (Eq. 1): a feature may only increase,
+//!   `x_cf ≥ x` — e.g. age, or a standardized test score.
+//! * **Binary** (Eq. 2): an implication between a cause and an effect,
+//!   `(cause↑ ⇒ effect↑) AND (cause= ⇒ effect≥)` — e.g. obtaining a
+//!   higher degree forces age to increase.
+//!
+//! Each constraint provides two faces:
+//!
+//! 1. an exact boolean **check** on encoded rows (used by the feasibility
+//!    score metric, §IV-D), where ordinal categoricals compare on their
+//!    arg-max level;
+//! 2. a differentiable **penalty** on the autodiff tape (used as the
+//!    feasibility term of the training loss, §III-C): the paper's
+//!    `-min(0, x_cf - x)` for unary — equivalently `relu(x - x_cf)` — and
+//!    a hinge form of `(x₂ - c₁ - c₂·x₁)` for binary, with `c₁, c₂`
+//!    "parameters selected from experimentation".
+
+use cfx_data::{ColumnSpan, Encoding, FeatureKind, Schema};
+use cfx_tensor::{Tape, Tensor, Var};
+
+/// How a feature is read as a scalar for constraint purposes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureView {
+    /// A numeric feature: the single encoded column, already in `[0, 1]`.
+    Numeric {
+        /// Its encoded column.
+        column: usize,
+    },
+    /// An ordinal categorical: the one-hot block is collapsed to a level
+    /// score in `[0, 1]` (level index / (k-1)); exact checks use arg-max,
+    /// the differentiable view uses the dot product with level weights.
+    Ordinal {
+        /// The one-hot block.
+        span: ColumnSpan,
+    },
+}
+
+impl FeatureView {
+    /// Resolves a feature name into a view.
+    ///
+    /// # Panics
+    /// Panics if the feature is binary or a non-ordinal categorical —
+    /// constraints on those have no order to compare on.
+    pub fn resolve(schema: &Schema, encoding: &Encoding, name: &str) -> Self {
+        let idx = schema.index_of(name);
+        let span = encoding.spans[idx];
+        match &schema.features[idx].kind {
+            FeatureKind::Numeric { .. } => FeatureView::Numeric { column: span.start },
+            FeatureKind::Categorical { ordinal: true, .. } => {
+                FeatureView::Ordinal { span }
+            }
+            other => panic!(
+                "constraint feature {name:?} must be numeric or ordinal, got {other:?}"
+            ),
+        }
+    }
+
+    /// Exact scalar value of this view on one encoded row.
+    pub fn value(&self, row: &[f32]) -> f32 {
+        match self {
+            FeatureView::Numeric { column } => row[*column],
+            FeatureView::Ordinal { span } => {
+                let block = &row[span.start..span.start + span.width];
+                let best = block
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if span.width > 1 {
+                    best as f32 / (span.width - 1) as f32
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Differentiable `(n, 1)` view of a `(n, width)` encoded batch on the
+    /// tape: the raw column for numerics, the soft level score
+    /// `Σ pᵢ·(i/(k-1))` for ordinals.
+    pub fn value_tape(&self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            FeatureView::Numeric { column } => tape.slice_cols(x, *column, 1),
+            FeatureView::Ordinal { span } => {
+                let block = tape.slice_cols(x, span.start, span.width);
+                let denom = (span.width.max(2) - 1) as f32;
+                let weights: Vec<f32> =
+                    (0..span.width).map(|i| i as f32 / denom).collect();
+                let w = tape.leaf(Tensor::from_vec(span.width, 1, weights));
+                tape.matmul(block, w)
+            }
+        }
+    }
+}
+
+/// Tolerance for the boolean checks: decoded continuous values carry
+/// reconstruction noise, so "≥" is tested with a small slack, matching how
+/// the evaluation scripts of [5]/[20] round before comparing.
+pub const CHECK_EPS: f32 = 1e-4;
+
+/// A causal feasibility constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// Eq. (1): the feature may not decrease (`x_cf ≥ x`).
+    UnaryIncrease {
+        /// Constrained feature name.
+        feature: String,
+        /// Its resolved view.
+        view: FeatureView,
+    },
+    /// Eq. (2): `(cause↑ ⇒ effect↑) AND (cause= ⇒ effect≥)`, with the
+    /// penalty slope/offset `c₁, c₂` from experimentation (§III-C).
+    BinaryImplication {
+        /// Cause feature name (e.g. education).
+        cause: String,
+        /// Effect feature name (e.g. age).
+        effect: String,
+        /// Resolved cause view.
+        cause_view: FeatureView,
+        /// Resolved effect view.
+        effect_view: FeatureView,
+        /// Penalty offset `c₁` (margin required on the effect delta).
+        c1: f32,
+        /// Penalty slope `c₂` (effect units required per cause unit).
+        c2: f32,
+    },
+}
+
+impl Constraint {
+    /// Builds the unary constraint on `feature`.
+    pub fn unary(schema: &Schema, encoding: &Encoding, feature: &str) -> Self {
+        Constraint::UnaryIncrease {
+            feature: feature.to_string(),
+            view: FeatureView::resolve(schema, encoding, feature),
+        }
+    }
+
+    /// Builds the binary constraint `cause ⇒ effect` with penalty
+    /// parameters `c1`, `c2`.
+    pub fn binary(
+        schema: &Schema,
+        encoding: &Encoding,
+        cause: &str,
+        effect: &str,
+        c1: f32,
+        c2: f32,
+    ) -> Self {
+        assert!(c2 >= 0.0, "c2 must be non-negative (paper's -min(0, c2) guard)");
+        Constraint::BinaryImplication {
+            cause: cause.to_string(),
+            effect: effect.to_string(),
+            cause_view: FeatureView::resolve(schema, encoding, cause),
+            effect_view: FeatureView::resolve(schema, encoding, effect),
+            c1,
+            c2,
+        }
+    }
+
+    /// Human-readable name used in result tables.
+    pub fn label(&self) -> String {
+        match self {
+            Constraint::UnaryIncrease { feature, .. } => {
+                format!("{feature}↑ (unary)")
+            }
+            Constraint::BinaryImplication { cause, effect, .. } => {
+                format!("{cause}↑⇒{effect}↑ (binary)")
+            }
+        }
+    }
+
+    /// Exact boolean satisfaction on one `(input, counterfactual)` pair of
+    /// encoded rows.
+    pub fn check(&self, x: &[f32], x_cf: &[f32]) -> bool {
+        match self {
+            Constraint::UnaryIncrease { view, .. } => {
+                x_cf_value(view, x_cf) >= view.value(x) - CHECK_EPS
+            }
+            Constraint::BinaryImplication {
+                cause_view, effect_view, ..
+            } => {
+                let dc = x_cf_value(cause_view, x_cf) - cause_view.value(x);
+                let de = x_cf_value(effect_view, x_cf) - effect_view.value(x);
+                if dc > CHECK_EPS {
+                    // cause strictly increased ⇒ effect strictly increases
+                    de > CHECK_EPS
+                } else if dc.abs() <= CHECK_EPS {
+                    // cause unchanged ⇒ effect may not decrease
+                    de >= -CHECK_EPS
+                } else {
+                    // Eq. (2) is an AND of two implications whose premises
+                    // are both false when the cause decreases — vacuously
+                    // satisfied (matching the paper's literal definition).
+                    true
+                }
+            }
+        }
+    }
+
+    /// Differentiable penalty (scalar) on the tape; zero iff (a smooth
+    /// relaxation of) the constraint holds on the whole batch.
+    pub fn penalty_tape(&self, tape: &mut Tape, x: Var, x_cf: Var) -> Var {
+        match self {
+            Constraint::UnaryIncrease { view, .. } => {
+                // paper: -min(0, x_cf - x) per element = relu(x - x_cf)
+                let vx = view.value_tape(tape, x);
+                let vcf = view.value_tape(tape, x_cf);
+                let diff = tape.sub(vx, vcf);
+                let pen = tape.relu(diff);
+                tape.mean(pen)
+            }
+            Constraint::BinaryImplication {
+                cause_view,
+                effect_view,
+                c1,
+                c2,
+                ..
+            } => {
+                // Hinge form of the paper's (x₂ - c₁ - c₂·x₁) term on the
+                // deltas: whenever the cause rises by Δc, the effect must
+                // rise by at least c₁ + c₂·Δc.
+                let cx = cause_view.value_tape(tape, x);
+                let ccf = cause_view.value_tape(tape, x_cf);
+                let ex = effect_view.value_tape(tape, x);
+                let ecf = effect_view.value_tape(tape, x_cf);
+                let dc = tape.sub(ccf, cx);
+                let dc_pos = tape.relu(dc); // only increases trigger the demand
+                let de = tape.sub(ecf, ex);
+                let demand = tape.scale(dc_pos, *c2);
+                let demand = tape.add_scalar(demand, *c1);
+                let gap = tape.sub(demand, de);
+                let pen = tape.relu(gap);
+                // Also penalize the effect decreasing outright (the
+                // "cause= ⇒ effect≥" branch).
+                let neg = tape.neg(de);
+                let pen2 = tape.relu(neg);
+                let both = tape.add(pen, pen2);
+                tape.mean(both)
+            }
+        }
+    }
+}
+
+#[inline]
+fn x_cf_value(view: &FeatureView, x_cf: &[f32]) -> f32 {
+    view.value(x_cf)
+}
+
+/// Fraction of rows of a counterfactual batch that satisfy **all** the
+/// given constraints — the paper's "Feasibility score" numerator.
+pub fn feasibility_rate(
+    constraints: &[Constraint],
+    x: &Tensor,
+    x_cf: &Tensor,
+) -> f32 {
+    assert_eq!(x.shape(), x_cf.shape(), "batch shapes differ");
+    if x.rows() == 0 {
+        return 0.0;
+    }
+    let mut ok = 0;
+    for r in 0..x.rows() {
+        let xr = x.row_slice(r);
+        let cr = x_cf.row_slice(r);
+        if constraints.iter().all(|c| c.check(xr, cr)) {
+            ok += 1;
+        }
+    }
+    ok as f32 / x.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_data::{EncodedDataset, Feature, RawDataset, Schema, Value};
+
+    fn fixture() -> (Schema, Encoding) {
+        let schema = Schema {
+            features: vec![
+                Feature::numeric("age", 0.0, 100.0),
+                Feature::ordinal("education", &["hs", "bs", "ms", "phd"]),
+                Feature::binary("gender").frozen(),
+            ],
+            target: "t".into(),
+            positive_class: "p".into(),
+            negative_class: "n".into(),
+        };
+        let raw = RawDataset {
+            schema: schema.clone(),
+            rows: vec![
+                vec![Value::Num(0.0), Value::Cat(0), Value::Bin(false)],
+                vec![Value::Num(100.0), Value::Cat(3), Value::Bin(true)],
+            ],
+            labels: vec![false, true],
+        };
+        let enc = EncodedDataset::from_raw(&raw);
+        (schema, enc.encoding)
+    }
+
+    #[test]
+    fn numeric_view_reads_column() {
+        let (schema, enc) = fixture();
+        let v = FeatureView::resolve(&schema, &enc, "age");
+        assert_eq!(v.value(&[0.42, 1.0, 0.0, 0.0, 0.0, 1.0]), 0.42);
+    }
+
+    #[test]
+    fn ordinal_view_uses_argmax_level() {
+        let (schema, enc) = fixture();
+        let v = FeatureView::resolve(&schema, &enc, "education");
+        // one-hot on level 2 of 4 → 2/3
+        let row = [0.5, 0.1, 0.2, 0.9, 0.3, 0.0];
+        assert!((v.value(&row) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be numeric or ordinal")]
+    fn binary_feature_rejected() {
+        let (schema, enc) = fixture();
+        let _ = FeatureView::resolve(&schema, &enc, "gender");
+    }
+
+    #[test]
+    fn unary_check_semantics() {
+        let (schema, enc) = fixture();
+        let c = Constraint::unary(&schema, &enc, "age");
+        let x = [0.5, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let up = [0.6, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let same = [0.5, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let down = [0.4, 1.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(c.check(&x, &up));
+        assert!(c.check(&x, &same));
+        assert!(!c.check(&x, &down));
+    }
+
+    #[test]
+    fn binary_check_semantics() {
+        let (schema, enc) = fixture();
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2);
+        // x: age 0.5, education level 1.
+        let x = [0.5, 0.0, 1.0, 0.0, 0.0, 0.0];
+        // education up, age up → ok
+        assert!(c.check(&x, &[0.6, 0.0, 0.0, 1.0, 0.0, 0.0]));
+        // education up, age same → violates the strict branch
+        assert!(!c.check(&x, &[0.5, 0.0, 0.0, 1.0, 0.0, 0.0]));
+        // education same, age same → ok
+        assert!(c.check(&x, &[0.5, 0.0, 1.0, 0.0, 0.0, 0.0]));
+        // education same, age down → violates the weak branch
+        assert!(!c.check(&x, &[0.4, 0.0, 1.0, 0.0, 0.0, 0.0]));
+        // education down → vacuous per Eq. (2)
+        assert!(c.check(&x, &[0.4, 1.0, 0.0, 0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn unary_penalty_zero_iff_satisfied() {
+        let (schema, enc) = fixture();
+        let c = Constraint::unary(&schema, &enc, "age");
+        let x = Tensor::from_vec(2, 6, vec![
+            0.5, 1.0, 0.0, 0.0, 0.0, 0.0, //
+            0.2, 0.0, 1.0, 0.0, 0.0, 1.0,
+        ]);
+        let ok = Tensor::from_vec(2, 6, vec![
+            0.7, 1.0, 0.0, 0.0, 0.0, 0.0, //
+            0.2, 0.0, 1.0, 0.0, 0.0, 1.0,
+        ]);
+        let bad = Tensor::from_vec(2, 6, vec![
+            0.1, 1.0, 0.0, 0.0, 0.0, 0.0, //
+            0.2, 0.0, 1.0, 0.0, 0.0, 1.0,
+        ]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let okv = tape.leaf(ok);
+        let badv = tape.leaf(bad);
+        let p_ok = c.penalty_tape(&mut tape, xv, okv);
+        let p_bad = c.penalty_tape(&mut tape, xv, badv);
+        assert_eq!(tape.value(p_ok).item(), 0.0);
+        assert!(tape.value(p_bad).item() > 0.1);
+    }
+
+    #[test]
+    fn binary_penalty_grows_with_violation() {
+        let (schema, enc) = fixture();
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.3);
+        let x = Tensor::from_vec(1, 6, vec![0.5, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        // education jumps hs→phd (soft level 0→1), age unchanged: demand 0.3.
+        let cf = Tensor::from_vec(1, 6, vec![0.5, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        // Same jump but age rises enough.
+        let cf_ok = Tensor::from_vec(1, 6, vec![0.9, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let cfv = tape.leaf(cf);
+        let cfokv = tape.leaf(cf_ok);
+        let p = c.penalty_tape(&mut tape, xv, cfv);
+        let p_ok = c.penalty_tape(&mut tape, xv, cfokv);
+        assert!((tape.value(p).item() - 0.3).abs() < 1e-5);
+        assert!(tape.value(p_ok).item() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_is_differentiable_wrt_cf() {
+        let (schema, enc) = fixture();
+        let c = Constraint::unary(&schema, &enc, "age");
+        let x = Tensor::from_vec(1, 6, vec![0.5, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let cf = Tensor::from_vec(1, 6, vec![0.2, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let cfv = tape.leaf(cf);
+        let p = c.penalty_tape(&mut tape, xv, cfv);
+        tape.backward(p);
+        let g = tape.grad(cfv);
+        // Pushing age up reduces the penalty → negative gradient on col 0.
+        assert!(g[(0, 0)] < 0.0);
+        // Untouched columns get no gradient.
+        assert_eq!(g[(0, 5)], 0.0);
+    }
+
+    #[test]
+    fn feasibility_rate_counts_all_constraints() {
+        let (schema, enc) = fixture();
+        let cs = vec![
+            Constraint::unary(&schema, &enc, "age"),
+            Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2),
+        ];
+        let x = Tensor::from_vec(2, 6, vec![
+            0.5, 0.0, 1.0, 0.0, 0.0, 0.0, //
+            0.5, 0.0, 1.0, 0.0, 0.0, 0.0,
+        ]);
+        let cf = Tensor::from_vec(2, 6, vec![
+            0.8, 0.0, 0.0, 1.0, 0.0, 0.0, // edu↑ age↑ → feasible
+            0.3, 0.0, 1.0, 0.0, 0.0, 0.0, // age↓ → infeasible
+        ]);
+        assert_eq!(feasibility_rate(&cs, &x, &cf), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "c2 must be non-negative")]
+    fn negative_c2_rejected() {
+        let (schema, enc) = fixture();
+        let _ = Constraint::binary(&schema, &enc, "education", "age", 0.0, -1.0);
+    }
+}

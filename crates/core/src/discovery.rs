@@ -1,0 +1,364 @@
+//! Automatic constraint discovery — the paper's future work (§V):
+//! *"analysing the causal relations of various features in a dataset, so
+//! that we can minimize the human involvement during the construction of
+//! the causal constraint"*.
+//!
+//! Cross-sectional data cannot reveal purely temporal facts like "age only
+//! increases" (a unary constraint still needs a domain assertion), but it
+//! *can* reveal implication structure of the binary kind: if obtaining a
+//! doctorate takes years, then the 5th-percentile age per education level
+//! forms an increasing staircase, and `education↑ ⇒ age↑` is visible as a
+//! **floor relationship**. This module scans candidate (cause, effect)
+//! pairs, scores that staircase, and emits ready-to-train
+//! [`Constraint::BinaryImplication`]s — including data-driven estimates of
+//! the penalty parameters `c₁`/`c₂` the paper "selected from
+//! experimentation".
+//!
+//! Two complementary signals are combined:
+//!
+//! 1. **floor monotonicity** — the fraction of adjacent cause-level pairs
+//!    whose effect floor (5th percentile) strictly increases;
+//! 2. **pairwise dominance** — over sampled row pairs with
+//!    `cause_i > cause_j`, the probability that `effect_i > effect_j`
+//!    (a Mann–Whitney-style statistic; 0.5 = no relation).
+
+use crate::constraints::Constraint;
+use cfx_data::{EncodedDataset, FeatureKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A discovered candidate constraint with its evidence.
+#[derive(Debug, Clone)]
+pub struct ScoredConstraint {
+    /// Cause feature name.
+    pub cause: String,
+    /// Effect feature name.
+    pub effect: String,
+    /// Fraction of adjacent cause levels whose effect floor increases.
+    pub floor_monotonicity: f32,
+    /// P(effect_i > effect_j | cause_i > cause_j) over sampled pairs.
+    pub dominance: f32,
+    /// Estimated penalty offset `c₁` (encoded units): the smallest floor
+    /// step, clipped at 0.
+    pub c1: f32,
+    /// Estimated penalty slope `c₂` (encoded effect units per unit of
+    /// cause view): the mean floor slope.
+    pub c2: f32,
+    /// Combined score in `[0, 1]`.
+    pub score: f32,
+}
+
+impl ScoredConstraint {
+    /// Materializes the discovery as a trainable binary constraint.
+    pub fn to_constraint(&self, data: &EncodedDataset) -> Constraint {
+        Constraint::binary(
+            &data.schema,
+            &data.encoding,
+            &self.cause,
+            &self.effect,
+            self.c1,
+            self.c2.max(0.0),
+        )
+    }
+}
+
+/// Discovery settings.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryConfig {
+    /// Number of cause-level bins for numeric causes.
+    pub cause_bins: usize,
+    /// Quantile defining the effect "floor" (0.05 = 5th percentile).
+    pub floor_quantile: f32,
+    /// Row pairs sampled for the dominance statistic.
+    pub pair_samples: usize,
+    /// Minimum rows per cause level for the level to count.
+    pub min_level_support: usize,
+    /// RNG seed for pair sampling.
+    pub seed: u64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            cause_bins: 6,
+            floor_quantile: 0.05,
+            pair_samples: 20_000,
+            min_level_support: 25,
+            seed: 0,
+        }
+    }
+}
+
+/// Scans all eligible (cause, effect) feature pairs and returns candidates
+/// sorted by score (best first).
+///
+/// Eligible causes: ordinal categoricals and numerics (binned); eligible
+/// effects: numerics. Immutable features are excluded from both roles — a
+/// constraint on an attribute counterfactuals cannot touch is dead weight.
+pub fn discover_binary_constraints(
+    data: &EncodedDataset,
+    config: &DiscoveryConfig,
+) -> Vec<ScoredConstraint> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let n_features = data.schema.num_features();
+    for cause_idx in 0..n_features {
+        let cause = &data.schema.features[cause_idx];
+        if cause.immutable {
+            continue;
+        }
+        let eligible_cause = match &cause.kind {
+            FeatureKind::Categorical { ordinal, .. } => *ordinal,
+            FeatureKind::Numeric { .. } => true,
+            FeatureKind::Binary => false,
+        };
+        if !eligible_cause {
+            continue;
+        }
+        for effect_idx in 0..n_features {
+            if effect_idx == cause_idx {
+                continue;
+            }
+            let effect = &data.schema.features[effect_idx];
+            if effect.immutable || !effect.kind.is_numeric() {
+                continue;
+            }
+            if let Some(sc) = score_pair(
+                data, cause_idx, effect_idx, config, &mut rng,
+            ) {
+                out.push(sc);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Cause value of a row as a level index (ordinal level, or numeric bin).
+fn cause_level(
+    data: &EncodedDataset,
+    row: usize,
+    cause_idx: usize,
+    bins: usize,
+) -> usize {
+    let span = data.encoding.spans[cause_idx];
+    match &data.schema.features[cause_idx].kind {
+        FeatureKind::Categorical { .. } => {
+            let block: Vec<f32> = (span.start..span.start + span.width)
+                .map(|c| data.x[(row, c)])
+                .collect();
+            block
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        }
+        _ => {
+            let v = data.x[(row, span.start)];
+            ((v * bins as f32) as usize).min(bins - 1)
+        }
+    }
+}
+
+fn score_pair(
+    data: &EncodedDataset,
+    cause_idx: usize,
+    effect_idx: usize,
+    config: &DiscoveryConfig,
+    rng: &mut StdRng,
+) -> Option<ScoredConstraint> {
+    let n = data.len();
+    if n < 4 * config.min_level_support {
+        return None;
+    }
+    let n_levels = match &data.schema.features[cause_idx].kind {
+        FeatureKind::Categorical { levels, .. } => levels.len(),
+        _ => config.cause_bins,
+    };
+    let effect_col = data.encoding.spans[effect_idx].start;
+
+    // Bucket effect values by cause level.
+    let mut buckets: Vec<Vec<f32>> = vec![Vec::new(); n_levels];
+    for r in 0..n {
+        let lvl = cause_level(data, r, cause_idx, config.cause_bins);
+        buckets[lvl].push(data.x[(r, effect_col)]);
+    }
+
+    // Floors per supported level.
+    let mut floors: Vec<(usize, f32)> = Vec::new();
+    for (lvl, bucket) in buckets.iter_mut().enumerate() {
+        if bucket.len() < config.min_level_support {
+            continue;
+        }
+        bucket.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = ((bucket.len() as f32 - 1.0) * config.floor_quantile) as usize;
+        floors.push((lvl, bucket[q]));
+    }
+    if floors.len() < 3 {
+        return None;
+    }
+
+    // Signal 1: strictly increasing floor staircase.
+    let mut rising = 0usize;
+    let mut steps = Vec::new();
+    for w in floors.windows(2) {
+        let dl = (w[1].0 - w[0].0) as f32;
+        let df = w[1].1 - w[0].1;
+        steps.push(df / dl);
+        if df > 1e-4 {
+            rising += 1;
+        }
+    }
+    let floor_monotonicity = rising as f32 / (floors.len() - 1) as f32;
+
+    // Signal 2: pairwise dominance.
+    let mut wins = 0usize;
+    let mut comparable = 0usize;
+    for _ in 0..config.pair_samples {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        let li = cause_level(data, i, cause_idx, config.cause_bins);
+        let lj = cause_level(data, j, cause_idx, config.cause_bins);
+        if li == lj {
+            continue;
+        }
+        let (hi, lo) = if li > lj { (i, j) } else { (j, i) };
+        comparable += 1;
+        if data.x[(hi, effect_col)] > data.x[(lo, effect_col)] {
+            wins += 1;
+        }
+    }
+    if comparable < 100 {
+        return None;
+    }
+    let dominance = wins as f32 / comparable as f32;
+
+    // Penalty parameters from the staircase: slope per *view unit* — the
+    // constraint's differentiable view maps the cause to [0, 1], so a
+    // level step of 1 corresponds to 1/(n_levels-1) view units.
+    let mean_step = steps.iter().sum::<f32>() / steps.len() as f32;
+    let c2 = mean_step * (n_levels.max(2) - 1) as f32;
+    let c1 = steps
+        .iter()
+        .cloned()
+        .fold(f32::INFINITY, f32::min)
+        .clamp(0.0, 0.5);
+
+    // Combined score: both signals must agree; dominance is rescaled from
+    // its 0.5 chance level.
+    let dominance_signal = ((dominance - 0.5) * 2.0).clamp(0.0, 1.0);
+    let score = floor_monotonicity * dominance_signal;
+
+    Some(ScoredConstraint {
+        cause: data.schema.features[cause_idx].name.clone(),
+        effect: data.schema.features[effect_idx].name.clone(),
+        floor_monotonicity,
+        dominance,
+        c1,
+        c2,
+        score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_data::DatasetId;
+
+    fn discover(ds: DatasetId, n: usize) -> Vec<ScoredConstraint> {
+        let raw = ds.generate_clean(n, 17);
+        let data = EncodedDataset::from_raw(&raw);
+        discover_binary_constraints(&data, &DiscoveryConfig::default())
+    }
+
+    #[test]
+    fn adult_education_age_is_a_top_discovery() {
+        let found = discover(DatasetId::Adult, 8_000);
+        assert!(!found.is_empty());
+        let rank = found
+            .iter()
+            .position(|c| c.cause == "education" && c.effect == "age")
+            .expect("education⇒age not discovered at all");
+        assert!(
+            rank < 3,
+            "education⇒age ranked {rank}: {:?}",
+            found
+                .iter()
+                .map(|c| (c.cause.clone(), c.effect.clone(), c.score))
+                .collect::<Vec<_>>()
+        );
+        let ea = &found[rank];
+        assert!(ea.floor_monotonicity > 0.8, "{ea:?}");
+        assert!(ea.dominance > 0.55, "{ea:?}");
+    }
+
+    #[test]
+    fn law_tier_lsat_is_a_top_discovery() {
+        let found = discover(DatasetId::LawSchool, 8_000);
+        let rank = found
+            .iter()
+            .position(|c| c.cause == "tier" && c.effect == "lsat")
+            .expect("tier⇒lsat not discovered");
+        assert!(rank < 3, "tier⇒lsat ranked {rank}");
+        assert!(found[rank].score > 0.5, "{:?}", found[rank]);
+    }
+
+    #[test]
+    fn unrelated_pairs_score_lower_than_causal_ones() {
+        let found = discover(DatasetId::Adult, 8_000);
+        let score_of = |cause: &str, effect: &str| {
+            found
+                .iter()
+                .find(|c| c.cause == cause && c.effect == effect)
+                .map(|c| c.score)
+                .unwrap_or(0.0)
+        };
+        let causal = score_of("education", "age");
+        let unrelated = score_of("hours_per_week", "age");
+        assert!(
+            causal > 0.1 && causal > 5.0 * unrelated,
+            "causal {causal} vs unrelated {unrelated}"
+        );
+    }
+
+    #[test]
+    fn immutable_features_never_appear() {
+        let found = discover(DatasetId::Adult, 4_000);
+        for c in &found {
+            assert_ne!(c.cause, "race");
+            assert_ne!(c.cause, "gender");
+            assert_ne!(c.effect, "race");
+        }
+    }
+
+    #[test]
+    fn discovered_constraint_is_trainable() {
+        let raw = DatasetId::Adult.generate_clean(6_000, 5);
+        let data = EncodedDataset::from_raw(&raw);
+        let found =
+            discover_binary_constraints(&data, &DiscoveryConfig::default());
+        let top = found
+            .iter()
+            .find(|c| c.cause == "education" && c.effect == "age")
+            .expect("not discovered");
+        let constraint = top.to_constraint(&data);
+        // The materialized constraint must behave like the hand-written
+        // one on obvious cases.
+        let x = data.x.row_slice(0).to_vec();
+        assert!(constraint.check(&x, &x), "identity must satisfy Eq. (2)");
+    }
+
+    #[test]
+    fn tiny_datasets_yield_no_spurious_candidates() {
+        let raw = DatasetId::Adult.generate_clean(40, 0);
+        let data = EncodedDataset::from_raw(&raw);
+        let found =
+            discover_binary_constraints(&data, &DiscoveryConfig::default());
+        assert!(found.is_empty(), "n=40 should not support discovery");
+    }
+}

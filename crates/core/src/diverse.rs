@@ -1,0 +1,330 @@
+//! Diverse counterfactual sets.
+//!
+//! The paper's Figs. 2–3 reason about *several* counterfactual candidates
+//! per individual — choose the sparsest feasible one from a dense region —
+//! and cite DiCE [11] for the value of diversity. This module turns that
+//! reasoning into an API: sample a pool of candidates from the VAE's
+//! latent space ("we perturbed the output of the encoder to the decoder",
+//! §III-C), filter/rank them by the paper's criteria, and select a
+//! maximally diverse subset with a greedy max-min procedure.
+
+use crate::explain::Counterfactual;
+use crate::model::FeasibleCfModel;
+use cfx_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Settings for diverse explanation.
+#[derive(Debug, Clone, Copy)]
+pub struct DiverseConfig {
+    /// Candidates sampled from the latent space per instance.
+    pub pool_size: usize,
+    /// Counterfactuals returned per instance.
+    pub k: usize,
+    /// Latent noise scale (0 would collapse the pool to one decode).
+    pub noise_scale: f32,
+    /// Keep only valid candidates when enough exist.
+    pub prefer_valid: bool,
+    /// Keep only feasible candidates when enough exist.
+    pub prefer_feasible: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiverseConfig {
+    fn default() -> Self {
+        DiverseConfig {
+            pool_size: 40,
+            k: 4,
+            noise_scale: 1.0,
+            prefer_valid: true,
+            prefer_feasible: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Which filter the candidate pool could sustain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterLevel {
+    /// Enough valid **and** feasible candidates existed.
+    ValidAndFeasible,
+    /// Only the validity filter could be sustained.
+    ValidOnly,
+    /// Neither filter left `k` candidates; the raw pool was used.
+    Unfiltered,
+}
+
+/// A diverse set of counterfactuals for one instance.
+#[derive(Debug, Clone)]
+pub struct DiverseSet {
+    /// The selected counterfactuals (≤ `k`; empty only if the pool was).
+    pub selected: Vec<Counterfactual>,
+    /// Mean pairwise L1 distance between the selected counterfactuals —
+    /// DiCE's diversity measure.
+    pub diversity: f32,
+    /// Size of the candidate pool after validity/feasibility filtering.
+    pub pool_after_filter: usize,
+    /// The filter the pool sustained.
+    pub filter_level: FilterLevel,
+}
+
+impl FeasibleCfModel {
+    /// Generates a diverse set of counterfactuals for a single instance
+    /// (`x` must be a `(1, width)` row).
+    ///
+    /// Procedure: decode `pool_size` latent perturbations, classify and
+    /// constraint-check each, filter to the preferred (valid/feasible)
+    /// subset when it is large enough, then greedily pick `k` candidates
+    /// maximizing the minimum pairwise distance (max-min dispersion).
+    pub fn explain_diverse(&self, x: &Tensor, config: &DiverseConfig) -> DiverseSet {
+        assert_eq!(x.rows(), 1, "explain_diverse expects a single row");
+        assert!(config.pool_size > 0 && config.k > 0, "pool and k must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let input_class = self.blackbox().predict(x)[0];
+        let desired = 1 - input_class;
+
+        // Sample the candidate pool (first decode is the posterior mean).
+        let mut pool: Vec<Counterfactual> = Vec::with_capacity(config.pool_size);
+        for i in 0..config.pool_size {
+            let noise = if i == 0 { 0.0 } else { config.noise_scale };
+            let cf = self.counterfactuals_with_noise(x, noise, &mut rng);
+            let cf_class = self.blackbox().predict(&cf)[0];
+            let feasible = self
+                .constraints()
+                .iter()
+                .all(|c| c.check(x.row_slice(0), cf.row_slice(0)));
+            pool.push(Counterfactual {
+                input: x.row_slice(0).to_vec(),
+                cf: cf.row_slice(0).to_vec(),
+                input_class,
+                desired_class: desired,
+                cf_class,
+                valid: cf_class == desired,
+                feasible,
+            });
+        }
+
+        // Prefer valid/feasible subsets when they can fill the request.
+        let (filtered, filter_level): (Vec<Counterfactual>, FilterLevel) = {
+            let strict: Vec<Counterfactual> = pool
+                .iter()
+                .filter(|c| {
+                    (!config.prefer_valid || c.valid)
+                        && (!config.prefer_feasible || c.feasible)
+                })
+                .cloned()
+                .collect();
+            if strict.len() >= config.k {
+                (strict, FilterLevel::ValidAndFeasible)
+            } else {
+                let valid_only: Vec<Counterfactual> =
+                    pool.iter().filter(|c| c.valid).cloned().collect();
+                if config.prefer_valid && valid_only.len() >= config.k {
+                    (valid_only, FilterLevel::ValidOnly)
+                } else {
+                    (pool, FilterLevel::Unfiltered)
+                }
+            }
+        };
+        let pool_after_filter = filtered.len();
+
+        // Greedy max-min dispersion: start from the candidate closest to
+        // the input (the paper's proximity preference), then repeatedly
+        // add the candidate farthest from the current selection.
+        let mut selected: Vec<Counterfactual> = Vec::with_capacity(config.k);
+        if !filtered.is_empty() {
+            let first = filtered
+                .iter()
+                .min_by(|a, b| {
+                    l1(&a.cf, &a.input)
+                        .partial_cmp(&l1(&b.cf, &b.input))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned()
+                .expect("nonempty");
+            selected.push(first);
+            while selected.len() < config.k.min(filtered.len()) {
+                let next = filtered
+                    .iter()
+                    .filter(|c| {
+                        !selected.iter().any(|s| s.cf == c.cf)
+                    })
+                    .max_by(|a, b| {
+                        min_dist(a, &selected)
+                            .partial_cmp(&min_dist(b, &selected))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .cloned();
+                match next {
+                    Some(c) => selected.push(c),
+                    None => break, // pool exhausted (duplicates)
+                }
+            }
+        }
+
+        let diversity = mean_pairwise_l1(&selected);
+        DiverseSet { selected, diversity, pool_after_filter, filter_level }
+    }
+}
+
+fn l1(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+fn min_dist(c: &Counterfactual, selected: &[Counterfactual]) -> f32 {
+    selected
+        .iter()
+        .map(|s| l1(&c.cf, &s.cf))
+        .fold(f32::INFINITY, f32::min)
+}
+
+/// Mean pairwise L1 distance among a set of counterfactuals (0 for fewer
+/// than two) — DiCE's diversity score.
+pub fn mean_pairwise_l1(set: &[Counterfactual]) -> f32 {
+    if set.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for i in 0..set.len() {
+        for j in (i + 1)..set.len() {
+            total += l1(&set[i].cf, &set[j].cf);
+            pairs += 1;
+        }
+    }
+    total / pairs as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConstraintMode, FeasibleCfConfig};
+    use cfx_data::{DatasetId, EncodedDataset};
+    use cfx_models::{BlackBox, BlackBoxConfig};
+
+    fn trained() -> &'static (EncodedDataset, FeasibleCfModel) {
+        static CACHE: std::sync::OnceLock<(EncodedDataset, FeasibleCfModel)> =
+            std::sync::OnceLock::new();
+        CACHE.get_or_init(trained_uncached)
+    }
+
+    fn trained_uncached() -> (EncodedDataset, FeasibleCfModel) {
+        let raw = DatasetId::Adult.generate_clean(2_500, 19);
+        let data = EncodedDataset::from_raw(&raw);
+        let bb_cfg = BlackBoxConfig { epochs: 10, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &bb_cfg);
+        bb.train(&data.x, &data.y, &bb_cfg);
+        let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+            .with_step_budget_of(DatasetId::Adult, data.len());
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        model.fit(&data.x);
+        (data, model)
+    }
+
+    fn denied_row(data: &EncodedDataset, model: &FeasibleCfModel) -> Tensor {
+        let preds = model.blackbox().predict(&data.x);
+        let r = (0..data.len()).find(|&r| preds[r] == 0).expect("no denied row");
+        data.x.slice_rows(r, 1)
+    }
+
+    #[test]
+    fn diverse_set_has_k_distinct_members() {
+        let (data, model) = trained();
+        let x = denied_row(&data, &model);
+        let set = model.explain_diverse(&x, &DiverseConfig::default());
+        assert!(!set.selected.is_empty());
+        assert!(set.selected.len() <= 4);
+        for i in 0..set.selected.len() {
+            for j in (i + 1)..set.selected.len() {
+                assert_ne!(
+                    set.selected[i].cf, set.selected[j].cf,
+                    "duplicate counterfactuals selected"
+                );
+            }
+        }
+        if set.selected.len() >= 2 {
+            assert!(set.diversity > 0.0);
+        }
+    }
+
+    #[test]
+    fn filtering_prefers_valid_and_feasible() {
+        let (data, model) = trained();
+        let x = denied_row(&data, &model);
+        let set = model.explain_diverse(
+            &x,
+            &DiverseConfig { pool_size: 60, ..Default::default() },
+        );
+        // When the strict filter was sustained, every selected CF is
+        // valid and feasible; otherwise at least report the degradation.
+        match set.filter_level {
+            FilterLevel::ValidAndFeasible => {
+                assert!(set.selected.iter().all(|c| c.valid && c.feasible));
+            }
+            FilterLevel::ValidOnly => {
+                assert!(set.selected.iter().all(|c| c.valid));
+            }
+            FilterLevel::Unfiltered => {}
+        }
+    }
+
+    #[test]
+    fn maxmin_selection_beats_first_k_on_diversity() {
+        let (data, model) = trained();
+        let x = denied_row(&data, &model);
+        let cfg = DiverseConfig { pool_size: 40, k: 4, ..Default::default() };
+        let set = model.explain_diverse(&x, &cfg);
+        // Baseline: the first k pool members with the same filters.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut baseline = Vec::new();
+        for i in 0..cfg.k {
+            let noise = if i == 0 { 0.0 } else { cfg.noise_scale };
+            let cf = model.counterfactuals_with_noise(&x, noise, &mut rng);
+            baseline.push(Counterfactual {
+                input: x.row_slice(0).to_vec(),
+                cf: cf.row_slice(0).to_vec(),
+                input_class: 0,
+                desired_class: 1,
+                cf_class: 1,
+                valid: true,
+                feasible: true,
+            });
+        }
+        let base_div = mean_pairwise_l1(&baseline);
+        assert!(
+            set.diversity >= base_div * 0.9,
+            "max-min {} much worse than naive {}",
+            set.diversity,
+            base_div
+        );
+    }
+
+    #[test]
+    fn mean_pairwise_l1_arithmetic() {
+        let mk = |v: Vec<f32>| Counterfactual {
+            input: vec![0.0; v.len()],
+            cf: v,
+            input_class: 0,
+            desired_class: 1,
+            cf_class: 1,
+            valid: true,
+            feasible: true,
+        };
+        let set = vec![mk(vec![0.0, 0.0]), mk(vec![1.0, 0.0]), mk(vec![0.0, 1.0])];
+        // pairwise L1s: 1, 1, 2 → mean 4/3.
+        assert!((mean_pairwise_l1(&set) - 4.0 / 3.0).abs() < 1e-6);
+        assert_eq!(mean_pairwise_l1(&set[..1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single row")]
+    fn multi_row_input_rejected() {
+        let (data, model) = trained();
+        let x = data.x.slice_rows(0, 2);
+        let _ = model.explain_diverse(&x, &DiverseConfig::default());
+    }
+}

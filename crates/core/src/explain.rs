@@ -1,0 +1,259 @@
+//! Explanation objects: per-instance counterfactuals with validity and
+//! feasibility verdicts, latent-manifold extraction (Fig. 5/6), and the
+//! human-readable before/after rendering of Table V.
+
+use crate::model::FeasibleCfModel;
+use cfx_data::{csv::format_value, Encoding, Schema, Value};
+use cfx_tensor::Tensor;
+use std::fmt::Write as _;
+
+/// One explained instance.
+#[derive(Debug, Clone)]
+pub struct Counterfactual {
+    /// Original encoded row.
+    pub input: Vec<f32>,
+    /// Counterfactual encoded row.
+    pub cf: Vec<f32>,
+    /// Black-box class of the input.
+    pub input_class: u8,
+    /// Desired (opposite) class.
+    pub desired_class: u8,
+    /// Black-box class of the counterfactual.
+    pub cf_class: u8,
+    /// Whether `cf_class == desired_class` (the validity predicate).
+    pub valid: bool,
+    /// Whether every active constraint holds (the feasibility predicate).
+    pub feasible: bool,
+}
+
+/// A batch of explanations plus aggregate rates.
+#[derive(Debug, Clone)]
+pub struct ExplanationBatch {
+    /// Per-instance explanations.
+    pub examples: Vec<Counterfactual>,
+}
+
+impl ExplanationBatch {
+    /// Fraction of valid counterfactuals (×100 = the paper's Validity %).
+    pub fn validity_rate(&self) -> f32 {
+        rate(&self.examples, |e| e.valid)
+    }
+
+    /// Fraction of feasible counterfactuals (×100 = Feasibility score %).
+    pub fn feasibility_rate(&self) -> f32 {
+        rate(&self.examples, |e| e.feasible)
+    }
+
+    /// Fraction both valid and feasible.
+    pub fn valid_and_feasible_rate(&self) -> f32 {
+        rate(&self.examples, |e| e.valid && e.feasible)
+    }
+
+    /// Counterfactual rows as a tensor (for metric computation).
+    pub fn cf_tensor(&self) -> Tensor {
+        let rows: Vec<Vec<f32>> =
+            self.examples.iter().map(|e| e.cf.clone()).collect();
+        Tensor::from_rows(&rows)
+    }
+
+    /// Input rows as a tensor.
+    pub fn input_tensor(&self) -> Tensor {
+        let rows: Vec<Vec<f32>> =
+            self.examples.iter().map(|e| e.input.clone()).collect();
+        Tensor::from_rows(&rows)
+    }
+}
+
+fn rate(examples: &[Counterfactual], pred: impl Fn(&Counterfactual) -> bool) -> f32 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    examples.iter().filter(|e| pred(e)).count() as f32 / examples.len() as f32
+}
+
+impl FeasibleCfModel {
+    /// Explains every row of `x`: generates a counterfactual, classifies
+    /// it, and checks the active constraints.
+    pub fn explain_batch(&self, x: &Tensor) -> ExplanationBatch {
+        let cf = self.counterfactuals(x);
+        let input_classes = self.blackbox().predict(x);
+        let cf_classes = self.blackbox().predict(&cf);
+        let examples = (0..x.rows())
+            .map(|r| {
+                let xr = x.row_slice(r).to_vec();
+                let cr = cf.row_slice(r).to_vec();
+                let desired = 1 - input_classes[r];
+                let feasible =
+                    self.constraints().iter().all(|c| c.check(&xr, &cr));
+                Counterfactual {
+                    valid: cf_classes[r] == desired,
+                    feasible,
+                    input: xr,
+                    cf: cr,
+                    input_class: input_classes[r],
+                    desired_class: desired,
+                    cf_class: cf_classes[r],
+                }
+            })
+            .collect();
+        ExplanationBatch { examples }
+    }
+
+    /// Latent points + feasibility labels for the manifold figures:
+    /// encodes each input under its desired class and labels the decoded
+    /// counterfactual 1 (feasible) / 0 (infeasible), exactly the
+    /// procedure of §IV-E's manifold extraction.
+    pub fn manifold_points(&self, x: &Tensor) -> (Tensor, Vec<u8>) {
+        let latents = self.latent_mu(x);
+        let batch = self.explain_batch(x);
+        let labels = batch
+            .examples
+            .iter()
+            .map(|e| e.feasible as u8)
+            .collect();
+        (latents, labels)
+    }
+}
+
+/// Renders a Table-V style before/after comparison of one explanation.
+///
+/// Rows where the counterfactual differs from the input are marked with
+/// `*` (the paper marks them in red).
+pub fn format_comparison(
+    schema: &Schema,
+    encoding: &Encoding,
+    example: &Counterfactual,
+) -> String {
+    let x_raw = encoding.decode_row(schema, &example.input);
+    let cf_raw = encoding.decode_row(schema, &example.cf);
+    let mut out = String::new();
+    let name_w = schema
+        .features
+        .iter()
+        .map(|f| f.name.len())
+        .max()
+        .unwrap_or(8)
+        .max("Features".len());
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>14}  {:>14}",
+        "Features", "x_true", "x_pred"
+    );
+    for ((f, xv), cv) in schema.features.iter().zip(&x_raw).zip(&cf_raw) {
+        let changed = !values_equal(xv, cv);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>14}  {:>14}{}",
+            f.name,
+            format_value(&f.kind, xv),
+            format_value(&f.kind, cv),
+            if changed { " *" } else { "" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>14}  {:>14}",
+        schema.target,
+        class_name(schema, example.input_class),
+        class_name(schema, example.cf_class),
+    );
+    out
+}
+
+fn class_name(schema: &Schema, class: u8) -> &str {
+    if class == 1 {
+        &schema.positive_class
+    } else {
+        &schema.negative_class
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => (x - y).abs() < 0.5,
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConstraintMode, FeasibleCfConfig};
+    use cfx_data::{DatasetId, EncodedDataset};
+    use cfx_models::{BlackBox, BlackBoxConfig};
+
+    fn trained_model() -> (EncodedDataset, FeasibleCfModel) {
+        let raw = DatasetId::Adult.generate_clean(900, 11);
+        let data = EncodedDataset::from_raw(&raw);
+        let bb_cfg = BlackBoxConfig { epochs: 8, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &bb_cfg);
+        bb.train(&data.x, &data.y, &bb_cfg);
+        let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+            .with_epochs(4)
+            .with_batch_size(256);
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult,
+            &data,
+            ConstraintMode::Unary,
+            cfg.c1,
+            cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        model.fit(&data.x);
+        (data, model)
+    }
+
+    #[test]
+    fn explanations_cover_every_row_with_consistent_flags() {
+        let (data, model) = trained_model();
+        let x = data.x.slice_rows(0, 60);
+        let batch = model.explain_batch(&x);
+        assert_eq!(batch.examples.len(), 60);
+        for e in &batch.examples {
+            assert_eq!(e.desired_class, 1 - e.input_class);
+            assert_eq!(e.valid, e.cf_class == e.desired_class);
+        }
+        // Rates are consistent with flags.
+        let v = batch.examples.iter().filter(|e| e.valid).count() as f32 / 60.0;
+        assert!((batch.validity_rate() - v).abs() < 1e-6);
+        assert!(batch.valid_and_feasible_rate() <= batch.validity_rate() + 1e-6);
+        assert!(batch.valid_and_feasible_rate() <= batch.feasibility_rate() + 1e-6);
+    }
+
+    #[test]
+    fn manifold_points_align_with_explanations() {
+        let (data, model) = trained_model();
+        let x = data.x.slice_rows(0, 40);
+        let (latents, labels) = model.manifold_points(&x);
+        assert_eq!(latents.rows(), 40);
+        assert_eq!(labels.len(), 40);
+        let batch = model.explain_batch(&x);
+        for (l, e) in labels.iter().zip(&batch.examples) {
+            assert_eq!(*l, e.feasible as u8);
+        }
+    }
+
+    #[test]
+    fn format_comparison_is_table_shaped() {
+        let (data, model) = trained_model();
+        let x = data.x.slice_rows(0, 5);
+        let batch = model.explain_batch(&x);
+        let text = format_comparison(&data.schema, &data.encoding, &batch.examples[0]);
+        assert!(text.contains("Features"));
+        assert!(text.contains("x_true"));
+        assert!(text.contains("x_pred"));
+        assert!(text.contains("age"));
+        // one line per feature + header + target row
+        assert_eq!(text.lines().count(), data.schema.num_features() + 2);
+    }
+
+    #[test]
+    fn tensors_round_trip_from_batch() {
+        let (data, model) = trained_model();
+        let x = data.x.slice_rows(0, 8);
+        let batch = model.explain_batch(&x);
+        assert_eq!(batch.input_tensor().shape(), (8, data.width()));
+        assert_eq!(batch.cf_tensor().shape(), (8, data.width()));
+        assert_eq!(batch.input_tensor().row_slice(3), x.row_slice(3));
+    }
+}

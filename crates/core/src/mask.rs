@@ -1,0 +1,171 @@
+//! Immutable-attribute handling (§III-C, *Immutable Attributes*).
+//!
+//! The paper disables immutable attributes (race, gender/sex) for the VAE
+//! and re-incorporates them in the final prediction. We realize that as a
+//! column mask applied to the generator's *delta*:
+//!
+//! ```text
+//! x_cf = x + m ⊙ (recon − x),   m ∈ {0, 1}^width, m = 0 on immutable cols
+//! ```
+//!
+//! which (a) forces immutable columns to their original values in every
+//! counterfactual and (b) blocks gradient flow into the decoder through
+//! those columns — the differentiable equivalent of "disabled for the
+//! training of the VAE".
+
+use cfx_data::{Encoding, Schema};
+use cfx_tensor::{Tape, Tensor, Var};
+
+/// A 0/1 column mask over the encoded feature space (1 = mutable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImmutableMask {
+    mask_row: Vec<f32>,
+}
+
+impl ImmutableMask {
+    /// Builds the mask from the schema's immutable flags.
+    pub fn from_schema(schema: &Schema, encoding: &Encoding) -> Self {
+        let mut mask_row = vec![1.0f32; encoding.width];
+        for col in encoding.immutable_columns(schema) {
+            mask_row[col] = 0.0;
+        }
+        ImmutableMask { mask_row }
+    }
+
+    /// A no-op mask (everything mutable) of the given width — used when
+    /// `mask_immutable` is disabled in the ablation.
+    pub fn all_mutable(width: usize) -> Self {
+        ImmutableMask { mask_row: vec![1.0; width] }
+    }
+
+    /// Encoded width the mask covers.
+    pub fn width(&self) -> usize {
+        self.mask_row.len()
+    }
+
+    /// Number of masked (immutable) columns.
+    pub fn frozen_count(&self) -> usize {
+        self.mask_row.iter().filter(|&&m| m == 0.0).count()
+    }
+
+    /// Whether column `c` is mutable.
+    pub fn is_mutable(&self, c: usize) -> bool {
+        self.mask_row[c] != 0.0
+    }
+
+    /// Applies the mask on the tape: `x + m ⊙ (recon − x)` for a batch of
+    /// `rows` rows.
+    pub fn apply_tape(&self, tape: &mut Tape, x: Var, recon: Var) -> Var {
+        let rows = tape.value(x).rows();
+        let mask = self.batch_mask(rows);
+        let m = tape.leaf(mask);
+        let delta = tape.sub(recon, x);
+        let masked = tape.mul(delta, m);
+        tape.add(x, masked)
+    }
+
+    /// Plain-tensor version for inference.
+    pub fn apply(&self, x: &Tensor, recon: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), recon.shape(), "shape mismatch");
+        assert_eq!(x.cols(), self.width(), "mask width");
+        let mut out = recon.clone();
+        for r in 0..x.rows() {
+            let xr = x.row_slice(r);
+            let or = out.row_slice_mut(r);
+            for (c, &m) in self.mask_row.iter().enumerate() {
+                if m == 0.0 {
+                    or[c] = xr[c];
+                }
+            }
+        }
+        out
+    }
+
+    fn batch_mask(&self, rows: usize) -> Tensor {
+        let mut data = Vec::with_capacity(rows * self.width());
+        for _ in 0..rows {
+            data.extend_from_slice(&self.mask_row);
+        }
+        Tensor::from_vec(rows, self.width(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_data::{EncodedDataset, Feature, RawDataset, Value};
+
+    fn fixture() -> (Schema, Encoding) {
+        let schema = Schema {
+            features: vec![
+                Feature::numeric("age", 0.0, 100.0),
+                Feature::categorical("race", &["a", "b", "c"]).frozen(),
+                Feature::binary("gender").frozen(),
+            ],
+            target: "t".into(),
+            positive_class: "p".into(),
+            negative_class: "n".into(),
+        };
+        let raw = RawDataset {
+            schema: schema.clone(),
+            rows: vec![
+                vec![Value::Num(0.0), Value::Cat(0), Value::Bin(false)],
+                vec![Value::Num(100.0), Value::Cat(2), Value::Bin(true)],
+            ],
+            labels: vec![false, true],
+        };
+        let enc = EncodedDataset::from_raw(&raw);
+        (schema, enc.encoding)
+    }
+
+    #[test]
+    fn mask_covers_immutable_spans() {
+        let (schema, enc) = fixture();
+        let m = ImmutableMask::from_schema(&schema, &enc);
+        assert_eq!(m.width(), 5);
+        assert_eq!(m.frozen_count(), 4); // race one-hot (3) + gender (1)
+        assert!(m.is_mutable(0));
+        assert!(!m.is_mutable(1));
+        assert!(!m.is_mutable(4));
+    }
+
+    #[test]
+    fn apply_restores_immutable_columns() {
+        let (schema, enc) = fixture();
+        let m = ImmutableMask::from_schema(&schema, &enc);
+        let x = Tensor::from_vec(1, 5, vec![0.5, 1.0, 0.0, 0.0, 1.0]);
+        let recon = Tensor::from_vec(1, 5, vec![0.9, 0.0, 0.9, 0.1, 0.0]);
+        let cf = m.apply(&x, &recon);
+        assert_eq!(cf.as_slice(), &[0.9, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tape_apply_matches_plain_and_blocks_grads() {
+        let (schema, enc) = fixture();
+        let m = ImmutableMask::from_schema(&schema, &enc);
+        let x = Tensor::from_vec(1, 5, vec![0.5, 1.0, 0.0, 0.0, 1.0]);
+        let recon = Tensor::from_vec(1, 5, vec![0.9, 0.0, 0.9, 0.1, 0.0]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let rv = tape.leaf(recon.clone());
+        let cf = m.apply_tape(&mut tape, xv, rv);
+        assert_eq!(
+            tape.value(cf).as_slice(),
+            m.apply(&x, &recon).as_slice()
+        );
+        let s = tape.sum(cf);
+        tape.backward(s);
+        let g = tape.grad(rv);
+        // Gradient reaches the mutable column only.
+        assert_eq!(g.as_slice(), &[1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_mutable_is_identity() {
+        let m = ImmutableMask::all_mutable(3);
+        let x = Tensor::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
+        let recon = Tensor::from_vec(1, 3, vec![0.9, 0.8, 0.7]);
+        assert_eq!(m.apply(&x, &recon), recon);
+        assert_eq!(m.frozen_count(), 0);
+    }
+}

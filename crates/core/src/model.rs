@@ -1,0 +1,519 @@
+//! The paper's counterfactual generator: a conditional VAE trained with
+//! the four-part loss, against a frozen black-box classifier (Fig. 4).
+
+use crate::config::{ConstraintMode, FeasibleCfConfig};
+use crate::constraints::Constraint;
+use crate::loss::cf_loss;
+use crate::mask::ImmutableMask;
+use cfx_data::{DatasetId, EncodedDataset};
+use cfx_models::{BlackBox, Cvae};
+use cfx_tensor::stable_sigmoid;
+use cfx_tensor::Activation;
+use cfx_tensor::init::randn_tensor;
+use cfx_tensor::{clip_grad_norm, Adam, Module, Optimizer, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mean loss components over one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Weighted total loss.
+    pub total: f32,
+    /// Hinge validity term.
+    pub validity: f32,
+    /// L1 proximity term.
+    pub proximity: f32,
+    /// Constraint penalty term.
+    pub feasibility: f32,
+    /// Sparsity term.
+    pub sparsity: f32,
+    /// KL term.
+    pub kl: f32,
+}
+
+/// The feasible-counterfactual model: VAE generator + frozen black box +
+/// causal constraints + immutable mask.
+#[derive(Debug, Clone)]
+pub struct FeasibleCfModel {
+    vae: Cvae,
+    blackbox: BlackBox,
+    constraints: Vec<Constraint>,
+    mask: ImmutableMask,
+    config: FeasibleCfConfig,
+}
+
+impl FeasibleCfModel {
+    /// Creates an untrained model over an encoded dataset.
+    ///
+    /// `blackbox` should already be trained (the paper trains it first and
+    /// freezes it); `constraints` are the active feasibility constraints
+    /// for the configured [`ConstraintMode`].
+    pub fn new(
+        data: &EncodedDataset,
+        blackbox: BlackBox,
+        constraints: Vec<Constraint>,
+        config: FeasibleCfConfig,
+    ) -> Self {
+        assert_eq!(
+            blackbox.input_dim(),
+            data.width(),
+            "black box width must match the encoded data"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Decoder emits logits; sigmoid is applied explicitly so the BCE
+        // reconstruction anchor (see CfLossWeights::recon_bce) can work on
+        // the pre-activation values.
+        let mut vae = Cvae::new_with_output(
+            data.width(),
+            config.latent_dim,
+            config.dropout,
+            Activation::Identity,
+            &mut rng,
+        );
+        // The paper applies 30 % dropout to every layer; through the
+        // 12-unit encoder trunk that much input noise makes the posterior
+        // collapse to the prior and the generator degenerate to one
+        // prototype per class (no per-individual counterfactuals, no
+        // latent manifold). We keep Table II's dropout on the decoder and
+        // disable it on the encoder — the minimal deviation that preserves
+        // the architecture while keeping the latent code informative.
+        vae.encoder.keep_prob = 1.0;
+        let mask = if config.mask_immutable {
+            ImmutableMask::from_schema(&data.schema, &data.encoding)
+        } else {
+            ImmutableMask::all_mutable(data.width())
+        };
+        FeasibleCfModel { vae, blackbox, constraints, mask, config }
+    }
+
+    /// Builds the paper's constraints for a dataset/mode pair (§IV-E):
+    /// unary on `age`/`lsat`, binary on `education⇒age`/`tier⇒lsat`.
+    pub fn paper_constraints(
+        dataset: DatasetId,
+        data: &EncodedDataset,
+        mode: ConstraintMode,
+        c1: f32,
+        c2: f32,
+    ) -> Vec<Constraint> {
+        match mode {
+            ConstraintMode::Unary => vec![Constraint::unary(
+                &data.schema,
+                &data.encoding,
+                dataset.unary_constraint_feature(),
+            )],
+            ConstraintMode::Binary => {
+                let (cause, effect) = dataset.binary_constraint_features();
+                vec![Constraint::binary(
+                    &data.schema,
+                    &data.encoding,
+                    cause,
+                    effect,
+                    c1,
+                    c2,
+                )]
+            }
+        }
+    }
+
+    /// Trains the VAE on `x` (encoded training rows); the black box stays
+    /// frozen. Returns per-epoch mean loss components.
+    ///
+    /// Epochs are class-balanced: both flip directions (0→1 recourse and
+    /// 1→0) appear equally often, with the minority direction oversampled.
+    /// Without this, on skewed benchmarks like Law School (≈80 % positive)
+    /// the dominant direction swamps the hinge term and the generator
+    /// never learns the recourse flips the evaluation asks for.
+    pub fn fit(&mut self, x: &Tensor) -> Vec<EpochStats> {
+        self.fit_with(x, |_, _| {})
+    }
+
+    /// Like [`fit`](Self::fit), invoking `on_epoch(epoch_index, stats)`
+    /// after every epoch — the hook for early stopping, logging, or
+    /// validation monitoring (pair it with
+    /// [`validation_stats`](Self::validation_stats)).
+    pub fn fit_with(
+        &mut self,
+        x: &Tensor,
+        mut on_epoch: impl FnMut(usize, &EpochStats),
+    ) -> Vec<EpochStats> {
+        let n = x.rows();
+        assert!(n > 0, "cannot fit on an empty dataset");
+        let cfg = self.config.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17);
+        let mut opt = Adam::with_lr(cfg.learning_rate);
+        let preds = self.blackbox.predict(x);
+        let group0: Vec<usize> =
+            (0..n).filter(|&r| preds[r] == 0).collect();
+        let group1: Vec<usize> =
+            (0..n).filter(|&r| preds[r] == 1).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            let order = balanced_order(&group0, &group1, n, &mut rng);
+            // KL annealing: ramp the KL weight over the first half of
+            // training (the standard cure for posterior collapse — with a
+            // full-strength KL from step one, the narrow Table II encoder
+            // gives up on the latent code and the generator degenerates to
+            // one prototype per class).
+            let anneal =
+                ((epoch as f32 + 1.0) / (cfg.epochs as f32 / 2.0)).min(1.0);
+            let mut sums = [0.0f32; 6];
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let xb = x.gather_rows(chunk);
+                let stats = self.train_batch(&xb, &mut opt, &mut rng, anneal);
+                sums[0] += stats.total;
+                sums[1] += stats.validity;
+                sums[2] += stats.proximity;
+                sums[3] += stats.feasibility;
+                sums[4] += stats.sparsity;
+                sums[5] += stats.kl;
+                batches += 1;
+            }
+            let b = batches.max(1) as f32;
+            let stats = EpochStats {
+                total: sums[0] / b,
+                validity: sums[1] / b,
+                proximity: sums[2] / b,
+                feasibility: sums[3] / b,
+                sparsity: sums[4] / b,
+                kl: sums[5] / b,
+            };
+            on_epoch(epoch, &stats);
+            history.push(stats);
+        }
+        history
+    }
+
+    /// Generation-quality snapshot on a held-out set: the fraction of
+    /// counterfactuals that flip to the desired class and the fraction
+    /// satisfying every constraint. Use inside a
+    /// [`fit_with`](Self::fit_with) callback for validation-based early
+    /// stopping.
+    pub fn validation_stats(&self, x_val: &Tensor) -> (f32, f32) {
+        let batch = self.explain_batch(x_val);
+        (batch.validity_rate(), batch.feasibility_rate())
+    }
+
+    fn train_batch(
+        &mut self,
+        xb: &Tensor,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+        kl_anneal: f32,
+    ) -> EpochStats {
+        let n = xb.rows();
+        // Desired class = opposite of the black box's current prediction.
+        let preds = self.blackbox.predict(xb);
+        let desired: Vec<f32> =
+            preds.iter().map(|&p| 1.0 - p as f32).collect();
+        let cond = Tensor::from_vec(n, 1, desired.clone());
+        let desired_pm1 = Tensor::from_vec(
+            n,
+            1,
+            desired.iter().map(|&d| 2.0 * d - 1.0).collect(),
+        );
+        let eps = randn_tensor(n, self.vae.latent_dim(), rng);
+
+        let mut tape = Tape::new();
+        let xv = tape.leaf(xb.clone());
+        let mut pv = Vec::new();
+        let out =
+            self.vae.forward(&mut tape, xv, &cond, &eps, &mut pv, true, rng);
+        let probs = tape.sigmoid(out.recon);
+        let x_cf = self.mask.apply_tape(&mut tape, xv, probs);
+        let logits = self.blackbox.forward_tape(&mut tape, x_cf);
+        let parts = cf_loss(
+            &mut tape,
+            xv,
+            x_cf,
+            logits,
+            &desired_pm1,
+            out.mu,
+            out.logvar,
+            &self.constraints,
+            &{
+                let mut w = self.config.weights;
+                w.kl *= kl_anneal;
+                w
+            },
+            Some(out.recon),
+        );
+        let stats = EpochStats {
+            total: tape.value(parts.total).item(),
+            validity: tape.value(parts.validity).item(),
+            proximity: tape.value(parts.proximity).item(),
+            feasibility: tape.value(parts.feasibility).item(),
+            sparsity: tape.value(parts.sparsity).item(),
+            kl: tape.value(parts.kl).item(),
+        };
+        tape.backward(parts.total);
+        let mut grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
+        clip_grad_norm(&mut grads, 5.0);
+        opt.step(&mut self.vae, &grads);
+        stats
+    }
+
+    /// Generates one counterfactual per row of `x`, deterministically
+    /// (posterior-mean decode): encode under the desired class, decode,
+    /// restore immutable columns.
+    pub fn counterfactuals(&self, x: &Tensor) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xCF);
+        self.counterfactuals_with_noise(x, 0.0, &mut rng)
+    }
+
+    /// Stochastic variant: perturbs the latent code by `noise_scale`
+    /// standard deviations ("we perturbed the output of the encoder to the
+    /// decoder", §III-C).
+    pub fn counterfactuals_with_noise(
+        &self,
+        x: &Tensor,
+        noise_scale: f32,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let cond = self.desired_cond(x);
+        let recon =
+            self.vae.generate(x, &cond, noise_scale, rng).map(stable_sigmoid);
+        self.mask.apply(x, &recon)
+    }
+
+    /// The `(n, 1)` desired-class column for a batch (opposite of the
+    /// black box's prediction).
+    pub fn desired_cond(&self, x: &Tensor) -> Tensor {
+        let preds = self.blackbox.predict(x);
+        Tensor::from_vec(
+            x.rows(),
+            1,
+            preds.iter().map(|&p| 1.0 - p as f32).collect(),
+        )
+    }
+
+    /// Posterior means of `x` under the desired class — the latent points
+    /// used for the manifold analysis (Fig. 5/6).
+    pub fn latent_mu(&self, x: &Tensor) -> Tensor {
+        let cond = self.desired_cond(x);
+        let (mu, _) = self.vae.encode(x, &cond);
+        mu
+    }
+
+    /// The frozen classifier.
+    pub fn blackbox(&self) -> &BlackBox {
+        &self.blackbox
+    }
+
+    /// Active constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The generator network.
+    pub fn vae(&self) -> &Cvae {
+        &self.vae
+    }
+
+    /// Immutable-column mask in effect.
+    pub fn mask(&self) -> &ImmutableMask {
+        &self.mask
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &FeasibleCfConfig {
+        &self.config
+    }
+}
+
+/// Builds a length-`n` epoch order drawing alternately from the two
+/// prediction groups (shuffled, minority oversampled by cycling). Falls
+/// back to a plain shuffle when either group is empty.
+fn balanced_order(
+    group0: &[usize],
+    group1: &[usize],
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    if group0.is_empty() || group1.is_empty() {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        return order;
+    }
+    let mut g0 = group0.to_vec();
+    let mut g1 = group1.to_vec();
+    g0.shuffle(rng);
+    g1.shuffle(rng);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                g0[(i / 2) % g0.len()]
+            } else {
+                g1[(i / 2) % g1.len()]
+            }
+        })
+        .collect()
+}
+
+impl Module for FeasibleCfModel {
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.vae.visit_params(f);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.vae.visit_params_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_models::BlackBoxConfig;
+
+    fn small_setup() -> (EncodedDataset, BlackBox) {
+        let raw = DatasetId::Adult.generate_clean(1200, 3);
+        let data = EncodedDataset::from_raw(&raw);
+        let bb_cfg = BlackBoxConfig { epochs: 10, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &bb_cfg);
+        bb.train(&data.x, &data.y, &bb_cfg);
+        (data, bb)
+    }
+
+    fn quick_config(mode: ConstraintMode) -> FeasibleCfConfig {
+        FeasibleCfConfig::paper(DatasetId::Adult, mode)
+            .with_epochs(6)
+            .with_batch_size(256)
+    }
+
+    #[test]
+    fn fit_reduces_total_loss() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Unary);
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult,
+            &data,
+            ConstraintMode::Unary,
+            cfg.c1,
+            cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        let history = model.fit(&data.x);
+        let first = history.first().unwrap().total;
+        let last = history.last().unwrap().total;
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn counterfactuals_keep_immutable_columns() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Unary);
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult,
+            &data,
+            ConstraintMode::Unary,
+            cfg.c1,
+            cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        model.fit(&data.x.slice_rows(0, 512));
+        let x = data.x.slice_rows(0, 20);
+        let cf = model.counterfactuals(&x);
+        let frozen = data.encoding.immutable_columns(&data.schema);
+        for r in 0..x.rows() {
+            for &c in &frozen {
+                assert_eq!(
+                    x[(r, c)],
+                    cf[(r, c)],
+                    "immutable column {c} changed in row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_yields_feasible_and_valid_counterfactuals() {
+        // Needs a few thousand rows to converge (the untrained model is
+        // not a meaningful baseline: a random decoder emits near-constant
+        // ~0.5 outputs that trivially satisfy "age does not decrease").
+        let raw = DatasetId::Adult.generate_clean(4_000, 3);
+        let data = EncodedDataset::from_raw(&raw);
+        let bb_cfg = BlackBoxConfig { epochs: 12, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &bb_cfg);
+        bb.train(&data.x, &data.y, &bb_cfg);
+        let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+            .with_step_budget_of(DatasetId::Adult, 4_000);
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult,
+            &data,
+            ConstraintMode::Unary,
+            cfg.c1,
+            cfg.c2,
+        );
+        let mut trained = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        trained.fit(&data.x);
+
+        // Evaluate in the recourse direction (negative-class inputs).
+        let preds = trained.blackbox().predict(&data.x);
+        let denied: Vec<usize> =
+            (0..data.len()).filter(|&r| preds[r] == 0).take(150).collect();
+        let x = data.x.gather_rows(&denied);
+        let batch = trained.explain_batch(&x);
+        assert!(
+            batch.feasibility_rate() > 0.7,
+            "trained feasibility too low: {}",
+            batch.feasibility_rate()
+        );
+        assert!(
+            batch.validity_rate() > 0.6,
+            "trained validity too low: {}",
+            batch.validity_rate()
+        );
+    }
+
+    #[test]
+    fn fit_with_invokes_callback_every_epoch() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Unary).with_epochs(3);
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult,
+            &data,
+            ConstraintMode::Unary,
+            cfg.c1,
+            cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        let mut seen = Vec::new();
+        let history = model.fit_with(&data.x.slice_rows(0, 512), |e, s| {
+            seen.push((e, s.total));
+        });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[2].0, 2);
+        for ((_, t), h) in seen.iter().zip(&history) {
+            assert_eq!(*t, h.total);
+        }
+        // Validation snapshot runs end-to-end.
+        let (v, f) = model.validation_stats(&data.x.slice_rows(0, 50));
+        assert!((0.0..=1.0).contains(&v));
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn desired_cond_flips_predictions() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Unary);
+        let model = FeasibleCfModel::new(&data, bb, vec![], cfg);
+        let x = data.x.slice_rows(0, 50);
+        let preds = model.blackbox().predict(&x);
+        let cond = model.desired_cond(&x);
+        for (p, c) in preds.iter().zip(cond.as_slice()) {
+            assert_eq!(*c, 1.0 - *p as f32);
+        }
+    }
+
+    #[test]
+    fn latent_mu_has_latent_width() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Binary);
+        let model = FeasibleCfModel::new(&data, bb, vec![], cfg.clone());
+        let mu = model.latent_mu(&data.x.slice_rows(0, 10));
+        assert_eq!(mu.shape(), (10, cfg.latent_dim));
+    }
+}

@@ -1,0 +1,243 @@
+//! Latent-path exploration — the "exploration" of the paper's title.
+//!
+//! Beyond a single counterfactual, the latent space supports *paths*: the
+//! straight line from an instance's latent code (under its own class) to
+//! its counterfactual code (under the desired class), decoded step by
+//! step. Each step is a progressively stronger intervention; the first
+//! valid step is the gentlest change that flips the classifier, and the
+//! feasibility flags along the way show where the path leaves the causal
+//! constraints. This is the algorithmic form of Fig. 3's "walk toward the
+//! dense feasible region".
+
+use crate::explain::Counterfactual;
+use crate::model::FeasibleCfModel;
+use cfx_tensor::Tensor;
+
+/// One decoded step of a latent path.
+#[derive(Debug, Clone)]
+pub struct PathStep {
+    /// Interpolation coefficient in `[0, 1]` (0 = input side).
+    pub alpha: f32,
+    /// Decoded, immutability-restored point.
+    pub point: Vec<f32>,
+    /// Black-box class at this step.
+    pub class: u8,
+    /// Whether every active constraint holds vs. the original input.
+    pub feasible: bool,
+}
+
+/// A decoded latent path from an instance toward its counterfactual.
+#[derive(Debug, Clone)]
+pub struct LatentPath {
+    /// The steps, from `alpha = 0` to `alpha = 1`.
+    pub steps: Vec<PathStep>,
+    /// Class of the original instance.
+    pub input_class: u8,
+    /// Desired class.
+    pub desired_class: u8,
+}
+
+impl LatentPath {
+    /// The first step whose class equals the desired class (the gentlest
+    /// flipping intervention), if any.
+    pub fn first_valid(&self) -> Option<&PathStep> {
+        self.steps.iter().find(|s| s.class == self.desired_class)
+    }
+
+    /// The first step that is both valid and feasible, if any.
+    pub fn first_valid_feasible(&self) -> Option<&PathStep> {
+        self.steps
+            .iter()
+            .find(|s| s.class == self.desired_class && s.feasible)
+    }
+
+    /// Fraction of steps satisfying the constraints.
+    pub fn feasible_fraction(&self) -> f32 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().filter(|s| s.feasible).count() as f32
+            / self.steps.len() as f32
+    }
+
+    /// Converts a step into a full [`Counterfactual`] record.
+    pub fn step_as_counterfactual(
+        &self,
+        step: &PathStep,
+        input: &[f32],
+    ) -> Counterfactual {
+        Counterfactual {
+            input: input.to_vec(),
+            cf: step.point.clone(),
+            input_class: self.input_class,
+            desired_class: self.desired_class,
+            cf_class: step.class,
+            valid: step.class == self.desired_class,
+            feasible: step.feasible,
+        }
+    }
+}
+
+impl FeasibleCfModel {
+    /// Decodes the straight latent line from `x`'s code under its own
+    /// class to its code under the desired class, in `steps + 1` points
+    /// (`alpha = 0, 1/steps, …, 1`).
+    ///
+    /// # Panics
+    /// Panics unless `x` is a single row and `steps ≥ 1`.
+    pub fn latent_path(&self, x: &Tensor, steps: usize) -> LatentPath {
+        assert_eq!(x.rows(), 1, "latent_path expects a single row");
+        assert!(steps >= 1, "need at least one step");
+        let input_class = self.blackbox().predict(x)[0];
+        let desired_class = 1 - input_class;
+
+        // Source code: encode under the *input* class (a reconstruction
+        // code); target code: encode under the desired class (the
+        // counterfactual code the generator would decode).
+        let cond_src = Tensor::from_vec(1, 1, vec![input_class as f32]);
+        let cond_dst = Tensor::from_vec(1, 1, vec![desired_class as f32]);
+        let (z_src, _) = self.vae().encode(x, &cond_src);
+        let (z_dst, _) = self.vae().encode(x, &cond_dst);
+
+        let mut path_steps = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let alpha = i as f32 / steps as f32;
+            let z = z_src.zip(&z_dst, |a, b| (1.0 - alpha) * a + alpha * b);
+            // Condition slides with alpha too: early steps decode mostly
+            // "stay", late steps decode "flip".
+            let cond = Tensor::from_vec(
+                1,
+                1,
+                vec![(1.0 - alpha) * input_class as f32
+                    + alpha * desired_class as f32],
+            );
+            let decoded = self
+                .vae()
+                .decode(&z, &cond)
+                .map(cfx_tensor::stable_sigmoid);
+            let point = self.mask().apply(x, &decoded);
+            let class = self.blackbox().predict(&point)[0];
+            let feasible = self
+                .constraints()
+                .iter()
+                .all(|c| c.check(x.row_slice(0), point.row_slice(0)));
+            path_steps.push(PathStep {
+                alpha,
+                point: point.row_slice(0).to_vec(),
+                class,
+                feasible,
+            });
+        }
+        LatentPath { steps: path_steps, input_class, desired_class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConstraintMode, FeasibleCfConfig};
+    use cfx_data::{DatasetId, EncodedDataset};
+    use cfx_models::{BlackBox, BlackBoxConfig};
+    use std::sync::OnceLock;
+
+    fn trained() -> &'static (EncodedDataset, FeasibleCfModel) {
+        static CACHE: OnceLock<(EncodedDataset, FeasibleCfModel)> =
+            OnceLock::new();
+        CACHE.get_or_init(|| {
+            let raw = DatasetId::Adult.generate_clean(3_000, 29);
+            let data = EncodedDataset::from_raw(&raw);
+            let bb_cfg = BlackBoxConfig { epochs: 10, ..Default::default() };
+            let mut bb = BlackBox::new(data.width(), &bb_cfg);
+            bb.train(&data.x, &data.y, &bb_cfg);
+            let cfg =
+                FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+                    .with_step_budget_of(DatasetId::Adult, data.len());
+            let constraints = FeasibleCfModel::paper_constraints(
+                DatasetId::Adult,
+                &data,
+                ConstraintMode::Unary,
+                cfg.c1,
+                cfg.c2,
+            );
+            let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+            model.fit(&data.x);
+            (data, model)
+        })
+    }
+
+    fn denied_row(n: usize) -> Tensor {
+        let (data, model) = trained();
+        let preds = model.blackbox().predict(&data.x);
+        let idx: Vec<usize> =
+            (0..data.len()).filter(|&r| preds[r] == 0).collect();
+        data.x.slice_rows(idx[n % idx.len()], 1)
+    }
+
+    #[test]
+    fn path_has_expected_shape_and_endpoints() {
+        let (_, model) = trained();
+        let x = denied_row(0);
+        let path = model.latent_path(&x, 10);
+        assert_eq!(path.steps.len(), 11);
+        assert_eq!(path.steps[0].alpha, 0.0);
+        assert_eq!(path.steps[10].alpha, 1.0);
+        assert_eq!(path.input_class, 0);
+        assert_eq!(path.desired_class, 1);
+        // The endpoint equals the model's standard counterfactual.
+        let cf = model.counterfactuals(&x);
+        for (a, b) in path.steps[10].point.iter().zip(cf.row_slice(0)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn first_valid_is_no_later_than_the_endpoint_when_cf_flips() {
+        let (_, model) = trained();
+        for i in 0..5 {
+            let x = denied_row(i);
+            let path = model.latent_path(&x, 8);
+            if path.steps.last().unwrap().class == path.desired_class {
+                let first = path.first_valid().expect("endpoint flips");
+                assert!(first.alpha <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_fraction_bounded() {
+        let (_, model) = trained();
+        let x = denied_row(1);
+        let path = model.latent_path(&x, 6);
+        let f = path.feasible_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        // Immutable columns never move along the path.
+        let frozen = {
+            let (data, _) = trained();
+            data.encoding.immutable_columns(&data.schema)
+        };
+        for s in &path.steps {
+            for &c in &frozen {
+                assert_eq!(s.point[c], x[(0, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn step_as_counterfactual_is_consistent() {
+        let (_, model) = trained();
+        let x = denied_row(2);
+        let path = model.latent_path(&x, 4);
+        let step = &path.steps[2];
+        let cf = path.step_as_counterfactual(step, x.row_slice(0));
+        assert_eq!(cf.valid, step.class == path.desired_class);
+        assert_eq!(cf.feasible, step.feasible);
+        assert_eq!(cf.cf, step.point);
+    }
+
+    #[test]
+    #[should_panic(expected = "single row")]
+    fn multi_row_rejected() {
+        let (data, model) = trained();
+        let _ = model.latent_path(&data.x.slice_rows(0, 2), 4);
+    }
+}

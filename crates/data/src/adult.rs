@@ -1,0 +1,289 @@
+//! Synthetic **Adult Income** benchmark.
+//!
+//! Mirrors the UCI Adult dataset as used in the paper's Table I: 48 842 raw
+//! instances, 32 561 after cleaning; 5 categorical, 2 binary and 2 numeric
+//! attributes; target `income` (> 50 k / ≤ 50 k); immutable `race` and
+//! `gender`.
+//!
+//! The structural causal model generates each instance as:
+//!
+//! 1. demographics: `race`, `gender`, `native_us` — exogenous;
+//! 2. `education` — exogenous ordinal draw (skewed toward hs_grad);
+//! 3. `age = min_completion_age(education) + experience`, with experience
+//!    exponentially distributed — **this is the causal edge the paper's
+//!    constraints test**: higher education forces higher age, and age can
+//!    only grow;
+//! 4. `occupation` — depends on education (professionals require degrees);
+//! 5. `workclass`, `marital_status`, `hours_per_week` — weakly dependent
+//!    on occupation/age;
+//! 6. `income` — logistic in education, age, hours, occupation and
+//!    marital status (plus a small gender/race disparity term so the
+//!    immutable attributes are informative, as in the real data).
+
+use crate::schema::{Feature, RawDataset, Schema, Value};
+use crate::synth::{
+    capped_exp, inject_missing, logistic_label, scaled_clean_count,
+    trunc_normal, weighted_choice,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw instance count reported in Table I.
+pub const PAPER_RAW: usize = 48_842;
+/// Cleaned instance count reported in Table I.
+pub const PAPER_CLEAN: usize = 32_561;
+
+/// Education levels, lowest to highest; the ordinal order is the one the
+/// binary constraint `ed↑ ⇒ age↑` compares on.
+pub const EDUCATION_LEVELS: [&str; 8] = [
+    "dropout",
+    "hs_grad",
+    "some_college",
+    "assoc",
+    "bachelors",
+    "masters",
+    "prof_school",
+    "doctorate",
+];
+
+/// Earliest age at which each education level can be completed: 17 for a
+/// dropout, 18 for high school, …, 27+ for a doctorate. This is the ground
+/// truth behind the paper's binary constraint — obtaining a degree costs
+/// years.
+pub const EDUCATION_MIN_AGE: [f32; 8] =
+    [17.0, 18.0, 20.0, 21.0, 22.0, 24.0, 26.0, 27.0];
+
+const WORKCLASS: [&str; 4] = ["private", "self_employed", "government", "other"];
+const MARITAL: [&str; 3] = ["single", "married", "divorced"];
+const OCCUPATION: [&str; 6] = [
+    "blue_collar",
+    "service",
+    "sales",
+    "admin",
+    "white_collar",
+    "professional",
+];
+const RACE: [&str; 5] = ["white", "black", "asian", "amer_indian", "other"];
+
+/// The Adult schema (attribute order is the column order everywhere).
+pub fn schema() -> Schema {
+    Schema {
+        features: vec![
+            Feature::numeric("age", 17.0, 90.0),
+            Feature::numeric("hours_per_week", 1.0, 99.0),
+            Feature::categorical("workclass", &WORKCLASS),
+            Feature::ordinal("education", &EDUCATION_LEVELS),
+            Feature::categorical("marital_status", &MARITAL),
+            Feature::categorical("occupation", &OCCUPATION),
+            Feature::categorical("race", &RACE).frozen(),
+            Feature::binary("gender").frozen(),
+            Feature::binary("native_us"),
+        ],
+        target: "income".into(),
+        positive_class: ">50k".into(),
+        negative_class: "<=50k".into(),
+    }
+}
+
+/// Generates `n_raw` instances with missing values injected so the cleaned
+/// count matches the paper's ratio exactly (32 561 / 48 842 at full size).
+pub fn generate(n_raw: usize, seed: u64) -> RawDataset {
+    let mut ds = generate_clean(n_raw, seed);
+    let clean_target = scaled_clean_count(PAPER_CLEAN, PAPER_RAW, n_raw);
+    inject_missing(&mut ds, n_raw - clean_target.min(n_raw), seed ^ 0xADu64);
+    ds
+}
+
+/// Generates `n` instances with no missing values.
+pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = schema();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (row, label) = sample_instance(&mut rng);
+        rows.push(row);
+        labels.push(label);
+    }
+    let ds = RawDataset { schema, rows, labels };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
+    // Exogenous demographics.
+    let race = weighted_choice(&[0.78, 0.10, 0.06, 0.03, 0.03], rng) as u32;
+    let gender_male = rng.gen::<f32>() < 0.67;
+    let native_us = rng.gen::<f32>() < 0.90;
+
+    // Education: skewed toward hs_grad / some_college, like the real data.
+    let education = weighted_choice(
+        &[0.12, 0.32, 0.22, 0.08, 0.16, 0.06, 0.02, 0.02],
+        rng,
+    );
+
+    // Age is caused by education: completing a level takes years, then
+    // work experience accrues on top.
+    let experience = capped_exp(14.0, 60.0, rng);
+    let age = (EDUCATION_MIN_AGE[education] + experience).clamp(17.0, 90.0);
+
+    // Occupation depends on education: degrees unlock professional work.
+    let occupation = {
+        let e = education as f32 / 7.0;
+        weighted_choice(
+            &[
+                1.2 * (1.0 - e) + 0.1,      // blue_collar
+                0.8 * (1.0 - e) + 0.1,      // service
+                0.5,                         // sales
+                0.6,                         // admin
+                0.4 + 1.0 * e,               // white_collar
+                0.1 + 1.6 * e * e,           // professional
+            ],
+            rng,
+        )
+    };
+
+    let workclass = weighted_choice(
+        &[
+            0.70,
+            if occupation >= 4 { 0.15 } else { 0.08 },
+            0.13,
+            0.05,
+        ],
+        rng,
+    ) as u32;
+
+    // Marriage rate rises with age.
+    let married_w = ((age - 20.0) / 40.0).clamp(0.05, 0.75);
+    let marital = weighted_choice(
+        &[1.0 - married_w, married_w, 0.12 + married_w * 0.2],
+        rng,
+    ) as u32;
+
+    // Hours: professionals and self-employed work longer.
+    let hours_mean = 40.0
+        + if occupation == 5 { 5.0 } else { 0.0 }
+        + if workclass == 1 { 4.0 } else { 0.0 };
+    let hours = trunc_normal(hours_mean, 9.0, 1.0, 99.0, rng);
+
+    // Income: logistic in the causally upstream attributes. Coefficients
+    // chosen so the positive rate lands near the real Adult ≈ 24 %.
+    let logit = -5.2
+        + 0.55 * education as f32
+        + 0.055 * (age - 17.0).min(40.0)
+        + 0.035 * (hours - 40.0)
+        + match occupation {
+            5 => 1.2,
+            4 => 0.8,
+            2 | 3 => 0.2,
+            _ => 0.0,
+        }
+        + if marital == 1 { 1.0 } else { 0.0 }
+        + if gender_male { 0.45 } else { 0.0 }
+        + if race == 0 { 0.15 } else { 0.0 }
+        + if native_us { 0.1 } else { 0.0 };
+    let income_high = logistic_label(logit, rng);
+
+    (
+        vec![
+            Value::Num(age),
+            Value::Num(hours),
+            Value::Cat(workclass),
+            Value::Cat(education as u32),
+            Value::Cat(marital),
+            Value::Cat(occupation as u32),
+            Value::Cat(race),
+            Value::Bin(gender_male),
+            Value::Bin(native_us),
+        ],
+        income_high,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table1_counts() {
+        let s = schema();
+        assert_eq!(s.kind_counts(), (5, 2, 2));
+        assert_eq!(s.immutable_features(), vec!["race", "gender"]);
+        assert_eq!(s.target, "income");
+    }
+
+    #[test]
+    fn cleaned_count_matches_paper_ratio() {
+        let ds = generate(4884, 0);
+        assert_eq!(ds.len(), 4884);
+        let clean = ds.cleaned();
+        let expected = scaled_clean_count(PAPER_CLEAN, PAPER_RAW, 4884);
+        assert_eq!(clean.len(), expected);
+    }
+
+    #[test]
+    fn generated_data_is_valid() {
+        let ds = generate_clean(2000, 1);
+        assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn education_age_causality_holds() {
+        // The generator must satisfy its own causal ground truth: nobody is
+        // younger than the completion age of their education level.
+        let ds = generate_clean(5000, 2);
+        let age_idx = ds.schema.index_of("age");
+        let edu_idx = ds.schema.index_of("education");
+        for row in &ds.rows {
+            let age = row[age_idx].as_num().unwrap();
+            let edu = row[edu_idx].as_cat().unwrap() as usize;
+            assert!(
+                age >= EDUCATION_MIN_AGE[edu] - 1e-3,
+                "age {age} below minimum {} for education {edu}",
+                EDUCATION_MIN_AGE[edu]
+            );
+        }
+    }
+
+    #[test]
+    fn positive_rate_is_plausible() {
+        let ds = generate_clean(20_000, 3);
+        let rate = ds.positive_rate();
+        assert!(
+            (0.15..0.40).contains(&rate),
+            "positive rate {rate} outside the Adult-like band"
+        );
+    }
+
+    #[test]
+    fn education_raises_income_probability() {
+        let ds = generate_clean(30_000, 4);
+        let edu_idx = ds.schema.index_of("education");
+        let mut low = (0usize, 0usize);
+        let mut high = (0usize, 0usize);
+        for (row, &label) in ds.rows.iter().zip(&ds.labels) {
+            let e = row[edu_idx].as_cat().unwrap();
+            if e <= 1 {
+                low.0 += label as usize;
+                low.1 += 1;
+            } else if e >= 4 {
+                high.0 += label as usize;
+                high.1 += 1;
+            }
+        }
+        let p_low = low.0 as f32 / low.1 as f32;
+        let p_high = high.0 as f32 / high.1 as f32;
+        assert!(
+            p_high > p_low + 0.15,
+            "education not predictive: low {p_low}, high {p_high}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(1000, 9);
+        let b = generate(1000, 9);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.labels, b.labels);
+    }
+}

@@ -1,0 +1,281 @@
+//! CSV import/export for raw datasets.
+//!
+//! Export is used by the figure harnesses to dump t-SNE embeddings and
+//! decoded counterfactuals for external plotting. Import ([`parse_raw`])
+//! lets users run the framework on *real* data (e.g. the actual UCI
+//! files) instead of the synthetic generators: provide a schema, and rows
+//! are parsed with level names resolved against it — empty fields and
+//! `?` (UCI's missing marker) become [`Value::Missing`].
+
+use crate::schema::{FeatureKind, RawDataset, Schema, Value};
+use std::fmt::Write as _;
+
+/// Errors raised when parsing a CSV into a [`RawDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// The header row is missing or does not match the schema.
+    Header(String),
+    /// A data row failed to parse.
+    Row {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Header(m) => write!(f, "csv header: {m}"),
+            CsvError::Row { line, message } => {
+                write!(f, "csv line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses one field into a raw value for the given feature kind.
+///
+/// Empty fields and `?` parse as [`Value::Missing`]; categorical fields
+/// accept either a level name or a numeric level index; binary fields
+/// accept `0/1`, `true/false`, `yes/no`.
+pub fn parse_value(kind: &FeatureKind, field: &str) -> Result<Value, String> {
+    let field = field.trim();
+    if field.is_empty() || field == "?" {
+        return Ok(Value::Missing);
+    }
+    match kind {
+        FeatureKind::Numeric { .. } => field
+            .parse::<f32>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad numeric {field:?}: {e}")),
+        FeatureKind::Binary => match field.to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" => Ok(Value::Bin(true)),
+            "0" | "false" | "no" => Ok(Value::Bin(false)),
+            other => Err(format!("bad binary {other:?}")),
+        },
+        FeatureKind::Categorical { levels, .. } => {
+            if let Some(idx) = levels.iter().position(|l| l == field) {
+                return Ok(Value::Cat(idx as u32));
+            }
+            if let Ok(idx) = field.parse::<u32>() {
+                if (idx as usize) < levels.len() {
+                    return Ok(Value::Cat(idx));
+                }
+            }
+            Err(format!("unknown level {field:?}"))
+        }
+    }
+}
+
+/// Parses CSV text (as produced by [`raw_to_csv`], or hand-made with the
+/// same header) into a [`RawDataset`] under the given schema.
+///
+/// The header must list every schema feature in order followed by a
+/// final `label` column (`0`/`1`). Rows with missing values are kept —
+/// `RawDataset::cleaned` drops them, matching the paper's preprocessing.
+pub fn parse_raw(schema: &Schema, text: &str) -> Result<RawDataset, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CsvError::Header("empty input".into()))?;
+    let expected: Vec<&str> = schema
+        .features
+        .iter()
+        .map(|f| f.name.as_str())
+        .chain(std::iter::once("label"))
+        .collect();
+    let got: Vec<&str> = header.split(',').map(str::trim).collect();
+    if got != expected {
+        return Err(CsvError::Header(format!(
+            "expected {expected:?}, got {got:?}"
+        )));
+    }
+
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != schema.num_features() + 1 {
+            return Err(CsvError::Row {
+                line: i + 1,
+                message: format!(
+                    "expected {} fields, got {}",
+                    schema.num_features() + 1,
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(schema.num_features());
+        for (f, field) in schema.features.iter().zip(&fields) {
+            row.push(parse_value(&f.kind, field).map_err(|message| {
+                CsvError::Row { line: i + 1, message }
+            })?);
+        }
+        let label = match fields[schema.num_features()].trim() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(CsvError::Row {
+                    line: i + 1,
+                    message: format!("bad label {other:?}"),
+                })
+            }
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    Ok(RawDataset { schema: schema.clone(), rows, labels })
+}
+
+/// Renders one raw value as a CSV field (level names for categoricals).
+pub fn format_value(kind: &FeatureKind, v: &Value) -> String {
+    match (v, kind) {
+        (Value::Missing, _) => String::new(),
+        (Value::Num(x), _) => format!("{x:.4}"),
+        (Value::Bin(b), _) => if *b { "1" } else { "0" }.to_string(),
+        (Value::Cat(c), FeatureKind::Categorical { levels, .. }) => levels
+            .get(*c as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("level_{c}")),
+        (Value::Cat(c), _) => format!("level_{c}"),
+    }
+}
+
+/// Serializes a raw dataset (with header and a trailing `label` column).
+pub fn raw_to_csv(ds: &RawDataset) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> =
+        ds.schema.features.iter().map(|f| f.name.as_str()).collect();
+    let _ = writeln!(out, "{},label", header.join(","));
+    for (row, &label) in ds.rows.iter().zip(&ds.labels) {
+        let fields: Vec<String> = row
+            .iter()
+            .zip(&ds.schema.features)
+            .map(|(v, f)| format_value(&f.kind, v))
+            .collect();
+        let _ = writeln!(out, "{},{}", fields.join(","), label as u8);
+    }
+    out
+}
+
+/// Serializes labeled 2-D points (e.g. a t-SNE embedding) as
+/// `x,y,label` rows with a header.
+pub fn points_to_csv(points: &[(f32, f32)], labels: &[u8]) -> String {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let mut out = String::from("x,y,label\n");
+    for ((x, y), l) in points.iter().zip(labels) {
+        let _ = writeln!(out, "{x:.5},{y:.5},{l}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Feature, Schema};
+
+    #[test]
+    fn raw_csv_has_header_and_rows() {
+        let schema = Schema {
+            features: vec![
+                Feature::numeric("age", 0.0, 100.0),
+                Feature::ordinal("edu", &["hs", "bs"]),
+                Feature::binary("g"),
+            ],
+            target: "t".into(),
+            positive_class: "p".into(),
+            negative_class: "n".into(),
+        };
+        let ds = RawDataset {
+            schema,
+            rows: vec![vec![Value::Num(30.0), Value::Cat(1), Value::Bin(true)]],
+            labels: vec![true],
+        };
+        let csv = raw_to_csv(&ds);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("age,edu,g,label"));
+        assert_eq!(lines.next(), Some("30.0000,bs,1,1"));
+    }
+
+    #[test]
+    fn missing_renders_empty() {
+        assert_eq!(
+            format_value(&FeatureKind::Binary, &Value::Missing),
+            ""
+        );
+    }
+
+    #[test]
+    fn points_csv_round_shape() {
+        let csv = points_to_csv(&[(1.0, 2.0), (3.0, -4.0)], &[0, 1]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("3.00000,-4.00000,1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn points_csv_checks_lengths() {
+        let _ = points_to_csv(&[(0.0, 0.0)], &[]);
+    }
+
+    #[test]
+    fn csv_round_trips_generated_data() {
+        let ds = crate::DatasetId::Adult.generate(200, 3);
+        let text = raw_to_csv(&ds);
+        let back = parse_raw(&ds.schema, &text).unwrap();
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.rows.len(), ds.rows.len());
+        // Values round-trip up to the 4-decimal numeric formatting.
+        for (a, b) in ds.rows.iter().zip(&back.rows) {
+            for (va, vb) in a.iter().zip(b) {
+                match (va, vb) {
+                    (Value::Num(x), Value::Num(y)) => {
+                        assert!((x - y).abs() < 1e-3)
+                    }
+                    _ => assert_eq!(va, vb),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_value_handles_missing_and_aliases() {
+        assert_eq!(parse_value(&FeatureKind::Binary, "?"), Ok(Value::Missing));
+        assert_eq!(parse_value(&FeatureKind::Binary, ""), Ok(Value::Missing));
+        assert_eq!(
+            parse_value(&FeatureKind::Binary, "yes"),
+            Ok(Value::Bin(true))
+        );
+        let cat = FeatureKind::Categorical {
+            levels: vec!["hs".into(), "bs".into()],
+            ordinal: true,
+        };
+        assert_eq!(parse_value(&cat, "bs"), Ok(Value::Cat(1)));
+        assert_eq!(parse_value(&cat, "1"), Ok(Value::Cat(1)));
+        assert!(parse_value(&cat, "phd").is_err());
+    }
+
+    #[test]
+    fn parse_raw_rejects_bad_header_and_rows() {
+        let ds = crate::DatasetId::LawSchool.generate_clean(5, 0);
+        let text = raw_to_csv(&ds);
+        let bad_header = text.replacen("lsat", "LSAT", 1);
+        assert!(matches!(
+            parse_raw(&ds.schema, &bad_header),
+            Err(CsvError::Header(_))
+        ));
+        let mut bad_row = text.clone();
+        bad_row.push_str("not,enough,fields\n");
+        assert!(matches!(
+            parse_raw(&ds.schema, &bad_row),
+            Err(CsvError::Row { .. })
+        ));
+    }
+}

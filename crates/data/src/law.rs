@@ -1,0 +1,253 @@
+//! Synthetic **Law School** benchmark.
+//!
+//! Mirrors the LSAC National Longitudinal Bar Passage Study as used in the
+//! paper's Table I: 20 798 raw instances, 20 512 after cleaning; 1
+//! categorical, 3 binary and 6 numeric attributes; target `pass_bar`;
+//! immutable `sex`.
+//!
+//! Structural causal model:
+//!
+//! 1. latent academic aptitude `a ~ N(0, 1)`;
+//! 2. `lsat` and `ugpa` load on aptitude with independent noise;
+//! 3. `tier` (school selectivity 1–6) is **caused by** `lsat`/`ugpa` —
+//!    selective schools admit high scorers. This is the edge behind the
+//!    paper's binary constraint: moving to a higher tier requires a higher
+//!    LSAT (`tier↑ ⇒ lsat↑`), and the unary constraint `lsat↑` (a retaken
+//!    standardized score is expected not to drop in a recourse scenario);
+//! 4. law-school grades `zgpa`/`zfygpa` load on aptitude and tier;
+//!    `decile` is the within-school rank implied by `zgpa`;
+//! 5. `pass_bar` — logistic in lsat, grades, tier and full-time status,
+//!    with a high base rate (the real study's pass rate is ≈ 95 %; we keep
+//!    it high but with enough negatives to train on).
+
+use crate::schema::{Feature, RawDataset, Schema, Value};
+use crate::synth::{
+    inject_missing, logistic_label, randn, scaled_clean_count, trunc_normal,
+    weighted_choice,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw instance count reported in Table I.
+pub const PAPER_RAW: usize = 20_798;
+/// Cleaned instance count reported in Table I.
+pub const PAPER_CLEAN: usize = 20_512;
+
+const RACE: [&str; 8] = [
+    "white", "black", "hispanic", "asian", "amer_indian", "mexican",
+    "puertorican", "other",
+];
+
+/// The Law School schema: 6 numeric + 3 binary + 1 categorical.
+pub fn schema() -> Schema {
+    Schema {
+        features: vec![
+            Feature::numeric("lsat", 10.0, 48.0),
+            Feature::numeric("ugpa", 1.0, 4.0),
+            Feature::numeric("zgpa", -3.5, 3.5),
+            Feature::numeric("zfygpa", -3.5, 3.5),
+            Feature::numeric("tier", 1.0, 6.0),
+            Feature::numeric("decile", 1.0, 10.0),
+            Feature::binary("sex").frozen(),
+            Feature::binary("fulltime"),
+            Feature::binary("fam_inc_high"),
+            Feature::categorical("race", &RACE),
+        ],
+        target: "pass_bar".into(),
+        positive_class: "pass".into(),
+        negative_class: "fail".into(),
+    }
+}
+
+/// Generates `n_raw` instances with missing values injected so the cleaned
+/// count matches the paper's ratio (20 512 / 20 798 at full size).
+pub fn generate(n_raw: usize, seed: u64) -> RawDataset {
+    let mut ds = generate_clean(n_raw, seed);
+    let clean_target = scaled_clean_count(PAPER_CLEAN, PAPER_RAW, n_raw);
+    inject_missing(&mut ds, n_raw - clean_target.min(n_raw), seed ^ 0x1A3);
+    ds
+}
+
+/// Generates `n` instances with no missing values.
+pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = schema();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (row, label) = sample_instance(&mut rng);
+        rows.push(row);
+        labels.push(label);
+    }
+    let ds = RawDataset { schema, rows, labels };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+/// Minimum LSAT plausibly admitted at each tier (index 0 unused; tiers are
+/// 1-based). This is the generator-side ground truth for the binary
+/// constraint `tier↑ ⇒ lsat↑`.
+pub const TIER_MIN_LSAT: [f32; 7] = [0.0, 10.0, 22.0, 27.0, 31.0, 35.0, 39.0];
+
+fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
+    let sex_male = rng.gen::<f32>() < 0.56;
+    let fam_inc_high = rng.gen::<f32>() < 0.35;
+    let race = weighted_choice(
+        &[0.84, 0.06, 0.03, 0.03, 0.01, 0.01, 0.01, 0.01],
+        rng,
+    ) as u32;
+
+    // Latent aptitude (shifted slightly by family income, a proxy for
+    // educational resources).
+    let aptitude = randn(rng) + if fam_inc_high { 0.3 } else { 0.0 };
+
+    let lsat = (36.0 + 5.0 * aptitude + 2.0 * randn(rng)).clamp(10.0, 48.0);
+    let ugpa = (3.2 + 0.3 * aptitude + 0.25 * randn(rng)).clamp(1.0, 4.0);
+
+    // Tier is caused by admission scores: pick the highest tier whose LSAT
+    // floor the candidate clears, minus an occasional step of self-selection.
+    let mut tier = 1usize;
+    for t in (1..=6).rev() {
+        if lsat >= TIER_MIN_LSAT[t] {
+            tier = t;
+            break;
+        }
+    }
+    if tier > 1 && rng.gen::<f32>() < 0.35 {
+        tier -= 1; // some strong candidates attend less selective schools
+    }
+
+    let fulltime = rng.gen::<f32>() < 0.88;
+
+    // Law-school grades: aptitude helps, attending a more selective school
+    // hurts the curve slightly (stronger peers).
+    let zgpa = (0.8 * aptitude - 0.12 * (tier as f32 - 3.0) + 0.6 * randn(rng))
+        .clamp(-3.5, 3.5);
+    let zfygpa = (0.8 * zgpa + 0.4 * randn(rng)).clamp(-3.5, 3.5);
+    // Decile = coarse within-school rank from zgpa (1 = bottom, 10 = top).
+    let decile = trunc_normal(5.5 + 2.2 * zgpa, 0.8, 1.0, 10.0, rng).round();
+
+    let logit = 1.1
+        + 0.13 * (lsat - 36.0)
+        + 0.9 * zgpa
+        + 0.35 * (ugpa - 3.2)
+        + 0.15 * (tier as f32 - 3.0)
+        + if fulltime { 0.4 } else { 0.0 };
+    let pass = logistic_label(logit, rng);
+
+    (
+        vec![
+            Value::Num(lsat),
+            Value::Num(ugpa),
+            Value::Num(zgpa),
+            Value::Num(zfygpa),
+            Value::Num(tier as f32),
+            Value::Num(decile),
+            Value::Bin(sex_male),
+            Value::Bin(fulltime),
+            Value::Bin(fam_inc_high),
+            Value::Cat(race),
+        ],
+        pass,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table1_counts() {
+        let s = schema();
+        assert_eq!(s.num_features(), 10);
+        assert_eq!(s.kind_counts(), (1, 3, 6));
+        assert_eq!(s.immutable_features(), vec!["sex"]);
+        assert_eq!(s.target, "pass_bar");
+    }
+
+    #[test]
+    fn cleaned_count_matches_paper_ratio() {
+        let ds = generate(2080, 0);
+        let expected = scaled_clean_count(PAPER_CLEAN, PAPER_RAW, 2080);
+        assert_eq!(ds.cleaned().len(), expected);
+    }
+
+    #[test]
+    fn generated_data_is_valid() {
+        let ds = generate_clean(2000, 1);
+        assert!(ds.validate().is_ok(), "{:?}", ds.validate());
+    }
+
+    #[test]
+    fn tier_lsat_causality_holds() {
+        // Tier assignment must respect the LSAT floor except for the
+        // single self-selection step downward.
+        let ds = generate_clean(5000, 2);
+        let lsat_idx = ds.schema.index_of("lsat");
+        let tier_idx = ds.schema.index_of("tier");
+        for row in &ds.rows {
+            let lsat = row[lsat_idx].as_num().unwrap();
+            let tier = row[tier_idx].as_num().unwrap() as usize;
+            assert!(
+                lsat >= TIER_MIN_LSAT[tier] - 1e-3
+                    || (tier < 6 && lsat >= TIER_MIN_LSAT[tier + 1] - 1e-3),
+                "tier {tier} with lsat {lsat}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_lsat_increases_with_tier() {
+        let ds = generate_clean(20_000, 3);
+        let lsat_idx = ds.schema.index_of("lsat");
+        let tier_idx = ds.schema.index_of("tier");
+        let mut sums = [0.0f64; 7];
+        let mut counts = [0usize; 7];
+        for row in &ds.rows {
+            let t = row[tier_idx].as_num().unwrap() as usize;
+            sums[t] += row[lsat_idx].as_num().unwrap() as f64;
+            counts[t] += 1;
+        }
+        let mut prev = 0.0;
+        for t in 1..=6 {
+            if counts[t] < 30 {
+                continue;
+            }
+            let mean = sums[t] / counts[t] as f64;
+            assert!(mean > prev, "tier {t} mean {mean} ≤ previous {prev}");
+            prev = mean;
+        }
+    }
+
+    #[test]
+    fn pass_rate_is_high_like_lsac() {
+        let ds = generate_clean(20_000, 4);
+        let rate = ds.positive_rate();
+        assert!((0.70..0.95).contains(&rate), "pass rate {rate}");
+    }
+
+    #[test]
+    fn lsat_predicts_passing() {
+        let ds = generate_clean(20_000, 5);
+        let lsat_idx = ds.schema.index_of("lsat");
+        let (mut lo, mut hi) = ((0usize, 0usize), (0usize, 0usize));
+        for (row, &label) in ds.rows.iter().zip(&ds.labels) {
+            let l = row[lsat_idx].as_num().unwrap();
+            if l < 30.0 {
+                lo.0 += label as usize;
+                lo.1 += 1;
+            } else if l > 40.0 {
+                hi.0 += label as usize;
+                hi.1 += 1;
+            }
+        }
+        let p_lo = lo.0 as f32 / lo.1.max(1) as f32;
+        let p_hi = hi.0 as f32 / hi.1.max(1) as f32;
+        assert!(p_hi > p_lo + 0.1, "lsat uninformative: {p_lo} vs {p_hi}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate(1000, 6).rows, generate(1000, 6).rows);
+    }
+}

@@ -1,0 +1,334 @@
+//! Preprocessing pipeline matching the paper's §IV-C: drop rows with
+//! missing values, min-max normalize continuous features to `[0, 1]`,
+//! one-hot encode categoricals, and map binaries to 0/1.
+//!
+//! [`Encoding`] is the fitted transform; it also knows how to *invert*
+//! itself so generated counterfactual rows (continuous vectors in encoded
+//! space) can be decoded back to human-readable attribute values, as the
+//! paper does in its Table V example.
+
+use crate::schema::{FeatureKind, RawDataset, Schema, Value};
+use cfx_tensor::Tensor;
+
+/// Where a feature lives in the encoded vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSpan {
+    /// First encoded column of the feature.
+    pub start: usize,
+    /// Number of encoded columns (one-hot width, or 1).
+    pub width: usize,
+}
+
+/// Per-numeric-feature min-max scaler parameters fitted on training data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scaler {
+    /// Minimum observed raw value.
+    pub min: f32,
+    /// Maximum observed raw value.
+    pub max: f32,
+}
+
+impl Scaler {
+    /// Raw → `[0, 1]`.
+    pub fn normalize(&self, x: f32) -> f32 {
+        if self.max > self.min {
+            ((x - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// `[0, 1]` → raw (clamped to the fitted domain).
+    pub fn denormalize(&self, x: f32) -> f32 {
+        self.min + x.clamp(0.0, 1.0) * (self.max - self.min)
+    }
+}
+
+/// A fitted encoder from raw rows to `[0, 1]` vectors and back.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// Span of each feature, indexed like `schema.features`.
+    pub spans: Vec<ColumnSpan>,
+    /// Scaler per feature (`Some` only for numerics).
+    pub scalers: Vec<Option<Scaler>>,
+    /// Total encoded width.
+    pub width: usize,
+}
+
+impl Encoding {
+    /// Fits the encoding on a cleaned dataset (numeric scalers come from
+    /// the observed min/max; categorical widths from the schema).
+    ///
+    /// # Panics
+    /// Panics if the dataset still contains missing values — clean first.
+    pub fn fit(dataset: &RawDataset) -> Encoding {
+        let schema = &dataset.schema;
+        let mut spans = Vec::with_capacity(schema.num_features());
+        let mut scalers = Vec::with_capacity(schema.num_features());
+        let mut offset = 0;
+        for (j, f) in schema.features.iter().enumerate() {
+            let width = f.kind.encoded_width();
+            spans.push(ColumnSpan { start: offset, width });
+            offset += width;
+            if f.kind.is_numeric() {
+                let mut min = f32::INFINITY;
+                let mut max = f32::NEG_INFINITY;
+                for row in &dataset.rows {
+                    let x = row[j]
+                        .as_num()
+                        .expect("fit requires a cleaned dataset");
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                if !min.is_finite() {
+                    // Empty dataset: fall back to the schema domain.
+                    if let FeatureKind::Numeric { min: lo, max: hi } = f.kind {
+                        min = lo;
+                        max = hi;
+                    }
+                }
+                scalers.push(Some(Scaler { min, max }));
+            } else {
+                scalers.push(None);
+            }
+        }
+        Encoding { spans, scalers, width: offset }
+    }
+
+    /// Encodes one raw row into a `[0, 1]` vector.
+    ///
+    /// # Panics
+    /// Panics on missing values or schema mismatch.
+    pub fn encode_row(&self, schema: &Schema, row: &[Value]) -> Vec<f32> {
+        assert_eq!(row.len(), schema.num_features(), "row arity");
+        let mut out = vec![0.0f32; self.width];
+        for (j, (v, f)) in row.iter().zip(&schema.features).enumerate() {
+            let span = self.spans[j];
+            match (v, &f.kind) {
+                (Value::Num(x), FeatureKind::Numeric { .. }) => {
+                    out[span.start] =
+                        self.scalers[j].expect("numeric scaler").normalize(*x);
+                }
+                (Value::Bin(b), FeatureKind::Binary) => {
+                    out[span.start] = if *b { 1.0 } else { 0.0 };
+                }
+                (Value::Cat(c), FeatureKind::Categorical { .. }) => {
+                    out[span.start + *c as usize] = 1.0;
+                }
+                _ => panic!(
+                    "cannot encode value {v:?} for feature {}",
+                    f.name
+                ),
+            }
+        }
+        out
+    }
+
+    /// Decodes an encoded vector back to raw values: denormalizes numerics,
+    /// thresholds binaries at 0.5, and takes the arg-max one-hot level.
+    pub fn decode_row(&self, schema: &Schema, encoded: &[f32]) -> Vec<Value> {
+        assert_eq!(encoded.len(), self.width, "encoded width");
+        schema
+            .features
+            .iter()
+            .enumerate()
+            .map(|(j, f)| {
+                let span = self.spans[j];
+                let cols = &encoded[span.start..span.start + span.width];
+                match &f.kind {
+                    FeatureKind::Numeric { .. } => Value::Num(
+                        self.scalers[j].expect("numeric scaler").denormalize(cols[0]),
+                    ),
+                    FeatureKind::Binary => Value::Bin(cols[0] >= 0.5),
+                    FeatureKind::Categorical { .. } => {
+                        let best = cols
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(b.1)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .map(|(i, _)| i as u32)
+                            .unwrap_or(0);
+                        Value::Cat(best)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Span of the feature named `name`.
+    pub fn span_of(&self, schema: &Schema, name: &str) -> ColumnSpan {
+        self.spans[schema.index_of(name)]
+    }
+
+    /// Encoded column indices belonging to immutable features.
+    pub fn immutable_columns(&self, schema: &Schema) -> Vec<usize> {
+        let mut cols = Vec::new();
+        for (j, f) in schema.features.iter().enumerate() {
+            if f.immutable {
+                let span = self.spans[j];
+                cols.extend(span.start..span.start + span.width);
+            }
+        }
+        cols
+    }
+}
+
+/// A fully preprocessed dataset ready for training: encoded features,
+/// 0/1 labels, and the transform that produced them.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    /// Schema of the underlying raw data.
+    pub schema: Schema,
+    /// Fitted transform.
+    pub encoding: Encoding,
+    /// `(n, width)` feature matrix in `[0, 1]`.
+    pub x: Tensor,
+    /// `(n, 1)` labels in `{0, 1}` (1 = positive class).
+    pub y: Tensor,
+}
+
+impl EncodedDataset {
+    /// Cleans, fits and encodes a raw dataset in one step.
+    pub fn from_raw(raw: &RawDataset) -> EncodedDataset {
+        let clean = raw.cleaned();
+        let encoding = Encoding::fit(&clean);
+        let n = clean.len();
+        let mut xdata = Vec::with_capacity(n * encoding.width);
+        for row in &clean.rows {
+            xdata.extend(encoding.encode_row(&clean.schema, row));
+        }
+        let ydata = clean
+            .labels
+            .iter()
+            .map(|&l| if l { 1.0 } else { 0.0 })
+            .collect();
+        let width = encoding.width;
+        EncodedDataset {
+            schema: clean.schema,
+            encoding,
+            x: Tensor::from_vec(n, width, xdata),
+            y: Tensor::from_vec(n, 1, ydata),
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encoded feature width.
+    pub fn width(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Selects a subset of rows (e.g. a split) as new tensors.
+    pub fn subset(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        (self.x.gather_rows(indices), self.y.gather_rows(indices))
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Feature;
+
+    fn toy() -> RawDataset {
+        let schema = Schema {
+            features: vec![
+                Feature::numeric("age", 17.0, 90.0),
+                Feature::binary("gender").frozen(),
+                Feature::ordinal("education", &["hs", "bs", "ms"]),
+            ],
+            target: "income".into(),
+            positive_class: ">50k".into(),
+            negative_class: "<=50k".into(),
+        };
+        RawDataset {
+            schema,
+            rows: vec![
+                vec![Value::Num(20.0), Value::Bin(false), Value::Cat(0)],
+                vec![Value::Num(60.0), Value::Bin(true), Value::Cat(2)],
+                vec![Value::Num(40.0), Value::Bin(true), Value::Cat(1)],
+            ],
+            labels: vec![false, true, true],
+        }
+    }
+
+    #[test]
+    fn fit_computes_spans_and_scalers() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds);
+        assert_eq!(enc.width, 5);
+        assert_eq!(enc.spans[2], ColumnSpan { start: 2, width: 3 });
+        let s = enc.scalers[0].unwrap();
+        assert_eq!((s.min, s.max), (20.0, 60.0));
+        assert!(enc.scalers[1].is_none());
+    }
+
+    #[test]
+    fn encode_normalizes_and_one_hots() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds);
+        let v = enc.encode_row(&ds.schema, &ds.rows[1]);
+        assert_eq!(v, vec![1.0, 1.0, 0.0, 0.0, 1.0]);
+        let v0 = enc.encode_row(&ds.schema, &ds.rows[0]);
+        assert_eq!(v0, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds);
+        for row in &ds.rows {
+            let v = enc.encode_row(&ds.schema, row);
+            let back = enc.decode_row(&ds.schema, &v);
+            assert_eq!(&back, row);
+        }
+    }
+
+    #[test]
+    fn decode_thresholds_soft_values() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds);
+        // age 0.5 → 40, gender 0.7 → true, education argmax of soft one-hot.
+        let soft = vec![0.5, 0.7, 0.1, 0.8, 0.3];
+        let back = enc.decode_row(&ds.schema, &soft);
+        assert_eq!(back[0], Value::Num(40.0));
+        assert_eq!(back[1], Value::Bin(true));
+        assert_eq!(back[2], Value::Cat(1));
+    }
+
+    #[test]
+    fn immutable_columns_cover_frozen_spans() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds);
+        assert_eq!(enc.immutable_columns(&ds.schema), vec![1]);
+    }
+
+    #[test]
+    fn encoded_dataset_shapes() {
+        let ds = toy();
+        let e = EncodedDataset::from_raw(&ds);
+        assert_eq!(e.x.shape(), (3, 5));
+        assert_eq!(e.y.shape(), (3, 1));
+        assert_eq!(e.y.as_slice(), &[0.0, 1.0, 1.0]);
+        let (xs, ys) = e.subset(&[2, 0]);
+        assert_eq!(xs.rows(), 2);
+        assert_eq!(ys.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn scaler_degenerate_domain() {
+        let s = Scaler { min: 5.0, max: 5.0 };
+        assert_eq!(s.normalize(5.0), 0.0);
+        assert_eq!(s.denormalize(0.7), 5.0);
+    }
+}

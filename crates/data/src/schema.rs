@@ -1,0 +1,418 @@
+//! Schema model for heterogeneous tabular data.
+//!
+//! The paper's three benchmarks mix numeric, binary and categorical
+//! attributes (Table I), mark some attributes immutable (race/gender/sex),
+//! and build causal constraints on attributes with an inherent order (age,
+//! education level, LSAT score, school tier). The schema captures all of
+//! that so the rest of the workspace can stay dataset-agnostic.
+
+/// The type of a feature, mirroring Table I's categorical/binary/numeric
+/// partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureKind {
+    /// A continuous attribute with its raw domain `[min, max]` (used for
+    /// min-max normalization; the generator fills in the true domain).
+    Numeric {
+        /// Smallest raw value of the domain.
+        min: f32,
+        /// Largest raw value of the domain.
+        max: f32,
+    },
+    /// A 0/1 attribute.
+    Binary,
+    /// A discrete attribute with named levels.
+    ///
+    /// `ordinal = true` means the level index carries meaning (e.g.
+    /// education: hs_grad < bachelors < doctorate), which is what the
+    /// paper's binary constraints compare on.
+    Categorical {
+        /// Human-readable level names, in index order.
+        levels: Vec<String>,
+        /// Whether the level order is semantically meaningful.
+        ordinal: bool,
+    },
+}
+
+impl FeatureKind {
+    /// Number of encoded columns this feature expands to
+    /// (one-hot width for categoricals, 1 otherwise).
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            FeatureKind::Categorical { levels, .. } => levels.len(),
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a numeric feature.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, FeatureKind::Numeric { .. })
+    }
+
+    /// Whether this is a categorical feature.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, FeatureKind::Categorical { .. })
+    }
+}
+
+/// One attribute of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Attribute name (e.g. `"age"`).
+    pub name: String,
+    /// Type and domain.
+    pub kind: FeatureKind,
+    /// Whether counterfactuals may change it. The paper freezes `race` and
+    /// `gender`/`sex`: "an individual cannot change its race, even if the
+    /// counterfactual explanation suggested such change" (§III-C).
+    pub immutable: bool,
+}
+
+impl Feature {
+    /// A mutable numeric feature.
+    pub fn numeric(name: &str, min: f32, max: f32) -> Self {
+        Feature {
+            name: name.into(),
+            kind: FeatureKind::Numeric { min, max },
+            immutable: false,
+        }
+    }
+
+    /// A mutable binary feature.
+    pub fn binary(name: &str) -> Self {
+        Feature { name: name.into(), kind: FeatureKind::Binary, immutable: false }
+    }
+
+    /// A mutable nominal categorical feature.
+    pub fn categorical(name: &str, levels: &[&str]) -> Self {
+        Feature {
+            name: name.into(),
+            kind: FeatureKind::Categorical {
+                levels: levels.iter().map(|s| s.to_string()).collect(),
+                ordinal: false,
+            },
+            immutable: false,
+        }
+    }
+
+    /// A mutable ordinal categorical feature (levels given low → high).
+    pub fn ordinal(name: &str, levels: &[&str]) -> Self {
+        Feature {
+            name: name.into(),
+            kind: FeatureKind::Categorical {
+                levels: levels.iter().map(|s| s.to_string()).collect(),
+                ordinal: true,
+            },
+            immutable: false,
+        }
+    }
+
+    /// Marks the feature immutable (builder style).
+    pub fn frozen(mut self) -> Self {
+        self.immutable = true;
+        self
+    }
+}
+
+/// A dataset schema: attributes plus the binary prediction target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// The attributes, in column order.
+    pub features: Vec<Feature>,
+    /// Target attribute name (e.g. `"income"`).
+    pub target: String,
+    /// Name of the positive/desired class (e.g. `">50k"`).
+    pub positive_class: String,
+    /// Name of the negative class (e.g. `"<=50k"`).
+    pub negative_class: String,
+}
+
+impl Schema {
+    /// Index of a feature by name.
+    ///
+    /// # Panics
+    /// Panics when the name is unknown — schema lookups are programmer
+    /// errors, not runtime conditions.
+    pub fn index_of(&self, name: &str) -> usize {
+        self.features
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("unknown feature {name:?}"))
+    }
+
+    /// The feature with the given name.
+    pub fn feature(&self, name: &str) -> &Feature {
+        &self.features[self.index_of(name)]
+    }
+
+    /// Number of raw attributes.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `(categorical, binary, numeric)` attribute counts — the triple the
+    /// paper prints in Table I's "# Attributes" column.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut cat = 0;
+        let mut bin = 0;
+        let mut num = 0;
+        for f in &self.features {
+            match f.kind {
+                FeatureKind::Categorical { .. } => cat += 1,
+                FeatureKind::Binary => bin += 1,
+                FeatureKind::Numeric { .. } => num += 1,
+            }
+        }
+        (cat, bin, num)
+    }
+
+    /// Total width after one-hot encoding.
+    pub fn encoded_width(&self) -> usize {
+        self.features.iter().map(|f| f.kind.encoded_width()).sum()
+    }
+
+    /// Names of the immutable features.
+    pub fn immutable_features(&self) -> Vec<&str> {
+        self.features
+            .iter()
+            .filter(|f| f.immutable)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+/// A raw attribute value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Numeric value in the raw (un-normalized) domain.
+    Num(f32),
+    /// Binary value.
+    Bin(bool),
+    /// Categorical level index.
+    Cat(u32),
+    /// Missing — rows containing any `Missing` are dropped by cleaning,
+    /// matching the paper's preprocessing (§IV-C).
+    Missing,
+}
+
+impl Value {
+    /// Whether this value is missing.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Numeric payload, if this is a `Num`.
+    pub fn as_num(&self) -> Option<f32> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Categorical level, if this is a `Cat`.
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Binary payload, if this is a `Bin`.
+    pub fn as_bin(&self) -> Option<bool> {
+        match self {
+            Value::Bin(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A raw dataset: schema, rows of raw values, and binary labels
+/// (`true` = positive class).
+#[derive(Debug, Clone)]
+pub struct RawDataset {
+    /// The schema describing each column.
+    pub schema: Schema,
+    /// Rows of raw values, one `Vec<Value>` per instance.
+    pub rows: Vec<Vec<Value>>,
+    /// Per-row label; `true` means the positive class.
+    pub labels: Vec<bool>,
+}
+
+impl RawDataset {
+    /// Number of instances (including rows with missing values).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drops every row containing a missing value (the paper's first
+    /// preprocessing step), returning the cleaned dataset.
+    pub fn cleaned(&self) -> RawDataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (row, &label) in self.rows.iter().zip(&self.labels) {
+            if !row.iter().any(Value::is_missing) {
+                rows.push(row.clone());
+                labels.push(label);
+            }
+        }
+        RawDataset { schema: self.schema.clone(), rows, labels }
+    }
+
+    /// Fraction of rows in the positive class.
+    pub fn positive_rate(&self) -> f32 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f32
+            / self.labels.len() as f32
+    }
+
+    /// Asserts internal consistency (row/label counts, arity, level and
+    /// domain bounds). Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows.len() != self.labels.len() {
+            return Err(format!(
+                "{} rows but {} labels",
+                self.rows.len(),
+                self.labels.len()
+            ));
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.len() != self.schema.num_features() {
+                return Err(format!(
+                    "row {i} has {} values, schema has {} features",
+                    row.len(),
+                    self.schema.num_features()
+                ));
+            }
+            for (v, f) in row.iter().zip(&self.schema.features) {
+                match (v, &f.kind) {
+                    (Value::Missing, _) => {}
+                    (Value::Num(x), FeatureKind::Numeric { min, max }) => {
+                        if !x.is_finite() || *x < *min - 1e-3 || *x > *max + 1e-3
+                        {
+                            return Err(format!(
+                                "row {i}, feature {}: {x} outside [{min}, {max}]",
+                                f.name
+                            ));
+                        }
+                    }
+                    (Value::Bin(_), FeatureKind::Binary) => {}
+                    (Value::Cat(c), FeatureKind::Categorical { levels, .. }) => {
+                        if *c as usize >= levels.len() {
+                            return Err(format!(
+                                "row {i}, feature {}: level {c} out of range",
+                                f.name
+                            ));
+                        }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "row {i}, feature {}: value/kind mismatch",
+                            f.name
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        Schema {
+            features: vec![
+                Feature::numeric("age", 17.0, 90.0),
+                Feature::binary("gender").frozen(),
+                Feature::ordinal("education", &["hs", "bs", "ms"]),
+            ],
+            target: "income".into(),
+            positive_class: ">50k".into(),
+            negative_class: "<=50k".into(),
+        }
+    }
+
+    #[test]
+    fn kind_counts_and_width() {
+        let s = toy_schema();
+        assert_eq!(s.kind_counts(), (1, 1, 1));
+        assert_eq!(s.encoded_width(), 1 + 1 + 3);
+        assert_eq!(s.immutable_features(), vec!["gender"]);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = toy_schema();
+        assert_eq!(s.index_of("education"), 2);
+        assert_eq!(s.feature("age").kind.encoded_width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn unknown_feature_panics() {
+        toy_schema().index_of("nope");
+    }
+
+    #[test]
+    fn cleaning_drops_exactly_missing_rows() {
+        let s = toy_schema();
+        let ds = RawDataset {
+            schema: s,
+            rows: vec![
+                vec![Value::Num(30.0), Value::Bin(true), Value::Cat(1)],
+                vec![Value::Missing, Value::Bin(false), Value::Cat(0)],
+                vec![Value::Num(45.0), Value::Bin(true), Value::Missing],
+                vec![Value::Num(22.0), Value::Bin(false), Value::Cat(2)],
+            ],
+            labels: vec![true, false, true, false],
+        };
+        let clean = ds.cleaned();
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean.labels, vec![true, false]);
+        assert!(clean.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_out_of_domain() {
+        let s = toy_schema();
+        let ds = RawDataset {
+            schema: s,
+            rows: vec![vec![Value::Num(300.0), Value::Bin(true), Value::Cat(1)]],
+            labels: vec![true],
+        };
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_level() {
+        let s = toy_schema();
+        let ds = RawDataset {
+            schema: s,
+            rows: vec![vec![Value::Num(30.0), Value::Bin(true), Value::Cat(9)]],
+            labels: vec![true],
+        };
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn positive_rate() {
+        let s = toy_schema();
+        let ds = RawDataset {
+            schema: s,
+            rows: vec![
+                vec![Value::Num(30.0), Value::Bin(true), Value::Cat(1)],
+                vec![Value::Num(40.0), Value::Bin(false), Value::Cat(0)],
+            ],
+            labels: vec![true, false],
+        };
+        assert_eq!(ds.positive_rate(), 0.5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic train/validation/test splitting.
+//!
+//! The paper uses an 80 % / 10 % / 10 % split (§IV-A). Splits here are a
+//! seeded Fisher–Yates shuffle followed by contiguous slicing, so the same
+//! seed always yields the same partition — a requirement for reproducible
+//! tables.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index sets for the three partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Splits `n` instances into `train_frac` / `val_frac` / remainder.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_frac`, `0 ≤ val_frac`, and
+    /// `train_frac + val_frac < 1`.
+    pub fn new(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+        assert!(train_frac > 0.0, "train fraction must be positive");
+        assert!(val_frac >= 0.0, "val fraction must be non-negative");
+        assert!(
+            train_frac + val_frac < 1.0,
+            "train + val fractions must leave room for test"
+        );
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        Split {
+            train: indices[..n_train].to_vec(),
+            val: indices[n_train..n_train + n_val].to_vec(),
+            test: indices[n_train + n_val..].to_vec(),
+        }
+    }
+
+    /// The paper's 80/10/10 split.
+    pub fn paper(n: usize, seed: u64) -> Split {
+        Split::new(n, 0.8, 0.1, seed)
+    }
+
+    /// Total number of indices across all partitions.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether all partitions are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partitions_are_disjoint_and_exhaustive() {
+        let s = Split::paper(1000, 42);
+        let mut seen = HashSet::new();
+        for &i in s.train.iter().chain(&s.val).chain(&s.test) {
+            assert!(seen.insert(i), "index {i} appears twice");
+        }
+        assert_eq!(seen.len(), 1000);
+        assert_eq!(s.train.len(), 800);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 100);
+    }
+
+    #[test]
+    fn same_seed_same_split() {
+        assert_eq!(Split::paper(500, 7), Split::paper(500, 7));
+    }
+
+    #[test]
+    fn different_seed_different_split() {
+        assert_ne!(Split::paper(500, 7), Split::paper(500, 8));
+    }
+
+    #[test]
+    fn shuffling_actually_happens() {
+        let s = Split::paper(1000, 1);
+        // The first 800 natural numbers would be sorted; shuffled train
+        // indices should not be.
+        let sorted = {
+            let mut t = s.train.clone();
+            t.sort_unstable();
+            t
+        };
+        assert_ne!(s.train, sorted);
+    }
+
+    #[test]
+    fn tiny_datasets_do_not_panic() {
+        let s = Split::paper(3, 0);
+        assert_eq!(s.len(), 3);
+        let s1 = Split::paper(1, 0);
+        assert_eq!(s1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room for test")]
+    fn rejects_full_train() {
+        let _ = Split::new(10, 0.9, 0.1, 0);
+    }
+}

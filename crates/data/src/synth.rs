@@ -1,0 +1,168 @@
+//! Shared machinery for the synthetic dataset generators.
+//!
+//! We do not ship the UCI/LSAC data files; instead each benchmark is
+//! generated from a structural causal model whose equations embed exactly
+//! the relations the paper's constraints test (see `DESIGN.md`,
+//! "Substitutions"). The helpers here keep the three generators small:
+//! truncated Gaussians, weighted categorical draws, logistic label
+//! sampling, and exact-count missing-value injection.
+
+use crate::schema::{RawDataset, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One standard-normal draw (Box–Muller), kept local so `cfx-data` does not
+/// depend on `cfx-tensor`.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// `N(mean, std²)` clamped to `[lo, hi]`.
+pub fn trunc_normal<R: Rng + ?Sized>(
+    mean: f32,
+    std: f32,
+    lo: f32,
+    hi: f32,
+    rng: &mut R,
+) -> f32 {
+    (mean + std * randn(rng)).clamp(lo, hi)
+}
+
+/// Exponential draw with the given mean, clamped to `[0, cap]`. Used for
+/// heavy-tailed quantities like work experience and capital gains.
+pub fn capped_exp<R: Rng + ?Sized>(mean: f32, cap: f32, rng: &mut R) -> f32 {
+    let u: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    (-mean * u.ln()).min(cap)
+}
+
+/// Samples an index proportionally to `weights` (need not be normalized).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_choice<R: Rng + ?Sized>(weights: &[f32], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "weighted_choice on empty weights");
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut draw = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw through a logistic link: `P(true) = σ(logit)`.
+pub fn logistic_label<R: Rng + ?Sized>(logit: f32, rng: &mut R) -> bool {
+    let p = 1.0 / (1.0 + (-logit).exp());
+    rng.gen::<f32>() < p
+}
+
+/// Marks exactly `n_missing` distinct rows as containing a missing value
+/// (one uniformly chosen attribute each), so `cleaned()` afterwards has
+/// exactly `len - n_missing` rows — letting Table I reproduce the paper's
+/// "Instances (cleaned)" column precisely.
+///
+/// # Panics
+/// Panics if `n_missing > dataset.len()`.
+pub fn inject_missing(dataset: &mut RawDataset, n_missing: usize, seed: u64) {
+    assert!(
+        n_missing <= dataset.len(),
+        "cannot make {n_missing} of {} rows missing",
+        dataset.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(&mut rng);
+    let width = dataset.schema.num_features();
+    for &row in order.iter().take(n_missing) {
+        let col = rng.gen_range(0..width);
+        dataset.rows[row][col] = Value::Missing;
+    }
+}
+
+/// Scales a paper-sized count down proportionally when generating a smaller
+/// dataset: `scaled(paper_clean, paper_raw, n_raw)` keeps the clean/raw
+/// ratio of the paper.
+pub fn scaled_clean_count(paper_clean: usize, paper_raw: usize, n_raw: usize) -> usize {
+    if n_raw == paper_raw {
+        return paper_clean;
+    }
+    ((paper_clean as f64 / paper_raw as f64) * n_raw as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Feature, Schema};
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[weighted_choice(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f32 / counts[0] as f32;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn trunc_normal_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = trunc_normal(0.0, 10.0, -1.0, 1.0, &mut rng);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn capped_exp_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f32> = (0..5000).map(|_| capped_exp(2.0, 100.0, &mut rng)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=100.0).contains(&x)));
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 2.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn logistic_label_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..4000).filter(|_| logistic_label(0.0, &mut rng)).count();
+        let rate = hits as f32 / 4000.0;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+        assert!((0..100).all(|_| logistic_label(50.0, &mut rng)));
+    }
+
+    #[test]
+    fn inject_missing_hits_exact_count() {
+        let schema = Schema {
+            features: vec![Feature::numeric("a", 0.0, 1.0), Feature::binary("b")],
+            target: "t".into(),
+            positive_class: "p".into(),
+            negative_class: "n".into(),
+        };
+        let mut ds = RawDataset {
+            schema,
+            rows: (0..100)
+                .map(|i| vec![Value::Num((i % 10) as f32 / 10.0), Value::Bin(i % 2 == 0)])
+                .collect(),
+            labels: (0..100).map(|i| i % 3 == 0).collect(),
+        };
+        inject_missing(&mut ds, 37, 9);
+        assert_eq!(ds.cleaned().len(), 63);
+    }
+
+    #[test]
+    fn scaled_clean_count_keeps_ratio() {
+        assert_eq!(scaled_clean_count(32561, 48842, 48842), 32561);
+        let scaled = scaled_clean_count(32561, 48842, 4884);
+        assert!((scaled as i64 - 3256).abs() <= 1, "scaled {scaled}");
+    }
+}

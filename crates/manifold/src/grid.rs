@@ -1,0 +1,178 @@
+//! Rendering and quantifying 2-D manifold views.
+//!
+//! The paper's Fig. 6 shows t-SNE scatter plots with feasible (yellow) and
+//! infeasible (violet) counterfactuals and argues the regions are
+//! separable. In a terminal we render the same view as an ASCII density
+//! grid, and we quantify "separable regions" with a k-NN label-agreement
+//! score: the probability that a point's nearest neighbours share its
+//! label (0.5 ≈ fully mixed, 1.0 ≈ perfectly separated).
+
+/// An ASCII rendering of labeled 2-D points.
+///
+/// Cells show `.` for empty, `o`/`O` for majority label-0 (infeasible),
+/// `x`/`X` for majority label-1 (feasible); capitals mark dense cells.
+pub fn ascii_scatter(
+    points: &[(f32, f32)],
+    labels: &[u8],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    assert!(width >= 2 && height >= 2, "grid too small");
+    if points.is_empty() {
+        return String::new();
+    }
+    // Robust view bounds (2nd–98th percentile): a handful of t-SNE
+    // outliers must not squash the bulk of the embedding into one cell.
+    let (min_x, max_x) = robust_bounds(points.iter().map(|p| p.0));
+    let (min_y, max_y) = robust_bounds(points.iter().map(|p| p.1));
+    let span_x = (max_x - min_x).max(1e-6);
+    let span_y = (max_y - min_y).max(1e-6);
+
+    // counts[cell] = (label0, label1)
+    let mut counts = vec![(0usize, 0usize); width * height];
+    for (&(x, y), &l) in points.iter().zip(labels) {
+        let fx = ((x - min_x) / span_x).clamp(0.0, 1.0);
+        let fy = ((y - min_y) / span_y).clamp(0.0, 1.0);
+        let cx = (fx * (width - 1) as f32).round() as usize;
+        let cy = (fy * (height - 1) as f32).round() as usize;
+        let cell = &mut counts[cy * width + cx];
+        if l == 0 {
+            cell.0 += 1;
+        } else {
+            cell.1 += 1;
+        }
+    }
+    let dense = points.len().div_ceil(width * height).max(2);
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in (0..height).rev() {
+        for col in 0..width {
+            let (n0, n1) = counts[row * width + col];
+            let ch = match (n0, n1) {
+                (0, 0) => '.',
+                (a, b) if b >= a && a + b >= dense => 'X',
+                (a, b) if b >= a => 'x',
+                (a, b) if a + b >= dense => 'O',
+                _ => 'o',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// k-NN label-agreement separability: for each point, the fraction of its
+/// `k` nearest neighbours (in the 2-D embedding) sharing its label,
+/// averaged over all points. Fully mixed labels give ≈ the majority-class
+/// rate; well-separated regions approach 1.
+pub fn knn_separability(points: &[(f32, f32)], labels: &[u8], k: usize) -> f32 {
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let n = points.len();
+    if n <= 1 || k == 0 {
+        return 1.0;
+    }
+    let k = k.min(n - 1);
+    let mut total = 0.0f32;
+    let mut dists: Vec<(f32, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            dists.push((dx * dx + dy * dy, j));
+        }
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let same = dists[..k]
+            .iter()
+            .filter(|(_, j)| labels[*j] == labels[i])
+            .count();
+        total += same as f32 / k as f32;
+    }
+    total / n as f32
+}
+
+fn robust_bounds(values: impl Iterator<Item = f32>) -> (f32, f32) {
+    let mut v: Vec<f32> = values.collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if v.is_empty() {
+        return (0.0, 1.0);
+    }
+    let lo = v[(v.len() as f32 * 0.02) as usize];
+    let hi = v[((v.len() as f32 * 0.98) as usize).min(v.len() - 1)];
+    if hi > lo {
+        (lo, hi)
+    } else {
+        (v[0], v[v.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separated() -> (Vec<(f32, f32)>, Vec<u8>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f32 * 0.1) % 1.0;
+            pts.push((jitter, jitter * 0.5));
+            labels.push(0);
+            pts.push((10.0 + jitter, 10.0 + jitter * 0.5));
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    fn mixed() -> (Vec<(f32, f32)>, Vec<u8>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let x = (i as f32 * 0.37) % 1.0;
+            let y = (i as f32 * 0.71) % 1.0;
+            pts.push((x, y));
+            labels.push((i % 2) as u8);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn separability_distinguishes_separated_from_mixed() {
+        let (sp, sl) = separated();
+        let (mp, ml) = mixed();
+        let s_sep = knn_separability(&sp, &sl, 5);
+        let s_mix = knn_separability(&mp, &ml, 5);
+        assert!(s_sep > 0.95, "separated score {s_sep}");
+        assert!(s_mix < 0.75, "mixed score {s_mix}");
+    }
+
+    #[test]
+    fn ascii_grid_shape_and_symbols() {
+        let (pts, labels) = separated();
+        let art = ascii_scatter(&pts, &labels, 20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 20));
+        assert!(art.contains('x') || art.contains('X'));
+        assert!(art.contains('o') || art.contains('O'));
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(knn_separability(&[], &[], 3), 1.0);
+        assert_eq!(knn_separability(&[(0.0, 0.0)], &[1], 3), 1.0);
+        let art = ascii_scatter(&[(0.0, 0.0)], &[1], 4, 4);
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = knn_separability(&[(0.0, 0.0)], &[], 1);
+    }
+}

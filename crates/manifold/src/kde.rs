@@ -1,0 +1,147 @@
+//! Gaussian kernel density estimation — the "density" ingredient of the
+//! paper's manifold analysis (dense regions of feasible examples, Fig. 3)
+//! and the density weighting used by the FACE baseline.
+
+/// A fitted Gaussian KDE over d-dimensional points.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    points: Vec<Vec<f32>>,
+    bandwidth: f32,
+    dim: usize,
+    norm: f32,
+}
+
+impl Kde {
+    /// Fits a KDE with a fixed bandwidth.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged data or non-positive bandwidth.
+    pub fn fit(points: Vec<Vec<f32>>, bandwidth: f32) -> Kde {
+        assert!(!points.is_empty(), "KDE needs at least one point");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+        // (2π)^{d/2} h^d normalization of the isotropic Gaussian kernel.
+        let norm = (std::f32::consts::TAU).powf(dim as f32 / 2.0)
+            * bandwidth.powi(dim as i32);
+        Kde { points, bandwidth, dim, norm }
+    }
+
+    /// Fits with Scott's rule bandwidth `n^(-1/(d+4)) · σ̄`, where σ̄ is the
+    /// mean per-dimension standard deviation.
+    pub fn fit_scott(points: Vec<Vec<f32>>) -> Kde {
+        assert!(!points.is_empty(), "KDE needs at least one point");
+        let n = points.len() as f32;
+        let dim = points[0].len();
+        let mut sigma_sum = 0.0f32;
+        for d in 0..dim {
+            let mean: f32 = points.iter().map(|p| p[d]).sum::<f32>() / n;
+            let var: f32 =
+                points.iter().map(|p| (p[d] - mean).powi(2)).sum::<f32>() / n;
+            sigma_sum += var.sqrt();
+        }
+        let sigma = (sigma_sum / dim as f32).max(1e-3);
+        let bandwidth = sigma * n.powf(-1.0 / (dim as f32 + 4.0));
+        Kde::fit(points, bandwidth.max(1e-3))
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the KDE has no support points (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f32 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn density(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim, "query dimensionality");
+        let h2 = 2.0 * self.bandwidth * self.bandwidth;
+        let mut total = 0.0f32;
+        for p in &self.points {
+            let d2: f32 =
+                p.iter().zip(x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            total += (-d2 / h2).exp();
+        }
+        total / (self.points.len() as f32 * self.norm)
+    }
+
+    /// Log-density (numerically safer for FACE's edge weights).
+    pub fn log_density(&self, x: &[f32]) -> f32 {
+        self.density(x).max(1e-30).ln()
+    }
+
+    /// Densities at many query points.
+    pub fn densities(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        xs.iter().map(|x| self.density(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_peaks_at_the_data() {
+        let pts = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1]];
+        let kde = Kde::fit(pts, 0.5);
+        assert!(kde.density(&[0.03, 0.03]) > kde.density(&[3.0, 3.0]));
+    }
+
+    #[test]
+    fn density_integrates_to_one_1d() {
+        // Riemann sum over a wide interval for a 1-D KDE.
+        let pts = vec![vec![0.0], vec![1.0], vec![-1.0]];
+        let kde = Kde::fit(pts, 0.4);
+        let mut integral = 0.0f32;
+        let step = 0.01f32;
+        let mut x = -8.0f32;
+        while x < 8.0 {
+            integral += kde.density(&[x]) * step;
+            x += step;
+        }
+        assert!((integral - 1.0).abs() < 0.02, "∫ = {integral}");
+    }
+
+    #[test]
+    fn scott_bandwidth_scales_with_spread() {
+        let tight: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![(i % 10) as f32 * 0.01]).collect();
+        let wide: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![(i % 10) as f32 * 1.0]).collect();
+        let k_tight = Kde::fit_scott(tight);
+        let k_wide = Kde::fit_scott(wide);
+        assert!(k_wide.bandwidth() > k_tight.bandwidth());
+    }
+
+    #[test]
+    fn log_density_is_finite_far_away() {
+        let kde = Kde::fit(vec![vec![0.0, 0.0]], 0.1);
+        let ld = kde.log_density(&[100.0, 100.0]);
+        assert!(ld.is_finite());
+        assert!(ld < kde.log_density(&[0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Kde::fit(vec![vec![0.0]], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn dim_mismatch_rejected() {
+        let kde = Kde::fit(vec![vec![0.0, 1.0]], 1.0);
+        let _ = kde.density(&[0.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # cfx-manifold
+//!
+//! The density/manifold toolkit behind the paper's Figs. 3, 5 and 6:
+//! exact [t-SNE](tsne) to project VAE latent spaces to 2-D, [PCA](pca)
+//! for initialization and linear views, Gaussian [KDE](kde) for density
+//! estimates (also used by the FACE baseline), and [grid] utilities to
+//! render and *quantify* the separability of feasible vs. infeasible
+//! regions that Fig. 6 shows qualitatively.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kde;
+pub mod pca;
+pub mod quality;
+pub mod tsne;
+
+pub use grid::{ascii_scatter, knn_separability};
+pub use kde::Kde;
+pub use pca::Pca;
+pub use quality::trustworthiness;
+pub use tsne::{tsne, TsneConfig};
+
+use rand::Rng;
+
+/// One standard-normal draw (Box–Muller); local copy so the crate stays
+/// dependency-light.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}

@@ -1,0 +1,183 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to initialize t-SNE embeddings (the standard `init="pca"` of
+//! sklearn) and as a cheap linear baseline for the manifold views.
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-dimension mean of the training data.
+    pub mean: Vec<f32>,
+    /// Principal components, one `Vec<f32>` of length `dim` per component.
+    pub components: Vec<Vec<f32>>,
+    /// Eigenvalue (explained variance) per component.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components of `data` (rows =
+    /// observations). Uses power iteration on the covariance with
+    /// deflation; plenty for the ≤ 2 components the figures need.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or ragged, or `n_components` exceeds the
+    /// dimensionality.
+    pub fn fit(data: &[Vec<f32>], n_components: usize) -> Pca {
+        assert!(!data.is_empty(), "PCA needs at least one observation");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "ragged data");
+        assert!(
+            n_components <= dim,
+            "cannot extract {n_components} components from {dim} dims"
+        );
+        let n = data.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Centered copy (deflated in place as components are extracted).
+        let mut centered: Vec<Vec<f32>> = data
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+            .collect();
+
+        let mut components = Vec::with_capacity(n_components);
+        let mut explained_variance = Vec::with_capacity(n_components);
+        for k in 0..n_components {
+            let (comp, eigval) = dominant_component(&centered, 128, k as u64);
+            // Deflate: remove the projection onto this component.
+            for row in &mut centered {
+                let proj: f32 =
+                    row.iter().zip(&comp).map(|(&r, &c)| r * c).sum();
+                for (r, &c) in row.iter_mut().zip(&comp) {
+                    *r -= proj * c;
+                }
+            }
+            components.push(comp);
+            explained_variance.push(eigval / n);
+        }
+        Pca { mean, components, explained_variance }
+    }
+
+    /// Projects rows onto the fitted components.
+    pub fn transform(&self, data: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        data.iter()
+            .map(|row| {
+                self.components
+                    .iter()
+                    .map(|c| {
+                        row.iter()
+                            .zip(c)
+                            .zip(&self.mean)
+                            .map(|((&v, &c), &m)| (v - m) * c)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Power iteration for the dominant eigenvector of `Xᵀ X` (unnormalized
+/// covariance), returning `(unit eigenvector, eigenvalue)`.
+fn dominant_component(centered: &[Vec<f32>], iters: usize, seed: u64) -> (Vec<f32>, f32) {
+    let dim = centered[0].len();
+    // Deterministic quasi-random start (varies with deflation round).
+    let mut v: Vec<f32> = (0..dim)
+        .map(|i| (((i as u64 + 1) * (seed + 3) * 2654435761) % 1000) as f32 / 1000.0 - 0.5)
+        .collect();
+    normalize(&mut v);
+    let mut eigval = 0.0f32;
+    for _ in 0..iters {
+        // w = Xᵀ (X v)
+        let mut w = vec![0.0f32; dim];
+        for row in centered {
+            let proj: f32 = row.iter().zip(&v).map(|(&r, &c)| r * c).sum();
+            for (w, &r) in w.iter_mut().zip(row) {
+                *w += proj * r;
+            }
+        }
+        eigval = (w.iter().map(|x| x * x).sum::<f32>()).sqrt();
+        if eigval < 1e-12 {
+            // Degenerate direction (no variance left).
+            return (v, 0.0);
+        }
+        for (v, &w) in v.iter_mut().zip(&w) {
+            *v = w / eigval;
+        }
+    }
+    (v, eigval)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    for x in v {
+        *x /= norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Anisotropic Gaussian-ish cloud stretched along (1, 1)/√2.
+    fn stretched_cloud() -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for i in 0..200 {
+            let t = (i as f32 / 200.0 - 0.5) * 10.0; // long axis
+            let s = ((i * 7919) % 100) as f32 / 100.0 - 0.5; // short axis
+            out.push(vec![t + s * 0.2, t - s * 0.2]);
+        }
+        out
+    }
+
+    #[test]
+    fn first_component_follows_the_long_axis() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        let c = &pca.components[0];
+        // Should align with ±(1,1)/√2.
+        let dot = (c[0] + c[1]).abs() / 2f32.sqrt();
+        assert!(dot > 0.99, "component {c:?}");
+        assert!(pca.explained_variance[0] > pca.explained_variance[1] * 10.0);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let pca = Pca::fit(&data, 1);
+        let proj = pca.transform(&data);
+        let mean: f32 = proj.iter().map(|p| p[0]).sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-4, "projections not centered: {mean}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        let a = &pca.components[0];
+        let b = &pca.components[1];
+        let na: f32 = a.iter().map(|x| x * x).sum();
+        let nb: f32 = b.iter().map(|x| x * x).sum();
+        let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        assert!((na - 1.0).abs() < 1e-3);
+        assert!((nb - 1.0).abs() < 1e-3);
+        assert!(dot.abs() < 1e-2, "components not orthogonal: {dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_data_rejected() {
+        let _ = Pca::fit(&[], 1);
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let data = vec![vec![2.0, 2.0]; 10];
+        let pca = Pca::fit(&data, 1);
+        assert!(pca.explained_variance[0] < 1e-6);
+    }
+}

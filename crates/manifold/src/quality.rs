@@ -1,0 +1,148 @@
+//! Embedding-quality measures: how faithfully a 2-D projection (t-SNE/PCA)
+//! preserves the high-dimensional neighbourhood structure. Used to sanity-
+//! check the Fig. 6 manifolds beyond eyeballing.
+
+/// Trustworthiness (Venna & Kaski): penalizes points that are close in the
+/// embedding but were *not* neighbours in the original space.
+///
+/// `T(k) = 1 − 2/(n·k·(2n−3k−1)) · Σᵢ Σ_{j ∈ Uᵢ(k)} (r(i,j) − k)`
+///
+/// where `Uᵢ(k)` are the k nearest embedded neighbours of `i` that are not
+/// among its k nearest original neighbours, and `r(i,j)` is `j`'s rank in
+/// the original-space neighbour ordering of `i`. 1.0 = perfectly
+/// trustworthy; values near 0.5 mean the embedding invents neighbours.
+///
+/// # Panics
+/// Panics if lengths differ or `k` is too large (`k < n/2` required).
+pub fn trustworthiness(
+    original: &[Vec<f32>],
+    embedding: &[(f32, f32)],
+    k: usize,
+) -> f32 {
+    let n = original.len();
+    assert_eq!(n, embedding.len(), "original/embedding length mismatch");
+    assert!(k >= 1 && 2 * n > 3 * k + 1, "k={k} too large for n={n}");
+    if n <= k + 1 {
+        return 1.0;
+    }
+
+    // Original-space neighbour ranks.
+    let mut orig_rank = vec![vec![0usize; n]; n];
+    let mut orig_neighbours = vec![Vec::with_capacity(k); n];
+    let mut dists: Vec<(f32, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d: f32 = original[i]
+                .iter()
+                .zip(&original[j])
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            dists.push((d, j));
+        }
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (rank, &(_, j)) in dists.iter().enumerate() {
+            orig_rank[i][j] = rank + 1; // 1-based rank
+            if rank < k {
+                orig_neighbours[i].push(j);
+            }
+        }
+    }
+
+    // Embedded k-NN and the penalty sum.
+    let mut penalty = 0.0f64;
+    let mut edists: Vec<(f32, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        edists.clear();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = embedding[i].0 - embedding[j].0;
+            let dy = embedding[i].1 - embedding[j].1;
+            edists.push((dx * dx + dy * dy, j));
+        }
+        edists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &(_, j) in edists.iter().take(k) {
+            if !orig_neighbours[i].contains(&j) {
+                penalty += (orig_rank[i][j] - k) as f64;
+            }
+        }
+    }
+    let norm = 2.0 / (n as f64 * k as f64 * (2.0 * n as f64 - 3.0 * k as f64 - 1.0));
+    (1.0 - norm * penalty) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> (Vec<Vec<f32>>, Vec<(f32, f32)>) {
+        // 2-D data embedded by the identity — perfectly trustworthy.
+        let data: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 7) as f32, (i / 7) as f32])
+            .collect();
+        let emb: Vec<(f32, f32)> =
+            data.iter().map(|p| (p[0], p[1])).collect();
+        (data, emb)
+    }
+
+    #[test]
+    fn identity_embedding_is_perfect() {
+        let (data, emb) = grid_points(40);
+        let t = trustworthiness(&data, &emb, 5);
+        assert!(t > 0.999, "identity trustworthiness {t}");
+    }
+
+    #[test]
+    fn scrambled_embedding_is_poor() {
+        let (data, mut emb) = grid_points(40);
+        // Scramble: reverse the embedding order relative to the data.
+        emb.reverse();
+        // Derange pairings further by a stride permutation.
+        let scrambled: Vec<(f32, f32)> =
+            (0..emb.len()).map(|i| emb[(i * 17) % emb.len()]).collect();
+        let t_good = trustworthiness(&data, &{
+            let (_, e) = grid_points(40);
+            e
+        }, 5);
+        let t_bad = trustworthiness(&data, &scrambled, 5);
+        assert!(
+            t_bad < t_good - 0.1,
+            "scrambled {t_bad} not worse than identity {t_good}"
+        );
+    }
+
+    #[test]
+    fn tsne_embedding_is_trustworthy_on_blobs() {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0.0 } else { 8.0 };
+            data.push(vec![
+                base + (i as f32 * 0.37) % 1.0,
+                base + (i as f32 * 0.73) % 1.0,
+                (i as f32 * 0.11) % 1.0,
+            ]);
+        }
+        let emb = crate::tsne(
+            &data,
+            &crate::TsneConfig { n_iter: 250, ..Default::default() },
+        );
+        let t = trustworthiness(&data, &emb, 5);
+        assert!(t > 0.7, "t-SNE trustworthiness {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_k_rejected() {
+        let (data, emb) = grid_points(10);
+        let _ = trustworthiness(&data, &emb, 7);
+    }
+}

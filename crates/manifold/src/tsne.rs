@@ -1,0 +1,371 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008, building on Hinton & Roweis'
+//! SNE [21]) — the projection the paper uses for its Fig. 6 manifolds.
+//!
+//! This is the textbook O(n²) algorithm: Gaussian input affinities with a
+//! per-point bandwidth found by binary search on perplexity, symmetrized
+//! and exaggerated early, Student-t output affinities, and momentum
+//! gradient descent with per-parameter gains. At the few thousand points
+//! the figures use, the exact method is both fast enough and free of
+//! Barnes–Hut approximation error.
+
+use crate::pca::Pca;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyper-parameters (defaults follow sklearn's).
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbours).
+    pub perplexity: f32,
+    /// Total gradient-descent iterations.
+    pub n_iter: usize,
+    /// Learning rate (η).
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied to P.
+    pub early_exaggeration: f32,
+    /// Iterations during which exaggeration is active.
+    pub exaggeration_iters: usize,
+    /// Momentum before/after the exaggeration phase.
+    pub momentum: (f32, f32),
+    /// Seed for the random fallback init.
+    pub seed: u64,
+    /// Initialize from the first two principal components (scaled), as
+    /// sklearn's `init="pca"`; falls back to random Gaussian otherwise.
+    pub pca_init: bool,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            n_iter: 500,
+            learning_rate: 200.0,
+            early_exaggeration: 12.0,
+            exaggeration_iters: 120,
+            momentum: (0.5, 0.8),
+            seed: 0,
+            pca_init: true,
+        }
+    }
+}
+
+/// Embeds `data` (rows = observations) into 2-D.
+///
+/// # Panics
+/// Panics if fewer than 4 rows are given (perplexity needs neighbours) or
+/// the rows are ragged.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
+    let n = data.len();
+    assert!(n >= 4, "t-SNE needs at least 4 points, got {n}");
+    let dim = data[0].len();
+    assert!(data.iter().all(|r| r.len() == dim), "ragged data");
+    // Perplexity must leave room for neighbours.
+    let perplexity = config.perplexity.min((n as f32 - 2.0) / 3.0).max(2.0);
+
+    let d2 = pairwise_sq_dists(data);
+    let mut p = joint_probabilities(&d2, perplexity);
+    for v in &mut p {
+        *v *= config.early_exaggeration;
+    }
+
+    let mut y = init_embedding(data, config);
+    let mut dy = vec![(0.0f32, 0.0f32); n];
+    let mut gains = vec![(1.0f32, 1.0f32); n];
+
+    for iter in 0..config.n_iter {
+        if iter == config.exaggeration_iters {
+            for v in &mut p {
+                *v /= config.early_exaggeration;
+            }
+        }
+        let momentum = if iter < config.exaggeration_iters {
+            config.momentum.0
+        } else {
+            config.momentum.1
+        };
+
+        // Student-t affinities q and normalization Z.
+        let mut num = vec![0.0f32; n * n];
+        let mut z = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i].0 - y[j].0;
+                let dyv = y[i].1 - y[j].1;
+                let t = 1.0 / (1.0 + dx * dx + dyv * dyv);
+                num[i * n + j] = t;
+                num[j * n + i] = t;
+                z += 2.0 * t;
+            }
+        }
+        let z = z.max(1e-12);
+
+        // Gradient 4 Σ_j (p_ij − q_ij) t_ij (y_i − y_j).
+        for i in 0..n {
+            let mut gx = 0.0f32;
+            let mut gy = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let t = num[i * n + j];
+                let q = t / z;
+                let mult = (p[i * n + j] - q) * t;
+                gx += mult * (y[i].0 - y[j].0);
+                gy += mult * (y[i].1 - y[j].1);
+            }
+            gx *= 4.0;
+            gy *= 4.0;
+
+            // Per-parameter adaptive gains (Jacobs rule), as in the
+            // reference implementation.
+            let g = &mut gains[i];
+            g.0 = if (gx > 0.0) == (dy[i].0 > 0.0) {
+                (g.0 * 0.8).max(0.01)
+            } else {
+                g.0 + 0.2
+            };
+            g.1 = if (gy > 0.0) == (dy[i].1 > 0.0) {
+                (g.1 * 0.8).max(0.01)
+            } else {
+                g.1 + 0.2
+            };
+
+            dy[i].0 = momentum * dy[i].0 - config.learning_rate * g.0 * gx;
+            dy[i].1 = momentum * dy[i].1 - config.learning_rate * g.1 * gy;
+        }
+        for i in 0..n {
+            y[i].0 += dy[i].0;
+            y[i].1 += dy[i].1;
+        }
+        center(&mut y);
+    }
+    y
+}
+
+fn init_embedding(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
+    let n = data.len();
+    if config.pca_init && data[0].len() >= 2 {
+        let pca = Pca::fit(data, 2);
+        let proj = pca.transform(data);
+        // Scale so the first axis has std 1e-4 (sklearn's convention).
+        let std0 = (proj.iter().map(|p| p[0] * p[0]).sum::<f32>() / n as f32)
+            .sqrt()
+            .max(1e-12);
+        return proj
+            .iter()
+            .map(|p| (p[0] / std0 * 1e-4, p[1] / std0 * 1e-4))
+            .collect();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..n)
+        .map(|_| {
+            (
+                1e-4 * crate::randn(&mut rng),
+                1e-4 * crate::randn(&mut rng),
+            )
+        })
+        .collect()
+}
+
+fn center(y: &mut [(f32, f32)]) {
+    let n = y.len() as f32;
+    let (mx, my) = y
+        .iter()
+        .fold((0.0f32, 0.0f32), |(a, b), &(x, y)| (a + x, b + y));
+    for p in y.iter_mut() {
+        p.0 -= mx / n;
+        p.1 -= my / n;
+    }
+}
+
+/// All pairwise squared Euclidean distances, row-major `n × n`.
+pub fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f32> {
+    let n = data.len();
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f32 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            out[i * n + j] = d;
+            out[j * n + i] = d;
+        }
+    }
+    out
+}
+
+/// Symmetrized joint probabilities `p_ij` with per-point bandwidths found
+/// by binary search so each conditional distribution has the target
+/// perplexity.
+pub fn joint_probabilities(d2: &[f32], perplexity: f32) -> Vec<f32> {
+    let n = (d2.len() as f64).sqrt() as usize;
+    debug_assert_eq!(n * n, d2.len());
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f32; // 1 / (2σ²)
+        let (mut beta_min, mut beta_max) = (0.0f32, f32::INFINITY);
+        let mut probs = vec![0.0f32; n];
+        for _ in 0..64 {
+            // Conditional distribution at the current beta.
+            let mut sum = 0.0f32;
+            for (j, &d) in row.iter().enumerate() {
+                probs[j] = if j == i { 0.0 } else { (-beta * d).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-12);
+            let mut entropy = 0.0f32;
+            for pj in probs.iter_mut() {
+                *pj /= sum;
+                if *pj > 1e-12 {
+                    entropy -= *pj * pj.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = (beta + beta_min) / 2.0;
+            }
+        }
+        for (j, &pj) in probs.iter().enumerate() {
+            p[i * n + j] = pj;
+        }
+    }
+
+    // Symmetrize and normalize: p_ij = (p_j|i + p_i|j) / 2n, floored.
+    let mut joint = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] =
+                ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    for i in 0..n {
+        joint[i * n + i] = 0.0;
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish blobs in 5-D.
+    fn two_blobs(n_per: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..(2 * n_per) {
+            let cluster = (i >= n_per) as u8;
+            let base = if cluster == 1 { 5.0 } else { 0.0 };
+            let row: Vec<f32> = (0..5)
+                .map(|d| base + 0.3 * (((i * 31 + d * 17) % 100) as f32 / 100.0 - 0.5))
+                .collect();
+            data.push(row);
+            labels.push(cluster);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn joint_probabilities_are_symmetric_and_normalized() {
+        let (data, _) = two_blobs(10);
+        let d2 = pairwise_sq_dists(&data);
+        let p = joint_probabilities(&d2, 5.0);
+        let n = data.len();
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "Σp = {total}");
+        for i in 0..n {
+            assert_eq!(p[i * n + i], 0.0);
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (data, labels) = two_blobs(25);
+        let config = TsneConfig { n_iter: 300, ..Default::default() };
+        let y = tsne(&data, &config);
+        // Centroids of the two clusters in embedding space.
+        let centroid = |c: u8| {
+            let pts: Vec<&(f32, f32)> = y
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
+            let k = pts.len() as f32;
+            (
+                pts.iter().map(|p| p.0).sum::<f32>() / k,
+                pts.iter().map(|p| p.1).sum::<f32>() / k,
+            )
+        };
+        let (ax, ay) = centroid(0);
+        let (bx, by) = centroid(1);
+        let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        // Mean within-cluster spread.
+        let spread = |c: u8, cx: f32, cy: f32| {
+            let pts: Vec<&(f32, f32)> = y
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == c)
+                .map(|(p, _)| p)
+                .collect();
+            pts.iter()
+                .map(|p| ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt())
+                .sum::<f32>()
+                / pts.len() as f32
+        };
+        let within = spread(0, ax, ay).max(spread(1, bx, by));
+        assert!(
+            between > 2.0 * within,
+            "clusters overlap: between {between}, within {within}"
+        );
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let (data, _) = two_blobs(10);
+        let y = tsne(&data, &TsneConfig { n_iter: 60, ..Default::default() });
+        let mx: f32 = y.iter().map(|p| p.0).sum::<f32>() / y.len() as f32;
+        let my: f32 = y.iter().map(|p| p.1).sum::<f32>() / y.len() as f32;
+        assert!(mx.abs() < 1e-3 && my.abs() < 1e-3);
+    }
+
+    #[test]
+    fn perplexity_is_clamped_for_tiny_inputs() {
+        let data: Vec<Vec<f32>> =
+            (0..5).map(|i| vec![i as f32, (i * i) as f32]).collect();
+        // perplexity 30 >> n; must not panic or NaN.
+        let y = tsne(&data, &TsneConfig { n_iter: 50, ..Default::default() });
+        assert!(y.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn too_few_points_rejected() {
+        let _ = tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let (data, _) = two_blobs(8);
+        let cfg = TsneConfig { n_iter: 40, ..Default::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+}

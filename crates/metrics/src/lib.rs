@@ -1,0 +1,345 @@
+//! # cfx-metrics
+//!
+//! The five evaluation metrics of the paper's §IV-D, computed identically
+//! for every counterfactual method so Table IV is apples-to-apples:
+//!
+//! * **Validity** — % of counterfactuals whose predicted class equals the
+//!   desired class;
+//! * **Feasibility score** — % satisfying the active causal constraints
+//!   (computed by `cfx-core::feasibility_rate`; this crate only carries
+//!   the number into the result row);
+//! * **Continuous proximity** — −mean over CFs of the L1 distance on
+//!   continuous features (Eq. 4), measured in per-feature standard
+//!   deviations of the training data so magnitudes are comparable across
+//!   datasets;
+//! * **Categorical proximity** — −mean number of categorical alterations
+//!   (Eq. 5);
+//! * **Sparsity** — mean number of changed features of any kind.
+
+#![warn(missing_docs)]
+
+pub mod stability;
+
+pub use stability::{manifold_distance, robustness, ynn};
+
+use cfx_data::{EncodedDataset, Encoding, FeatureKind, Schema};
+use std::fmt;
+
+/// Precomputed per-dataset context: feature spans, types, and the
+/// standard deviation of each numeric column (encoded units) used to
+/// express continuous distances in σ.
+#[derive(Debug, Clone)]
+pub struct MetricContext {
+    /// Dataset schema.
+    pub schema: Schema,
+    /// Fitted encoding.
+    pub encoding: Encoding,
+    /// Std of each feature's encoded column (numerics only).
+    pub numeric_std: Vec<Option<f32>>,
+    /// Minimum encoded-unit move on a numeric/binary column that counts
+    /// as "changed" for sparsity (decoder noise below this is ignored).
+    pub change_tolerance: f32,
+}
+
+impl MetricContext {
+    /// Builds the context from an encoded dataset (stds from its rows).
+    pub fn new(data: &EncodedDataset) -> Self {
+        let n = data.len().max(1) as f32;
+        let mut numeric_std = Vec::with_capacity(data.schema.num_features());
+        for (j, f) in data.schema.features.iter().enumerate() {
+            if f.kind.is_numeric() {
+                let col = data.encoding.spans[j].start;
+                let mut mean = 0.0f32;
+                for r in 0..data.len() {
+                    mean += data.x[(r, col)];
+                }
+                mean /= n;
+                let mut var = 0.0f32;
+                for r in 0..data.len() {
+                    let d = data.x[(r, col)] - mean;
+                    var += d * d;
+                }
+                numeric_std.push(Some((var / n).sqrt().max(1e-6)));
+            } else {
+                numeric_std.push(None);
+            }
+        }
+        MetricContext {
+            schema: data.schema.clone(),
+            encoding: data.encoding.clone(),
+            numeric_std,
+            change_tolerance: 0.01,
+        }
+    }
+
+    fn feature_changed(&self, j: usize, x: &[f32], cf: &[f32]) -> bool {
+        let span = self.encoding.spans[j];
+        match &self.schema.features[j].kind {
+            FeatureKind::Numeric { .. } => {
+                (cf[span.start] - x[span.start]).abs() > self.change_tolerance
+            }
+            FeatureKind::Binary => {
+                (x[span.start] >= 0.5) != (cf[span.start] >= 0.5)
+            }
+            FeatureKind::Categorical { .. } => {
+                argmax(&x[span.start..span.start + span.width])
+                    != argmax(&cf[span.start..span.start + span.width])
+            }
+        }
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Validity percentage: how often `cf_pred == desired`.
+pub fn validity_pct(desired: &[u8], cf_pred: &[u8]) -> f32 {
+    assert_eq!(desired.len(), cf_pred.len(), "length mismatch");
+    if desired.is_empty() {
+        return 0.0;
+    }
+    let hits = desired.iter().zip(cf_pred).filter(|(d, p)| d == p).count();
+    100.0 * hits as f32 / desired.len() as f32
+}
+
+/// Continuous proximity (Eq. 4): −mean over rows of Σ |Δ| on numeric
+/// columns, each scaled by that column's training std.
+pub fn continuous_proximity(
+    ctx: &MetricContext,
+    x: &[Vec<f32>],
+    cf: &[Vec<f32>],
+) -> f32 {
+    paired(x, cf);
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (xr, cr) in x.iter().zip(cf) {
+        for (j, std) in ctx.numeric_std.iter().enumerate() {
+            if let Some(std) = std {
+                let c = ctx.encoding.spans[j].start;
+                total += (cr[c] - xr[c]).abs() / std;
+            }
+        }
+    }
+    -total / x.len() as f32
+}
+
+/// Categorical proximity (Eq. 5): −mean number of categorical alterations.
+pub fn categorical_proximity(
+    ctx: &MetricContext,
+    x: &[Vec<f32>],
+    cf: &[Vec<f32>],
+) -> f32 {
+    paired(x, cf);
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    for (xr, cr) in x.iter().zip(cf) {
+        for (j, f) in ctx.schema.features.iter().enumerate() {
+            if f.kind.is_categorical() && ctx.feature_changed(j, xr, cr) {
+                total += 1;
+            }
+        }
+    }
+    -(total as f32) / x.len() as f32
+}
+
+/// Sparsity: mean number of changed features (any kind).
+pub fn sparsity(ctx: &MetricContext, x: &[Vec<f32>], cf: &[Vec<f32>]) -> f32 {
+    paired(x, cf);
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    for (xr, cr) in x.iter().zip(cf) {
+        for j in 0..ctx.schema.num_features() {
+            if ctx.feature_changed(j, xr, cr) {
+                total += 1;
+            }
+        }
+    }
+    total as f32 / x.len() as f32
+}
+
+fn paired(x: &[Vec<f32>], cf: &[Vec<f32>]) {
+    assert_eq!(x.len(), cf.len(), "input/cf counts differ");
+}
+
+/// One row of the paper's Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Method name as printed in the paper.
+    pub method: String,
+    /// Validity %.
+    pub validity: f32,
+    /// Feasibility % under the unary constraint (if evaluated).
+    pub feasibility_unary: Option<f32>,
+    /// Feasibility % under the binary constraint (if evaluated).
+    pub feasibility_binary: Option<f32>,
+    /// Continuous proximity (negative).
+    pub continuous_proximity: f32,
+    /// Categorical proximity (negative).
+    pub categorical_proximity: f32,
+    /// Sparsity (mean changed features).
+    pub sparsity: f32,
+}
+
+impl TableRow {
+    /// Header matching the paper's column order.
+    pub fn header() -> String {
+        format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>11} {:>11} {:>9}",
+            "Methods",
+            "Validity",
+            "Feas/Unary",
+            "Feas/Binary",
+            "Cont.prox",
+            "Cat.prox",
+            "Sparsity"
+        )
+    }
+}
+
+impl fmt::Display for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn opt(v: Option<f32>) -> String {
+            v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into())
+        }
+        write!(
+            f,
+            "{:<28} {:>8.2} {:>12} {:>12} {:>11.2} {:>11.2} {:>9.2}",
+            self.method,
+            self.validity,
+            opt(self.feasibility_unary),
+            opt(self.feasibility_binary),
+            self.continuous_proximity,
+            self.categorical_proximity,
+            self.sparsity
+        )
+    }
+}
+
+/// Formats a whole results table (header + rows) like Table IV.
+pub fn format_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&TableRow::header());
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfx_data::{Feature, RawDataset, Value};
+
+    fn ctx() -> MetricContext {
+        let schema = Schema {
+            features: vec![
+                Feature::numeric("age", 0.0, 100.0),
+                Feature::ordinal("edu", &["hs", "bs", "ms"]),
+                Feature::binary("g"),
+            ],
+            target: "t".into(),
+            positive_class: "p".into(),
+            negative_class: "n".into(),
+        };
+        let raw = RawDataset {
+            schema,
+            rows: vec![
+                vec![Value::Num(0.0), Value::Cat(0), Value::Bin(false)],
+                vec![Value::Num(50.0), Value::Cat(1), Value::Bin(true)],
+                vec![Value::Num(100.0), Value::Cat(2), Value::Bin(false)],
+            ],
+            labels: vec![false, true, true],
+        };
+        MetricContext::new(&EncodedDataset::from_raw(&raw))
+    }
+
+    #[test]
+    fn validity_pct_basic() {
+        assert_eq!(validity_pct(&[1, 1, 0, 0], &[1, 0, 0, 0]), 75.0);
+        assert_eq!(validity_pct(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn continuous_proximity_uses_std_units() {
+        let c = ctx();
+        // encoded age std over {0, 0.5, 1} = sqrt(1/6) ≈ 0.40825.
+        let x = vec![vec![0.5, 0.0, 1.0, 0.0, 0.0]];
+        let cf = vec![vec![0.9, 0.0, 1.0, 0.0, 0.0]];
+        let p = continuous_proximity(&c, &x, &cf);
+        let expected = -(0.4 / (1.0f32 / 6.0).sqrt());
+        assert!((p - expected).abs() < 1e-4, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn categorical_proximity_counts_level_switches() {
+        let c = ctx();
+        let x = vec![
+            vec![0.5, 1.0, 0.0, 0.0, 0.0],
+            vec![0.5, 0.0, 1.0, 0.0, 1.0],
+        ];
+        let cf = vec![
+            vec![0.5, 0.0, 0.0, 1.0, 0.0], // edu hs→ms: 1 change
+            vec![0.5, 0.0, 1.0, 0.0, 0.0], // edu same (binary flip ignored here)
+        ];
+        assert_eq!(categorical_proximity(&c, &x, &cf), -0.5);
+    }
+
+    #[test]
+    fn sparsity_counts_all_feature_kinds() {
+        let c = ctx();
+        let x = vec![vec![0.5, 1.0, 0.0, 0.0, 0.0]];
+        let cf = vec![vec![0.9, 0.0, 1.0, 0.0, 1.0]]; // age + edu + binary
+        assert_eq!(sparsity(&c, &x, &cf), 3.0);
+    }
+
+    #[test]
+    fn sub_tolerance_numeric_moves_ignored() {
+        let c = ctx();
+        let x = vec![vec![0.500, 1.0, 0.0, 0.0, 0.0]];
+        let cf = vec![vec![0.505, 1.0, 0.0, 0.0, 0.0]];
+        assert_eq!(sparsity(&c, &x, &cf), 0.0);
+    }
+
+    #[test]
+    fn table_row_formats_like_the_paper() {
+        let row = TableRow {
+            method: "Our method (a)*".into(),
+            validity: 98.0,
+            feasibility_unary: Some(72.38),
+            feasibility_binary: None,
+            continuous_proximity: -2.38,
+            categorical_proximity: -2.66,
+            sparsity: 4.33,
+        };
+        let s = row.to_string();
+        assert!(s.contains("98.00"));
+        assert!(s.contains("72.38"));
+        assert!(s.contains("-"));
+        assert!(s.contains("-2.38"));
+        let table = format_table("Adult", &[row]);
+        assert!(table.starts_with("Adult\n"));
+        assert!(table.contains("Feas/Unary"));
+    }
+
+    #[test]
+    #[should_panic(expected = "counts differ")]
+    fn mismatched_batches_panic() {
+        let c = ctx();
+        let _ = sparsity(&c, &[vec![0.0; 5]], &[]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Stability-oriented metrics beyond the paper's five §IV-D columns:
+//!
+//! * **Robustness** (Virgolin & Fracaros [6], the paper's reference for
+//!   sparsity/robustness): does a counterfactual stay valid under small
+//!   adverse perturbations of its feature values?
+//! * **yNN** (Pawelczyk et al. [13], the paper's "faithfulness"
+//!   reference): are a counterfactual's nearest training neighbours
+//!   predicted as the desired class (i.e. is the CF connected to the
+//!   data manifold rather than a local outlier)?
+//! * **Manifold distance**: plain distance to the nearest training row —
+//!   a direct proxy for the "dense regions" argument of Fig. 3.
+
+use cfx_tensor::Tensor;
+
+/// Robustness: the fraction of `(cf, desired)` pairs that keep the desired
+/// prediction under all `k` random perturbations of magnitude `epsilon`
+/// (uniform per-coordinate noise, clamped to `[0, 1]`).
+///
+/// `predict` is the black-box hard classifier for a batch.
+pub fn robustness(
+    cf: &Tensor,
+    desired: &[u8],
+    epsilon: f32,
+    k: usize,
+    seed: u64,
+    predict: impl Fn(&Tensor) -> Vec<u8>,
+) -> f32 {
+    assert_eq!(cf.rows(), desired.len(), "cf/desired length mismatch");
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    if cf.rows() == 0 || k == 0 {
+        return 0.0;
+    }
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut robust = vec![true; cf.rows()];
+    for _ in 0..k {
+        let perturbed = cf.map(|v| v); // clone with same shape
+        let mut perturbed = perturbed;
+        for v in perturbed.as_mut_slice() {
+            *v = (*v + rng.gen_range(-epsilon..=epsilon)).clamp(0.0, 1.0);
+        }
+        let preds = predict(&perturbed);
+        for (flag, (&p, &d)) in
+            robust.iter_mut().zip(preds.iter().zip(desired))
+        {
+            if p != d {
+                *flag = false;
+            }
+        }
+    }
+    robust.iter().filter(|&&b| b).count() as f32 / cf.rows() as f32
+}
+
+/// yNN: for each counterfactual, the fraction of its `k` nearest training
+/// rows whose prediction equals the desired class, averaged over the
+/// batch. High yNN ⇒ the counterfactual sits in a region the classifier
+/// consistently maps to the desired class (connectedness).
+pub fn ynn(
+    cf: &Tensor,
+    desired: &[u8],
+    train_x: &Tensor,
+    train_pred: &[u8],
+    k: usize,
+) -> f32 {
+    assert_eq!(cf.rows(), desired.len(), "cf/desired length mismatch");
+    assert_eq!(train_x.rows(), train_pred.len(), "train length mismatch");
+    assert!(k > 0, "k must be positive");
+    if cf.rows() == 0 || train_x.rows() == 0 {
+        return 0.0;
+    }
+    let k = k.min(train_x.rows());
+    let mut total = 0.0f32;
+    let mut dists: Vec<(f32, usize)> = Vec::with_capacity(train_x.rows());
+    for r in 0..cf.rows() {
+        dists.clear();
+        let c = cf.row_slice(r);
+        for t in 0..train_x.rows() {
+            let d: f32 = c
+                .iter()
+                .zip(train_x.row_slice(t))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            dists.push((d, t));
+        }
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let agree = dists[..k]
+            .iter()
+            .filter(|(_, t)| train_pred[*t] == desired[r])
+            .count();
+        total += agree as f32 / k as f32;
+    }
+    total / cf.rows() as f32
+}
+
+/// Mean Euclidean distance from each counterfactual to its nearest
+/// training row — small values mean the CFs lie on the data manifold.
+pub fn manifold_distance(cf: &Tensor, train_x: &Tensor) -> f32 {
+    if cf.rows() == 0 || train_x.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for r in 0..cf.rows() {
+        let c = cf.row_slice(r);
+        let mut best = f32::INFINITY;
+        for t in 0..train_x.rows() {
+            let d: f32 = c
+                .iter()
+                .zip(train_x.row_slice(t))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            best = best.min(d);
+        }
+        total += best.sqrt();
+    }
+    total / cf.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Threshold classifier on the first column.
+    fn classify(x: &Tensor) -> Vec<u8> {
+        (0..x.rows()).map(|r| (x[(r, 0)] >= 0.5) as u8).collect()
+    }
+
+    #[test]
+    fn robustness_separates_margins() {
+        // One CF barely over the boundary, one deep inside.
+        let cf = Tensor::from_vec(2, 2, vec![0.51, 0.0, 0.95, 0.0]);
+        let desired = vec![1, 1];
+        let r = robustness(&cf, &desired, 0.1, 50, 0, classify);
+        // Only the deep one survives ±0.1 noise reliably.
+        assert!((r - 0.5).abs() < 0.26, "robustness {r}");
+        let r0 = robustness(&cf, &desired, 0.0, 10, 0, classify);
+        assert_eq!(r0, 1.0, "zero noise must keep both");
+    }
+
+    #[test]
+    fn ynn_reflects_neighbourhood_class() {
+        // Training data: left half class 0, right half class 1.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![i as f32 / 40.0, 0.5]); // class 0 region
+            rows.push(vec![0.6 + i as f32 / 50.0, 0.5]); // class 1 region
+        }
+        let train = Tensor::from_rows(&rows);
+        let train_pred = classify(&train);
+        let cf = Tensor::from_vec(2, 2, vec![0.8, 0.5, 0.1, 0.5]);
+        let good = ynn(&cf.slice_rows(0, 1), &[1], &train, &train_pred, 5);
+        let bad = ynn(&cf.slice_rows(1, 1), &[1], &train, &train_pred, 5);
+        assert_eq!(good, 1.0);
+        assert_eq!(bad, 0.0);
+    }
+
+    #[test]
+    fn manifold_distance_zero_for_training_rows() {
+        let train =
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.5, 0.5, 0.9, 0.8]);
+        assert!(manifold_distance(&train, &train) < 1e-6);
+        let far = Tensor::from_vec(1, 2, vec![10.0, 10.0]);
+        assert!(manifold_distance(&far, &train) > 10.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let empty = Tensor::zeros(0, 2);
+        let train = Tensor::zeros(0, 2);
+        assert_eq!(manifold_distance(&empty, &train), 0.0);
+        assert_eq!(ynn(&empty, &[], &train, &[], 3), 0.0);
+        assert_eq!(robustness(&empty, &[], 0.1, 3, 0, |_| vec![]), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cfx-models
+//!
+//! The two neural models of the paper's architecture (Fig. 4):
+//!
+//! * [`BlackBox`] — the frozen two-linear-layer classifier that defines
+//!   input/desired classes and scores counterfactual validity;
+//! * [`Cvae`] — the conditional Variational Autoencoder of Table II that
+//!   generates counterfactual candidates from a perturbed latent space.
+//!
+//! Training loops for the counterfactual objective itself live in
+//! `cfx-core`; this crate only knows how to build, run and fit the
+//! networks.
+
+#![warn(missing_docs)]
+
+pub mod blackbox;
+pub mod vae;
+
+pub use blackbox::{BlackBox, BlackBoxConfig};
+pub use vae::{Cvae, CvaeForward, PAPER_DROPOUT, PAPER_LATENT_DIM};

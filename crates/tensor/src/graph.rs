@@ -1,0 +1,790 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! A [`Tape`] records every operation as it executes (define-by-run, the
+//! PyTorch model). Each op appends a [`Node`] holding its forward value and
+//! enough information to propagate gradients; [`Tape::backward`] then walks
+//! the tape in reverse. Because nodes are appended in execution order the
+//! tape is already topologically sorted and a single reverse sweep suffices.
+//!
+//! The op set is deliberately small and fully enumerated ([`Op`]): every
+//! rule is covered by a finite-difference gradient check in this module's
+//! tests and by property tests in `tests/grad_prop.rs`.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The recorded operation of a node, with whatever context backward needs.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Input or parameter; no inputs.
+    Leaf,
+    /// `a @ b`.
+    Matmul(Var, Var),
+    /// `a + b`, same shapes.
+    Add(Var, Var),
+    /// `a (m,n) + b (1,n)` broadcast over rows.
+    AddRow(Var, Var),
+    /// `a - b`, same shapes.
+    Sub(Var, Var),
+    /// Element-wise `a * b`.
+    Mul(Var, Var),
+    /// Element-wise `a / b`.
+    Div(Var, Var),
+    /// `-a`.
+    Neg(Var),
+    /// `c * a` for a constant scalar.
+    Scale(Var, f32),
+    /// `a + c` for a constant scalar (the constant is not needed in
+    /// backward — the gradient passes through unchanged).
+    AddScalar(Var),
+    /// `max(0, a)`.
+    Relu(Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// `ln(1 + e^a)`, numerically stabilized.
+    Softplus(Var),
+    /// `e^a`.
+    Exp(Var),
+    /// `|a|` (subgradient 0 at the kink).
+    Abs(Var),
+    /// `a^2`.
+    Square(Var),
+    /// Inverted dropout with a fixed 0/`1/keep` mask.
+    Dropout(Var, Tensor),
+    /// `[a | b]` horizontal concatenation.
+    ConcatCols(Var, Var),
+    /// Columns `[start, start+width)` of `a`.
+    SliceCols(Var, usize, usize),
+    /// Scalar sum of all elements.
+    Sum(Var),
+    /// Scalar mean of all elements.
+    Mean(Var),
+    /// Mean over all elements of binary cross-entropy with logits.
+    /// Stored: target tensor (same shape as input logits).
+    BceWithLogits(Var, Tensor),
+    /// Mean hinge loss `mean(relu(margin - y*z))` for labels `y ∈ {-1,+1}`.
+    Hinge(Var, Tensor, f32),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Typical life cycle: create one per forward pass, register parameters and
+/// inputs with [`Tape::leaf`], build the computation, call
+/// [`Tape::backward`] on the (scalar) loss, read gradients with
+/// [`Tape::grad`], then drop the tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a leaf (input or parameter). Gradients accumulate here.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last [`backward`](Self::backward) root w.r.t. `v`.
+    ///
+    /// Returns an all-zero tensor if the node did not participate.
+    pub fn grad(&self, v: Var) -> Tensor {
+        let n = &self.nodes[v.0];
+        n.grad.clone().unwrap_or_else(|| {
+            Tensor::zeros(n.value.rows(), n.value.cols())
+        })
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ---- op constructors -------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Element-wise sum of two same-shaped nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Adds a `(1, n)` row (e.g. a bias) to every row of `a`.
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (rows, cols) = self.shape(a);
+        assert_eq!(self.shape(b), (1, cols), "add_row expects a (1,n) rhs");
+        let bt = self.value(b).clone();
+        let mut value = self.value(a).clone();
+        for r in 0..rows {
+            for (v, &x) in value.row_slice_mut(r).iter_mut().zip(bt.as_slice())
+            {
+                *v += x;
+            }
+        }
+        self.push(value, Op::AddRow(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Element-wise quotient.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x / y);
+        self.push(value, Op::Div(a, b))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| -x);
+        self.push(value, Op::Neg(a))
+    }
+
+    /// Multiplies every element by the constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| c * x);
+        self.push(value, Op::Scale(a, c))
+    }
+
+    /// Adds the constant `c` to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        self.push(value, Op::AddScalar(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Numerically stable `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_softplus);
+        self.push(value, Op::Softplus(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::abs);
+        self.push(value, Op::Abs(a))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x * x);
+        self.push(value, Op::Square(a))
+    }
+
+    /// Inverted dropout: zeroes each element with probability `1 - keep`
+    /// and scales survivors by `1/keep`, using the supplied 0/1 mask.
+    ///
+    /// The caller draws the mask (so randomness stays outside the tape);
+    /// pass a mask of ones to disable dropout at evaluation time.
+    pub fn dropout(&mut self, a: Var, mask01: &Tensor, keep: f32) -> Var {
+        assert!(keep > 0.0 && keep <= 1.0, "keep must be in (0, 1]");
+        assert_eq!(self.shape(a), mask01.shape(), "dropout mask shape");
+        let scaled = mask01.map(|m| m / keep);
+        let value = self.value(a).zip(&scaled, |x, m| x * m);
+        self.push(value, Op::Dropout(a, scaled))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    /// Copies out columns `[start, start+width)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
+        let value = self.value(a).slice_cols(start, width);
+        self.push(value, Op::SliceCols(a, start, width))
+    }
+
+    /// Scalar sum of all elements.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value, Op::Sum(a))
+    }
+
+    /// Scalar mean of all elements.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        self.push(value, Op::Mean(a))
+    }
+
+    /// Mean binary cross-entropy between logits `a` and 0/1 `targets`.
+    ///
+    /// Computed in the stable logits form
+    /// `max(z,0) - z·t + ln(1 + e^{-|z|})`; gradient is `(σ(z) - t)/n`.
+    pub fn bce_with_logits(&mut self, a: Var, targets: &Tensor) -> Var {
+        assert_eq!(self.shape(a), targets.shape(), "bce target shape");
+        let z = self.value(a);
+        let n = z.len() as f32;
+        let total: f32 = z
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&z, &t)| z.max(0.0) - z * t + stable_softplus(-z.abs()))
+            .sum();
+        self.push(
+            Tensor::scalar(total / n),
+            Op::BceWithLogits(a, targets.clone()),
+        )
+    }
+
+    /// Mean hinge loss `mean(relu(margin - y·z))` for labels `y ∈ {-1,+1}`.
+    ///
+    /// This is the validity term of the paper's Eq. (3): it pushes the
+    /// black-box logit of the counterfactual toward the desired class.
+    pub fn hinge(&mut self, a: Var, labels: &Tensor, margin: f32) -> Var {
+        assert_eq!(self.shape(a), labels.shape(), "hinge label shape");
+        let z = self.value(a);
+        let n = z.len() as f32;
+        let total: f32 = z
+            .as_slice()
+            .iter()
+            .zip(labels.as_slice())
+            .map(|(&z, &y)| (margin - y * z).max(0.0))
+            .sum();
+        self.push(Tensor::scalar(total / n), Op::Hinge(a, labels.clone(), margin))
+    }
+
+    // ---- composite helpers ----------------------------------------------
+
+    /// `mean(|a - b|)` — the L1 distance used for proximity terms.
+    pub fn l1_loss(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let d = self.abs(d);
+        self.mean(d)
+    }
+
+    /// `mean((a - b)^2)`.
+    pub fn mse_loss(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let d = self.square(d);
+        self.mean(d)
+    }
+
+    /// KL divergence of `N(mu, diag(exp(logvar)))` from `N(0, I)`,
+    /// averaged over the batch (rows):
+    /// `0.5/B · Σ (mu² + e^{logvar} - 1 - logvar)`.
+    pub fn kl_gauss(&mut self, mu: Var, logvar: Var) -> Var {
+        let batch = self.shape(mu).0 as f32;
+        let mu2 = self.square(mu);
+        let var = self.exp(logvar);
+        let s = self.add(mu2, var);
+        let s = self.sub(s, logvar);
+        let s = self.add_scalar(s, -1.0);
+        let total = self.sum(s);
+        self.scale(total, 0.5 / batch)
+    }
+
+    /// Reparameterization `z = mu + eps ⊙ exp(logvar / 2)` with fixed noise.
+    pub fn reparameterize(&mut self, mu: Var, logvar: Var, eps: &Tensor) -> Var {
+        assert_eq!(self.shape(mu), eps.shape(), "eps shape");
+        let half = self.scale(logvar, 0.5);
+        let std = self.exp(half);
+        let e = self.leaf(eps.clone());
+        let noise = self.mul(std, e);
+        self.add(mu, noise)
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, g: Tensor) {
+        let slot = &mut self.nodes[v.0].grad;
+        match slot {
+            Some(existing) => existing.axpy(1.0, &g),
+            None => *slot = Some(g),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `root`.
+    ///
+    /// Clears all previous gradients first, seeds `d root/d root = 1`, and
+    /// sweeps the tape in reverse construction order.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a `(1, 1)` tensor.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.shape(root),
+            (1, 1),
+            "backward root must be a scalar loss"
+        );
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[root.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..=root.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Matmul(a, b) => {
+                    let da = g.matmul(&self.value(b).transpose());
+                    let db = self.value(a).transpose().matmul(&g);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::AddRow(a, b) => {
+                    self.accumulate(b, g.sum_rows());
+                    self.accumulate(a, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.zip(self.value(b), |g, b| g * b);
+                    let db = g.zip(self.value(a), |g, a| g * a);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Div(a, b) => {
+                    let bv = self.value(b).clone();
+                    let av = self.value(a).clone();
+                    let da = g.zip(&bv, |g, b| g / b);
+                    let mut db = g.zip(&av, |g, a| -g * a);
+                    db = db.zip(&bv, |x, b| x / (b * b));
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Neg(a) => self.accumulate(a, g.map(|x| -x)),
+                Op::Scale(a, c) => self.accumulate(a, g.map(|x| c * x)),
+                Op::AddScalar(a) => self.accumulate(a, g),
+                Op::Relu(a) => {
+                    let da =
+                        g.zip(self.value(a), |g, x| if x > 0.0 { g } else { 0.0 });
+                    self.accumulate(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let s = self.nodes[i].value.clone();
+                    self.accumulate(a, g.zip(&s, |g, s| g * s * (1.0 - s)));
+                }
+                Op::Tanh(a) => {
+                    let t = self.nodes[i].value.clone();
+                    self.accumulate(a, g.zip(&t, |g, t| g * (1.0 - t * t)));
+                }
+                Op::Softplus(a) => {
+                    let da = g
+                        .zip(self.value(a), |g, x| g * stable_sigmoid(x));
+                    self.accumulate(a, da);
+                }
+                Op::Exp(a) => {
+                    let e = self.nodes[i].value.clone();
+                    self.accumulate(a, g.zip(&e, |g, e| g * e));
+                }
+                Op::Abs(a) => {
+                    let da = g.zip(self.value(a), |g, x| g * sign(x));
+                    self.accumulate(a, da);
+                }
+                Op::Square(a) => {
+                    let da = g.zip(self.value(a), |g, x| 2.0 * g * x);
+                    self.accumulate(a, da);
+                }
+                Op::Dropout(a, mask) => {
+                    self.accumulate(a, g.zip(&mask, |g, m| g * m));
+                }
+                Op::ConcatCols(a, b) => {
+                    let wa = self.shape(a).1;
+                    let wb = self.shape(b).1;
+                    self.accumulate(a, g.slice_cols(0, wa));
+                    self.accumulate(b, g.slice_cols(wa, wb));
+                }
+                Op::SliceCols(a, start, width) => {
+                    let (rows, cols) = self.shape(a);
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let src = g.row_slice(r);
+                        da.row_slice_mut(r)[start..start + width]
+                            .copy_from_slice(src);
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::Sum(a) => {
+                    let (rows, cols) = self.shape(a);
+                    self.accumulate(a, Tensor::full(rows, cols, g.item()));
+                }
+                Op::Mean(a) => {
+                    let (rows, cols) = self.shape(a);
+                    let n = (rows * cols) as f32;
+                    self.accumulate(a, Tensor::full(rows, cols, g.item() / n));
+                }
+                Op::BceWithLogits(a, t) => {
+                    let n = t.len() as f32;
+                    let gi = g.item();
+                    let da = self
+                        .value(a)
+                        .zip(&t, |z, t| gi * (stable_sigmoid(z) - t) / n);
+                    self.accumulate(a, da);
+                }
+                Op::Hinge(a, y, margin) => {
+                    let n = y.len() as f32;
+                    let gi = g.item();
+                    let da = self.value(a).zip(&y, |z, y| {
+                        if margin - y * z > 0.0 {
+                            -gi * y / n
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(a, da);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn sign(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Sigmoid that never overflows `exp`.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `ln(1 + e^x)` without overflow for large `x`.
+#[inline]
+pub fn stable_softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of `d loss / d input` for a scalar-valued
+    /// computation `build(tape, input_var)`.
+    fn check_grad(
+        input: Tensor,
+        build: impl Fn(&mut Tape, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x);
+
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f = |t: Tensor| {
+                let mut tape = Tape::new();
+                let x = tape.leaf(t);
+                let loss = build(&mut tape, x);
+                tape.value(loss).item()
+            };
+            let numeric = (f(plus) - f(minus)) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.05, -1.4, 2.2])
+    }
+
+    #[test]
+    fn grad_relu_sum() {
+        check_grad(sample(), |t, x| {
+            let r = t.relu(x);
+            t.sum(r)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_sigmoid_mean() {
+        check_grad(sample(), |t, x| {
+            let s = t.sigmoid(x);
+            t.mean(s)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_tanh_square() {
+        check_grad(sample(), |t, x| {
+            let s = t.tanh(x);
+            let s = t.square(s);
+            t.sum(s)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_softplus_exp() {
+        check_grad(sample(), |t, x| {
+            let s = t.softplus(x);
+            let s = t.exp(s);
+            t.mean(s)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let w = Tensor::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.6]);
+        check_grad(sample(), move |t, x| {
+            let wv = t.leaf(w.clone());
+            let y = t.matmul(x, wv);
+            let y = t.relu(y);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_weight_side() {
+        let x = Tensor::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.05, -1.4, 2.2]);
+        let w0 = Tensor::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.6]);
+        check_grad(w0, move |t, wv| {
+            let xv = t.leaf(x.clone());
+            let y = t.matmul(xv, wv);
+            let y = t.square(y);
+            t.mean(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        let b = Tensor::row(&[0.5, -0.5, 0.25]);
+        check_grad(b, |t, bv| {
+            let x = t.leaf(Tensor::from_vec(
+                2,
+                3,
+                vec![0.3, -0.7, 1.2, 0.05, -1.4, 2.2],
+            ));
+            let y = t.add_row(x, bv);
+            let y = t.square(y);
+            t.sum(y)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_div_mul_mix() {
+        let b = Tensor::from_vec(2, 3, vec![1.5, 2.0, 0.5, 3.0, 1.0, 2.5]);
+        check_grad(sample(), move |t, x| {
+            let bv = t.leaf(b.clone());
+            let q = t.div(x, bv);
+            let m = t.mul(q, x);
+            t.mean(m)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        check_grad(sample(), |t, x| {
+            let left = t.slice_cols(x, 0, 2);
+            let right = t.slice_cols(x, 2, 1);
+            let cat = t.concat_cols(right, left);
+            let s = t.square(cat);
+            t.sum(s)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        let targets = Tensor::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        check_grad(sample(), move |t, x| t.bce_with_logits(x, &targets), 1e-2);
+    }
+
+    #[test]
+    fn grad_hinge() {
+        let labels = Tensor::from_vec(2, 3, vec![1., -1., 1., -1., 1., -1.]);
+        check_grad(sample(), move |t, x| t.hinge(x, &labels, 0.5), 1e-2);
+    }
+
+    #[test]
+    fn grad_kl_gauss() {
+        let logvar = Tensor::from_vec(2, 3, vec![0.1, -0.3, 0.2, 0.0, 0.4, -0.1]);
+        check_grad(sample(), move |t, mu| {
+            let lv = t.leaf(logvar.clone());
+            t.kl_gauss(mu, lv)
+        }, 1e-2);
+        // And w.r.t. logvar.
+        let mu = sample();
+        check_grad(
+            Tensor::from_vec(2, 3, vec![0.1, -0.3, 0.2, 0.0, 0.4, -0.1]),
+            move |t, lv| {
+                let m = t.leaf(mu.clone());
+                t.kl_gauss(m, lv)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_reparameterize() {
+        let eps = Tensor::from_vec(2, 3, vec![0.3, -1.1, 0.6, 0.9, -0.2, 1.3]);
+        check_grad(sample(), move |t, mu| {
+            let lv = t.leaf(Tensor::from_vec(
+                2,
+                3,
+                vec![0.1, -0.3, 0.2, 0.0, 0.4, -0.1],
+            ));
+            let z = t.reparameterize(mu, lv, &eps);
+            let z = t.square(z);
+            t.mean(z)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_l1_and_mse() {
+        let b = Tensor::from_vec(2, 3, vec![0.0, 0.5, 1.0, -0.5, 0.25, 0.75]);
+        let b2 = b.clone();
+        check_grad(sample(), move |t, x| {
+            let bv = t.leaf(b.clone());
+            t.mse_loss(x, bv)
+        }, 1e-2);
+        check_grad(sample(), move |t, x| {
+            let bv = t.leaf(b2.clone());
+            t.l1_loss(x, bv)
+        }, 1e-2);
+    }
+
+    #[test]
+    fn dropout_mask_scales_and_blocks_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 4, vec![1., 2., 3., 4.]));
+        let mask = Tensor::from_vec(1, 4, vec![1., 0., 1., 0.]);
+        let d = tape.dropout(x, &mask, 0.5);
+        assert_eq!(tape.value(d).as_slice(), &[2., 0., 6., 0.]);
+        let s = tape.sum(d);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).as_slice(), &[2., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn gradients_accumulate_on_reused_nodes() {
+        // loss = sum(x*x + x) — x used by two consumers.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[3.0]));
+        let sq = tape.mul(x, x);
+        let both = tape.add(sq, x);
+        let loss = tape.sum(both);
+        tape.backward(loss);
+        // d/dx (x² + x) = 2x + 1 = 7.
+        assert_eq!(tape.grad(x).as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn backward_clears_previous_grads() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[2.0]));
+        let s1 = tape.sum(x);
+        tape.backward(s1);
+        tape.backward(s1);
+        assert_eq!(tape.grad(x).as_slice(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_nonscalar_root() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
+        tape.backward(x);
+    }
+
+    #[test]
+    fn stable_helpers_behave_at_extremes() {
+        assert!((stable_sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(stable_sigmoid(-100.0) < 1e-6);
+        assert!((stable_softplus(50.0) - 50.0).abs() < 1e-4);
+        assert!(stable_softplus(-50.0) < 1e-6);
+        assert!((stable_softplus(0.0) - 2f32.ln()).abs() < 1e-6);
+    }
+}

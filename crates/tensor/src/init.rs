@@ -1,0 +1,130 @@
+//! Parameter initialization and the small sampling helpers the rest of the
+//! workspace shares (standard-normal draws, dropout masks).
+//!
+//! `rand` 0.8 ships only uniform sampling for floats; the Gaussian draws are
+//! produced with the Box–Muller transform so we do not pull in `rand_distr`.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against ln(0).
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// A `(rows, cols)` tensor of i.i.d. `N(0, 1)` draws.
+pub fn randn_tensor<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> Tensor {
+    let data = (0..rows * cols).map(|_| randn(rng)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// A `(rows, cols)` tensor of i.i.d. `U[lo, hi)` draws.
+pub fn uniform_tensor<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    lo: f32,
+    hi: f32,
+    rng: &mut R,
+) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialization for a `(fan_in, fan_out)` weight.
+///
+/// Bound `sqrt(6 / (fan_in + fan_out))`; the standard choice for
+/// sigmoid/tanh-terminated stacks like the paper's VAE heads.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_tensor(fan_in, fan_out, -bound, bound, rng)
+}
+
+/// He/Kaiming normal initialization, `N(0, 2/fan_in)` — the standard choice
+/// for the ReLU hidden layers.
+pub fn he_normal<R: Rng + ?Sized>(
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = randn_tensor(fan_in, fan_out, rng);
+    t.map_inplace(|x| x * std);
+    t
+}
+
+/// A 0/1 Bernoulli(`keep`) mask for inverted dropout.
+pub fn dropout_mask<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    keep: f32,
+    rng: &mut R,
+) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| if rng.gen::<f32>() < keep { 1.0 } else { 0.0 })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(20, 16, &mut rng);
+        let bound = (6.0f32 / 36.0).sqrt();
+        assert!(t.as_slice().iter().all(|x| x.abs() <= bound));
+        assert_eq!(t.shape(), (20, 16));
+    }
+
+    #[test]
+    fn he_normal_scale_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = he_normal(200, 100, &mut rng);
+        let var = t.as_slice().iter().map(|x| x * x).sum::<f32>()
+            / t.len() as f32;
+        assert!((var - 0.01).abs() < 0.003, "var {var}");
+    }
+
+    #[test]
+    fn dropout_mask_keep_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = dropout_mask(100, 100, 0.7, &mut rng);
+        let kept = m.sum() / m.len() as f32;
+        assert!((kept - 0.7).abs() < 0.03, "kept {kept}");
+        assert!(m.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn uniform_tensor_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = uniform_tensor(10, 10, -0.25, 0.25, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.25..0.25).contains(&x)));
+    }
+}

@@ -1,0 +1,391 @@
+//! Neural-network building blocks on top of the autodiff [`Tape`].
+//!
+//! A module owns its parameter tensors. During a forward pass it registers
+//! them on the tape as leaves and appends the resulting [`Var`]s (in the
+//! same deterministic order as [`Module::visit_params`]) to the caller's
+//! `param_vars` vector, so the caller can later pair every parameter with
+//! its gradient for the optimizer — see [`crate::optim`].
+
+use crate::graph::{Tape, Var};
+use crate::init::{dropout_mask, he_normal, xavier_uniform};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Activation functions supported by [`Linear`] and [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no activation).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// ReLU followed by sigmoid — the paper's Table II lists its final
+    /// encoder/decoder layers as "L5 + Sigmoid" with a ReLU column, i.e.
+    /// both are applied.
+    ReluSigmoid,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => tape.relu(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::ReluSigmoid => {
+                let r = tape.relu(x);
+                tape.sigmoid(r)
+            }
+        }
+    }
+}
+
+/// Anything that owns trainable tensors.
+pub trait Module {
+    /// Visits every parameter immutably, in a fixed order.
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor));
+
+    /// Visits every parameter mutably, in the same order.
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor));
+
+    /// Number of scalar parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |t| n += t.len());
+        n
+    }
+
+    /// Collects clones of all parameters (used by save/load and tests).
+    fn export_params(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |t| out.push(t.clone()));
+        out
+    }
+
+    /// Overwrites all parameters from `params` (same order/shapes as
+    /// [`export_params`](Module::export_params)).
+    ///
+    /// # Panics
+    /// Panics on count or shape mismatch.
+    fn import_params(&mut self, params: &[Tensor]) {
+        let mut i = 0;
+        self.visit_params_mut(&mut |t| {
+            assert!(i < params.len(), "too few parameters to import");
+            assert_eq!(t.shape(), params[i].shape(), "param {i} shape");
+            *t = params[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, params.len(), "too many parameters to import");
+    }
+}
+
+/// A fully-connected layer `y = act(x W + b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight, shape `(in_dim, out_dim)`.
+    pub w: Tensor,
+    /// Bias, shape `(1, out_dim)`.
+    pub b: Tensor,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+}
+
+impl Linear {
+    /// Creates a layer with initialization matched to the activation
+    /// (He-normal for ReLU-family, Xavier otherwise) and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let w = match activation {
+            Activation::Relu | Activation::ReluSigmoid => {
+                he_normal(in_dim, out_dim, rng)
+            }
+            _ => xavier_uniform(in_dim, out_dim, rng),
+        };
+        Linear { w, b: Tensor::zeros(1, out_dim), activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass; registers `w` and `b` on the tape and appends their
+    /// vars to `param_vars`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        param_vars: &mut Vec<Var>,
+    ) -> Var {
+        let w = tape.leaf(self.w.clone());
+        let b = tape.leaf(self.b.clone());
+        param_vars.push(w);
+        param_vars.push(b);
+        let xw = tape.matmul(x, w);
+        let z = tape.add_row(xw, b);
+        self.activation.apply(tape, z)
+    }
+}
+
+impl Module for Linear {
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.w);
+        f(&self.b);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// A stack of [`Linear`] layers with optional inverted dropout after every
+/// activation (the paper applies 30 % dropout to each VAE layer).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// The layers, applied in order.
+    pub layers: Vec<Linear>,
+    /// Keep probability (`1 - dropout_rate`); 1.0 disables dropout.
+    pub keep_prob: f32,
+}
+
+impl Mlp {
+    /// Builds an MLP from `dims = [in, h1, …, out]` with `hidden_act` on all
+    /// but the last layer and `out_act` on the last.
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        keep_prob: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "keep_prob must be in (0, 1]"
+        );
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                Linear::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers, keep_prob }
+    }
+
+    /// Input dimension of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Forward pass.
+    ///
+    /// In training mode (`train = true`) a fresh dropout mask is drawn from
+    /// `rng` after every layer except the last; in eval mode dropout is the
+    /// identity (inverted-dropout convention).
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        param_vars: &mut Vec<Var>,
+        train: bool,
+        rng: &mut R,
+    ) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h, param_vars);
+            if train && self.keep_prob < 1.0 && i != last {
+                let (rows, cols) = tape.value(h).shape();
+                let mask = dropout_mask(rows, cols, self.keep_prob, rng);
+                h = tape.dropout(h, &mask, self.keep_prob);
+            }
+        }
+        h
+    }
+
+    /// Convenience inference pass on plain tensors (no tape, no dropout).
+    pub fn predict(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let mut z = h.matmul(&layer.w);
+            for r in 0..z.rows() {
+                for (v, &b) in
+                    z.row_slice_mut(r).iter_mut().zip(layer.b.as_slice())
+                {
+                    *v += b;
+                }
+            }
+            h = match layer.activation {
+                Activation::Identity => z,
+                Activation::Relu => z.map(|x| x.max(0.0)),
+                Activation::Sigmoid => z.map(crate::graph::stable_sigmoid),
+                Activation::Tanh => z.map(f32::tanh),
+                Activation::ReluSigmoid => {
+                    z.map(|x| crate::graph::stable_sigmoid(x.max(0.0)))
+                }
+            };
+        }
+        h
+    }
+}
+
+impl Module for Mlp {
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        for l in &self.layers {
+            l.visit_params(f);
+        }
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, Activation::Relu, &mut rng);
+        assert_eq!(l.in_dim(), 4);
+        assert_eq!(l.out_dim(), 3);
+        assert_eq!(l.param_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn mlp_forward_matches_predict_in_eval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Sigmoid,
+            0.7,
+            &mut rng,
+        );
+        let x = Tensor::from_vec(2, 3, vec![0.1, 0.5, -0.3, 0.9, -0.7, 0.2]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let mut pv = Vec::new();
+        let out = mlp.forward(&mut tape, xv, &mut pv, false, &mut rng);
+        let tape_out = tape.value(out).clone();
+        let pred = mlp.predict(&x);
+        for (a, b) in tape_out.as_slice().iter().zip(pred.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // Two layers => four param vars.
+        assert_eq!(pv.len(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        // Learn y = x1 + x2 with a tiny MLP and plain SGD on tape grads.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            1.0,
+            &mut rng,
+        );
+        let x = crate::init::uniform_tensor(64, 2, -1.0, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            64,
+            1,
+            (0..64).map(|r| x[(r, 0)] + x[(r, 1)]).collect(),
+        );
+        let mut losses = Vec::new();
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let yv = tape.leaf(y.clone());
+            let mut pv = Vec::new();
+            let out = mlp.forward(&mut tape, xv, &mut pv, true, &mut rng);
+            let loss = tape.mse_loss(out, yv);
+            losses.push(tape.value(loss).item());
+            tape.backward(loss);
+            let grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
+            let mut i = 0;
+            mlp.visit_params_mut(&mut |p| {
+                p.axpy(-0.1, &grads[i]);
+                i += 1;
+            });
+        }
+        assert!(
+            losses[199] < 0.05 * losses[0],
+            "loss did not drop: {} -> {}",
+            losses[0],
+            losses[199]
+        );
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(
+            &[3, 4, 2],
+            Activation::Relu,
+            Activation::Identity,
+            1.0,
+            &mut rng,
+        );
+        let mut other = Mlp::new(
+            &[3, 4, 2],
+            Activation::Relu,
+            Activation::Identity,
+            1.0,
+            &mut rng,
+        );
+        other.import_params(&mlp.export_params());
+        let x = Tensor::from_vec(1, 3, vec![0.2, -0.4, 0.6]);
+        assert_eq!(mlp.predict(&x).as_slice(), other.predict(&x).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_prob")]
+    fn mlp_rejects_zero_keep_prob() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = Mlp::new(
+            &[2, 2],
+            Activation::Relu,
+            Activation::Identity,
+            0.0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn relu_sigmoid_activation_composes() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(&[-2.0, 0.0, 2.0]));
+        let y = Activation::ReluSigmoid.apply(&mut tape, x);
+        let v = tape.value(y).as_slice().to_vec();
+        assert!((v[0] - 0.5).abs() < 1e-6); // relu(-2)=0, sigmoid(0)=0.5
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!(v[2] > 0.85); // sigmoid(2)
+    }
+}

@@ -1,0 +1,239 @@
+//! First-order optimizers operating on `(parameter, gradient)` pairs.
+//!
+//! The optimizers are stateful per parameter slot, keyed by position: call
+//! [`Optimizer::step`] with gradients in the same order as the module's
+//! [`visit_params`](crate::nn::Module::visit_params) traversal every time.
+
+use crate::nn::Module;
+use crate::tensor::Tensor;
+
+/// A first-order optimizer.
+pub trait Optimizer {
+    /// Applies one update to `module` given `grads`, which must align
+    /// one-to-one with the module's parameter traversal order.
+    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum (0 disables).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]) {
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity =
+                grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+        }
+        let mut i = 0;
+        module.visit_params_mut(&mut |p| {
+            assert!(i < grads.len(), "fewer grads than params");
+            let g = &grads[i];
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                for (v, &g) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *v = self.momentum * *v + g;
+                }
+                p.axpy(-self.lr, v);
+            } else {
+                p.axpy(-self.lr, g);
+            }
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "more grads than params");
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with custom hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn with_lr(lr: f32) -> Self {
+        Self::new(lr, 0.9, 0.999, 1e-8)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]) {
+        if self.m.is_empty() {
+            self.m = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.rows(), g.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut i = 0;
+        module.visit_params_mut(&mut |p| {
+            assert!(i < grads.len(), "fewer grads than params");
+            let g = grads[i].as_slice();
+            let m = self.m[i].as_mut_slice();
+            let v = self.v[i].as_mut_slice();
+            for ((p, (&g, m)), v) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.iter().zip(m.iter_mut()))
+                .zip(v.iter_mut())
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "more grads than params");
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Clips gradients in place to a maximum global L2 norm and returns the
+/// pre-clip norm. A standard guard against the occasional exploding hinge
+/// gradient early in VAE training.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.as_slice().iter().map(|x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            g.map_inplace(|x| x * scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Activation, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimize f(w) = mean((w - target)^2) directly through a module.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(3, 2, Activation::Identity, &mut rng);
+        let target = Tensor::full(3, 2, 0.5);
+        for _ in 0..steps {
+            // grad of mean squared error w.r.t. w, bias grad zero.
+            let gw = layer.w.zip(&target, |w, t| 2.0 * (w - t) / 6.0);
+            let gb = Tensor::zeros(1, 2);
+            opt.step(&mut layer, &[gw, gb]);
+        }
+        layer.w.zip(&target, |w, t| (w - t).abs()).sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        assert!(quadratic_descent(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.2, 0.9);
+        assert!(quadratic_descent(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::with_lr(0.05);
+        assert!(quadratic_descent(&mut opt, 400) < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first Adam step has magnitude ≈ lr.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(1, 1, Activation::Identity, &mut rng);
+        let before = layer.w[(0, 0)];
+        let mut opt = Adam::with_lr(0.1);
+        opt.step(
+            &mut layer,
+            &[Tensor::from_vec(1, 1, vec![3.0]), Tensor::zeros(1, 1)],
+        );
+        let step = (layer.w[(0, 0)] - before).abs();
+        assert!((step - 0.1).abs() < 1e-3, "step {step}");
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let mut grads = vec![Tensor::from_vec(1, 2, vec![3.0, 4.0])];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((grads[0].norm() - 1.0).abs() < 1e-5);
+
+        let mut small = vec![Tensor::from_vec(1, 2, vec![0.3, 0.4])];
+        clip_grad_norm(&mut small, 1.0);
+        assert_eq!(small[0].as_slice(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::with_lr(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sgd_rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! A small, dependency-free, human-inspectable text format for saving and
+//! restoring model parameters.
+//!
+//! Format (one logical item per line):
+//!
+//! ```text
+//! CFXTENSORS v1
+//! count <n>
+//! tensor <rows> <cols>
+//! <rows*cols space-separated f32 values>
+//! …repeated n times…
+//! ```
+//!
+//! Values are written with enough precision (`{:.9e}`) to round-trip f32.
+
+use crate::nn::Module;
+use crate::tensor::Tensor;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &str = "CFXTENSORS v1";
+
+/// Errors raised when decoding a parameter file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not in the expected format.
+    Parse(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Encodes tensors into the text format.
+pub fn encode(tensors: &[Tensor]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "count {}", tensors.len());
+    for t in tensors {
+        let _ = writeln!(out, "tensor {} {}", t.rows(), t.cols());
+        let mut first = true;
+        for &v in t.as_slice() {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v:.9e}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes tensors from the text format.
+pub fn decode(text: &str) -> Result<Vec<Tensor>, LoadError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| LoadError::Parse("empty file".into()))?;
+    if header.trim() != MAGIC {
+        return Err(LoadError::Parse(format!("bad magic line: {header:?}")));
+    }
+    let count_line = lines
+        .next()
+        .ok_or_else(|| LoadError::Parse("missing count line".into()))?;
+    let count: usize = count_line
+        .strip_prefix("count ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| LoadError::Parse(format!("bad count line: {count_line:?}")))?;
+
+    let mut tensors = Vec::with_capacity(count);
+    for i in 0..count {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| LoadError::Parse(format!("missing tensor {i} header")))?;
+        let mut parts = shape_line.split_whitespace();
+        if parts.next() != Some("tensor") {
+            return Err(LoadError::Parse(format!(
+                "bad tensor header: {shape_line:?}"
+            )));
+        }
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Parse(format!("bad rows in {shape_line:?}")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadError::Parse(format!("bad cols in {shape_line:?}")))?;
+        let data_line = lines
+            .next()
+            .ok_or_else(|| LoadError::Parse(format!("missing data for tensor {i}")))?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|s| {
+                s.parse::<f32>().map_err(|e| {
+                    LoadError::Parse(format!("bad value {s:?} in tensor {i}: {e}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(LoadError::Parse(format!(
+                "tensor {i}: expected {} values, found {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        tensors.push(Tensor::from_vec(rows, cols, data));
+    }
+    Ok(tensors)
+}
+
+/// Saves a module's parameters to `path`.
+pub fn save_module(module: &dyn Module, path: &Path) -> io::Result<()> {
+    fs::write(path, encode(&module.export_params()))
+}
+
+/// Restores a module's parameters from `path`.
+///
+/// # Panics
+/// Panics (via [`Module::import_params`]) on shape mismatch with the
+/// module's current architecture — a deliberate loud failure, since a
+/// silently misloaded model is worse than a crash.
+pub fn load_module(module: &mut dyn Module, path: &Path) -> Result<(), LoadError> {
+    let text = fs::read_to_string(path)?;
+    module.import_params(&decode(&text)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Activation, Mlp, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_round_trip_exact() {
+        let tensors = vec![
+            Tensor::from_vec(2, 2, vec![1.0, -2.5, 3.25e-7, 4.0e8]),
+            Tensor::scalar(0.1),
+            Tensor::zeros(1, 3),
+        ];
+        let decoded = decode(&encode(&tensors)).unwrap();
+        assert_eq!(decoded, tensors);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        assert!(matches!(decode("nope"), Err(LoadError::Parse(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_data() {
+        let text = format!("{MAGIC}\ncount 1\ntensor 2 2\n1.0 2.0 3.0\n");
+        assert!(matches!(decode(&text), Err(LoadError::Parse(_))));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_values() {
+        let text = format!("{MAGIC}\ncount 1\ntensor 1 2\n1.0 banana\n");
+        assert!(matches!(decode(&text), Err(LoadError::Parse(_))));
+    }
+
+    #[test]
+    fn module_file_round_trip() {
+        let dir = std::env::temp_dir().join("cfx_tensor_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mlp.cfxt");
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(
+            &[3, 4, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            1.0,
+            &mut rng,
+        );
+        save_module(&mlp, &path).unwrap();
+
+        let mut restored = Mlp::new(
+            &[3, 4, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            1.0,
+            &mut rng,
+        );
+        load_module(&mut restored, &path).unwrap();
+        assert_eq!(mlp.export_params(), restored.export_params());
+        std::fs::remove_file(&path).ok();
+    }
+}

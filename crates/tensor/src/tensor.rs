@@ -1,0 +1,456 @@
+//! Dense, row-major, two-dimensional `f32` tensors.
+//!
+//! Every value flowing through the networks in this workspace is a matrix:
+//! a mini-batch is `(batch, features)`, a bias is `(1, features)`, and a
+//! scalar loss is `(1, 1)`. Keeping the representation strictly 2-D keeps
+//! the autodiff rules small and auditable, which matters more here than
+//! generality — the paper's models are five-layer MLPs.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Invariant: `data.len() == rows * cols` (enforced by every constructor).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `(1, 1)` tensor holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "shape ({rows}x{cols}) does not match buffer length {}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Builds a `(1, n)` row vector from a slice.
+    pub fn row(values: &[f32]) -> Self {
+        Tensor { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Builds a tensor from nested rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in from_rows");
+            data.extend_from_slice(r);
+        }
+        Tensor { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// The single value of a `(1, 1)` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not a scalar.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Element-wise map producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self @ other` — matrix product.
+    ///
+    /// Uses an ikj loop order so the inner loop streams contiguously over
+    /// both the output row and the right operand row, which the compiler
+    /// auto-vectorizes; the models here are small enough that this is the
+    /// right complexity/performance point (see the perf-book guidance on
+    /// avoiding premature blocking).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: ({}x{}) @ ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        Tensor { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `(1, cols)` tensor.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += v;
+            }
+        }
+        Tensor { rows: 1, cols: self.cols, data: out }
+    }
+
+    /// Row-wise sum, producing a `(rows, 1)` tensor.
+    pub fn sum_cols(&self) -> Tensor {
+        let data = (0..self.rows)
+            .map(|r| self.row_slice(r).iter().sum())
+            .collect();
+        Tensor { rows: self.rows, cols: 1, data }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row_slice(r));
+            data.extend_from_slice(other.row_slice(r));
+        }
+        Tensor { rows: self.rows, cols, data }
+    }
+
+    /// Copies columns `[start, start + width)` into a new tensor.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `cols`.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Tensor {
+        assert!(start + width <= self.cols, "slice_cols out of range");
+        let mut data = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            let row = self.row_slice(r);
+            data.extend_from_slice(&row[start..start + width]);
+        }
+        Tensor { rows: self.rows, cols: width, data }
+    }
+
+    /// Copies rows `[start, start + count)` into a new tensor.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `rows`.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Tensor {
+        assert!(start + count <= self.rows, "slice_rows out of range");
+        let data =
+            self.data[start * self.cols..(start + count) * self.cols].to_vec();
+        Tensor { rows: count, cols: self.cols, data }
+    }
+
+    /// Gathers the given rows (in order, duplicates allowed) into a new tensor.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row_slice(i));
+        }
+        Tensor { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Frobenius (L2) norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Adds `other` scaled by `alpha` into `self` (`self += alpha * other`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Tensor {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor({}x{}) [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let cols = self.cols.min(8);
+            for c in 0..cols {
+                write!(f, "{:8.4}", self[(r, c)])?;
+                if c + 1 < cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_shapes() {
+        assert_eq!(Tensor::zeros(2, 3).shape(), (2, 3));
+        assert_eq!(Tensor::ones(4, 1).sum(), 4.0);
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+        assert_eq!(Tensor::row(&[1.0, 2.0]).shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match buffer length")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let i = Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn reductions_are_correct() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows().as_slice(), &[4., 6.]);
+        assert_eq!(a.sum_cols().as_slice(), &[3., 7.]);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 5., 6.]);
+        let b = Tensor::from_vec(2, 1, vec![3., 7.]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.as_slice(), &[1., 2., 3., 5., 6., 7.]);
+        assert_eq!(cat.slice_cols(0, 2), a);
+        assert_eq!(cat.slice_cols(2, 1), b);
+    }
+
+    #[test]
+    fn slice_and_gather_rows() {
+        let a = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.slice_rows(1, 2).as_slice(), &[3., 4., 5., 6.]);
+        assert_eq!(a.gather_rows(&[2, 0]).as_slice(), &[5., 6., 1., 2.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(1, 3);
+        let b = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn norm_and_max_abs() {
+        let a = Tensor::from_vec(1, 2, vec![3., -4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's motivating loan scenario (Figs. 1–3): an individual is
+//! denied (predicted low income); we sample *several* counterfactual
+//! candidates from the VAE's latent space, then rank them the way the
+//! paper argues a user should — prefer feasible ones, among those prefer
+//! the sparsest (Fig. 2), and among those prefer the ones lying in dense
+//! regions of the latent manifold rather than outliers (Fig. 3).
+//!
+//! ```text
+//! cargo run --release --example loan_scenario
+//! ```
+
+use cfx::core::{ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
+use cfx::data::{csv::format_value, DatasetId, EncodedDataset, Split};
+use cfx::manifold::Kde;
+use cfx::models::{BlackBox, BlackBoxConfig};
+use cfx::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of latent samples drawn for the one applicant.
+const CANDIDATES: usize = 24;
+
+fn main() {
+    let raw = DatasetId::Adult.generate(8_000, 7);
+    let data = EncodedDataset::from_raw(&raw);
+    let split = Split::paper(data.len(), 7);
+    let (x_train, y_train) = data.subset(&split.train);
+
+    let bb_cfg = BlackBoxConfig::default();
+    let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+    blackbox.train(&x_train, &y_train, &bb_cfg);
+
+    let config =
+        FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Binary)
+            .with_step_budget_of(DatasetId::Adult, x_train.rows());
+    let constraints = FeasibleCfModel::paper_constraints(
+        DatasetId::Adult,
+        &data,
+        ConstraintMode::Binary,
+        config.c1,
+        config.c2,
+    );
+    let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
+    model.fit(&x_train);
+
+    // Pick one denied applicant from the test split.
+    let x_test = data.x.gather_rows(&split.test);
+    let preds = model.blackbox().predict(&x_test);
+    let denied = (0..x_test.rows())
+        .find(|&r| preds[r] == 0)
+        .expect("no denied applicant in the test split");
+    let x = x_test.slice_rows(denied, 1);
+
+    println!("the denied applicant:");
+    let decoded = data.encoding.decode_row(&data.schema, x.row_slice(0));
+    for (f, v) in data.schema.features.iter().zip(&decoded) {
+        println!("  {:<16} {}", f.name, format_value(&f.kind, v));
+    }
+
+    // Density model over the latent space of the training data (Fig. 3's
+    // "dense batch of feasible examples").
+    let latents = model.latent_mu(&x_train.slice_rows(0, 2_000.min(x_train.rows())));
+    let latent_rows: Vec<Vec<f32>> =
+        (0..latents.rows()).map(|r| latents.row_slice(r).to_vec()).collect();
+    let kde = Kde::fit_scott(latent_rows);
+
+    // Sample candidate counterfactuals by perturbing the latent code.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for i in 0..CANDIDATES {
+        let noise = if i == 0 { 0.0 } else { 1.0 }; // first = posterior mean
+        let cf = model.counterfactuals_with_noise(&x, noise, &mut rng);
+        let valid = model.blackbox().predict(&cf)[0] == 1;
+        let feasible = model
+            .constraints()
+            .iter()
+            .all(|c| c.check(x.row_slice(0), cf.row_slice(0)));
+        let changes = count_changes(&data, &x, &cf);
+        let z = model.latent_mu(&cf);
+        let density = kde.density(z.row_slice(0));
+        candidates.push(Candidate { cf, valid, feasible, changes, density });
+    }
+
+    // Rank: feasible+valid first, then fewest changes, then densest.
+    candidates.sort_by(|a, b| {
+        (b.valid && b.feasible)
+            .cmp(&(a.valid && a.feasible))
+            .then(a.changes.cmp(&b.changes))
+            .then(b.density.partial_cmp(&a.density).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    println!("\ncandidate counterfactuals (best first):");
+    println!(
+        "{:>3} {:>6} {:>9} {:>8} {:>12}",
+        "#", "valid", "feasible", "changes", "latent dens."
+    );
+    for (i, c) in candidates.iter().enumerate().take(10) {
+        println!(
+            "{:>3} {:>6} {:>9} {:>8} {:>12.3e}",
+            i + 1,
+            c.valid,
+            c.feasible,
+            c.changes,
+            c.density
+        );
+    }
+
+    let best = &candidates[0];
+    println!("\nrecommended path to approval (changed attributes only):");
+    let cf_decoded =
+        data.encoding.decode_row(&data.schema, best.cf.row_slice(0));
+    for ((f, before), after) in
+        data.schema.features.iter().zip(&decoded).zip(&cf_decoded)
+    {
+        let b = format_value(&f.kind, before);
+        let a = format_value(&f.kind, after);
+        if changed_enough(&b, &a) {
+            println!("  {:<16} {b} -> {a}", f.name);
+        }
+    }
+}
+
+struct Candidate {
+    cf: Tensor,
+    valid: bool,
+    feasible: bool,
+    changes: usize,
+    density: f32,
+}
+
+/// Feature-level change count (the sparsity the user experiences).
+fn count_changes(data: &EncodedDataset, x: &Tensor, cf: &Tensor) -> usize {
+    let a = data.encoding.decode_row(&data.schema, x.row_slice(0));
+    let b = data.encoding.decode_row(&data.schema, cf.row_slice(0));
+    data.schema
+        .features
+        .iter()
+        .zip(a.iter().zip(&b))
+        .filter(|(f, (va, vb))| {
+            changed_enough(
+                &format_value(&f.kind, va),
+                &format_value(&f.kind, vb),
+            )
+        })
+        .count()
+}
+
+fn changed_enough(before: &str, after: &str) -> bool {
+    match (before.parse::<f32>(), after.parse::<f32>()) {
+        (Ok(x), Ok(y)) => (x - y).abs() >= 1.0,
+        _ => before != after,
+    }
+}

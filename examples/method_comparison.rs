@@ -1,0 +1,91 @@
+//! Side-by-side comparison of all nine counterfactual methods on a small
+//! Adult sample — a miniature of the paper's Table IV that runs in
+//! seconds and prints the same metric columns.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use cfx::baselines::{fit_all_baselines, BaselineContext};
+use cfx::core::{feasibility_rate, ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
+use cfx::data::{DatasetId, EncodedDataset, Split};
+use cfx::metrics::{
+    categorical_proximity, continuous_proximity, sparsity, validity_pct,
+    format_table, MetricContext, TableRow,
+};
+use cfx::models::{BlackBox, BlackBoxConfig};
+use cfx::tensor::Tensor;
+
+fn main() {
+    let dataset = DatasetId::Adult;
+    let raw = dataset.generate(6_000, 11);
+    let data = EncodedDataset::from_raw(&raw);
+    let split = Split::paper(data.len(), 11);
+    let (x_train, y_train) = data.subset(&split.train);
+
+    let bb_cfg = BlackBoxConfig::default();
+    let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+    blackbox.train(&x_train, &y_train, &bb_cfg);
+
+    // Evaluate on denied (negative-class) test instances.
+    let x_test = data.x.gather_rows(&split.test);
+    let preds = blackbox.predict(&x_test);
+    let denied: Vec<usize> =
+        (0..x_test.rows()).filter(|&r| preds[r] == 0).take(100).collect();
+    let x = x_test.gather_rows(&denied);
+    eprintln!("explaining {} denied applicants …", x.rows());
+
+    let metrics = MetricContext::new(&data);
+    let cfg = FeasibleCfConfig::paper(dataset, ConstraintMode::Unary);
+    let unary = FeasibleCfModel::paper_constraints(
+        dataset, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
+    );
+    let binary = FeasibleCfModel::paper_constraints(
+        dataset, &data, ConstraintMode::Binary, cfg.c1, cfg.c2,
+    );
+
+    let evaluate = |name: &str, cf: &Tensor| -> TableRow {
+        let desired: Vec<u8> =
+            blackbox.predict(&x).iter().map(|&p| 1 - p).collect();
+        let cf_pred = blackbox.predict(cf);
+        let xr: Vec<Vec<f32>> =
+            (0..x.rows()).map(|r| x.row_slice(r).to_vec()).collect();
+        let cr: Vec<Vec<f32>> =
+            (0..cf.rows()).map(|r| cf.row_slice(r).to_vec()).collect();
+        TableRow {
+            method: name.to_string(),
+            validity: validity_pct(&desired, &cf_pred),
+            feasibility_unary: Some(100.0 * feasibility_rate(&unary, &x, cf)),
+            feasibility_binary: Some(100.0 * feasibility_rate(&binary, &x, cf)),
+            continuous_proximity: continuous_proximity(&metrics, &xr, &cr),
+            categorical_proximity: categorical_proximity(&metrics, &xr, &cr),
+            sparsity: sparsity(&metrics, &xr, &cr),
+        }
+    };
+
+    let mut rows = Vec::new();
+    let ctx = BaselineContext::new(&data, x_train.clone(), &blackbox, 11);
+    for method in fit_all_baselines(&ctx, dataset) {
+        eprintln!("running {} …", method.name());
+        rows.push(evaluate(&method.name(), &method.counterfactuals(&x)));
+    }
+
+    for mode in [ConstraintMode::Unary, ConstraintMode::Binary] {
+        eprintln!("training our {} model …", mode.label());
+        let config = FeasibleCfConfig::paper(dataset, mode)
+            .with_step_budget_of(dataset, x_train.rows());
+        let constraints = FeasibleCfModel::paper_constraints(
+            dataset, &data, mode, config.c1, config.c2,
+        );
+        let mut model =
+            FeasibleCfModel::new(&data, blackbox.clone(), constraints, config);
+        model.fit(&x_train);
+        let label = match mode {
+            ConstraintMode::Unary => "Our method (a) unary",
+            ConstraintMode::Binary => "Our method (b) binary",
+        };
+        rows.push(evaluate(label, &model.counterfactuals(&x)));
+    }
+
+    println!("\n{}", format_table("method comparison (mini Table IV, Adult)", &rows));
+}

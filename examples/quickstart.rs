@@ -1,0 +1,76 @@
+//! Quickstart: train the black box and the feasible-counterfactual model
+//! on the Adult benchmark, then explain a handful of test instances.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cfx::core::{format_comparison, ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
+use cfx::data::{DatasetId, EncodedDataset, Split};
+use cfx::models::{BlackBox, BlackBoxConfig};
+
+fn main() {
+    // 1. Generate and preprocess the benchmark (synthetic Adult with the
+    //    paper's schema; see cfx-data docs for the substitution rationale).
+    let raw = DatasetId::Adult.generate(8_000, 42);
+    let data = EncodedDataset::from_raw(&raw);
+    let split = Split::paper(data.len(), 42);
+    let (x_train, y_train) = data.subset(&split.train);
+    println!(
+        "Adult: {} raw rows -> {} cleaned, encoded width {}",
+        8_000,
+        data.len(),
+        data.width()
+    );
+
+    // 2. Train and freeze the black-box classifier (two linear layers).
+    let bb_cfg = BlackBoxConfig::default();
+    let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+    blackbox.train(&x_train, &y_train, &bb_cfg);
+    let (x_val, y_val) = data.subset(&split.val);
+    println!(
+        "black box validation accuracy: {:.1}%",
+        100.0 * blackbox.accuracy(&x_val, &y_val)
+    );
+
+    // 3. Train the unary-constraint counterfactual generator (age↑).
+    let config = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+        .with_step_budget_of(DatasetId::Adult, x_train.rows());
+    let constraints = FeasibleCfModel::paper_constraints(
+        DatasetId::Adult,
+        &data,
+        ConstraintMode::Unary,
+        config.c1,
+        config.c2,
+    );
+    let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
+    let history = model.fit(&x_train);
+    println!(
+        "trained {} epochs; loss {:.2} -> {:.2}",
+        history.len(),
+        history.first().unwrap().total,
+        history.last().unwrap().total
+    );
+
+    // 4. Explain low-income test instances: how do they reach >50k?
+    let x_test = data.x.gather_rows(&split.test);
+    let preds = model.blackbox().predict(&x_test);
+    let low_income: Vec<usize> =
+        (0..x_test.rows()).filter(|&r| preds[r] == 0).take(100).collect();
+    let x = x_test.gather_rows(&low_income);
+    let batch = model.explain_batch(&x);
+    println!(
+        "\nexplained {} instances: validity {:.1}%, feasibility {:.1}%",
+        batch.examples.len(),
+        100.0 * batch.validity_rate(),
+        100.0 * batch.feasibility_rate()
+    );
+
+    // 5. Show the first valid + feasible explanation, Table-V style.
+    if let Some(example) =
+        batch.examples.iter().find(|e| e.valid && e.feasible)
+    {
+        println!("\na successful counterfactual (changes marked *):\n");
+        print!("{}", format_comparison(&data.schema, &data.encoding, example));
+    }
+}

@@ -1,0 +1,223 @@
+//! `cfx` — command-line interface to the feasible-counterfactual toolkit.
+//!
+//! ```text
+//! cfx run <adult|kdd|law> [--mode unary|binary] [--n N] [--seed S] [--explain K]
+//!     end-to-end: generate data, train black box + CF model, print
+//!     metrics and a Table-V style example
+//! cfx discover <adult|kdd|law> [--n N] [--seed S]
+//!     scan the dataset for causal-constraint candidates (§V future work)
+//! cfx diverse <adult|kdd|law> [--k K] [--n N] [--seed S]
+//!     print a diverse counterfactual set for one denied instance
+//! cfx data <adult|kdd|law> [--n N] [--seed S]
+//!     dump the generated benchmark as CSV to stdout
+//! ```
+
+use cfx::core::{
+    discover_binary_constraints, format_comparison, ConstraintMode,
+    DiscoveryConfig, DiverseConfig, FeasibleCfConfig, FeasibleCfModel,
+};
+use cfx::data::{csv::raw_to_csv, DatasetId, EncodedDataset, Split};
+use cfx::models::{BlackBox, BlackBoxConfig};
+use std::process::ExitCode;
+
+struct Args {
+    dataset: DatasetId,
+    mode: ConstraintMode,
+    n: usize,
+    seed: u64,
+    explain: usize,
+    k: usize,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        dataset: DatasetId::Adult,
+        mode: ConstraintMode::Unary,
+        n: 8_000,
+        seed: 42,
+        explain: 100,
+        k: 4,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                out.mode = match args.get(i).map(String::as_str) {
+                    Some("unary") => ConstraintMode::Unary,
+                    Some("binary") => ConstraintMode::Binary,
+                    other => return Err(format!("bad --mode {other:?}")),
+                };
+            }
+            "--n" => {
+                i += 1;
+                out.n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --n")?;
+            }
+            "--seed" => {
+                i += 1;
+                out.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --seed")?;
+            }
+            "--explain" => {
+                i += 1;
+                out.explain = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --explain")?;
+            }
+            "--k" => {
+                i += 1;
+                out.k =
+                    args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --k")?;
+            }
+            name => {
+                out.dataset = DatasetId::parse(name)
+                    .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprintln!("usage: cfx <run|discover|diverse|data> <dataset> [flags]");
+        return ExitCode::from(2);
+    };
+    let args = match parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match command {
+        "run" => cmd_run(&args),
+        "discover" => cmd_discover(&args),
+        "diverse" => cmd_diverse(&args),
+        "data" => cmd_data(&args),
+        other => {
+            eprintln!("unknown command {other:?}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Shared setup: generate, encode, split, train black box + CF model.
+fn setup(args: &Args) -> (EncodedDataset, Split, FeasibleCfModel) {
+    eprintln!(
+        "generating {} ({} raw rows, seed {}) …",
+        args.dataset.name(),
+        args.n,
+        args.seed
+    );
+    let raw = args.dataset.generate(args.n, args.seed);
+    let data = EncodedDataset::from_raw(&raw);
+    let split = Split::paper(data.len(), args.seed);
+    let (x_train, y_train) = data.subset(&split.train);
+
+    eprintln!("training black box …");
+    let bb_cfg = BlackBoxConfig { seed: args.seed, ..Default::default() };
+    let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+    blackbox.train(&x_train, &y_train, &bb_cfg);
+
+    eprintln!("training {} counterfactual model …", args.mode.label());
+    let config = FeasibleCfConfig::paper(args.dataset, args.mode)
+        .with_seed(args.seed)
+        .with_step_budget_of(args.dataset, x_train.rows());
+    let constraints = FeasibleCfModel::paper_constraints(
+        args.dataset,
+        &data,
+        args.mode,
+        config.c1,
+        config.c2,
+    );
+    let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
+    model.fit(&x_train);
+    (data, split, model)
+}
+
+fn denied(data: &EncodedDataset, split: &Split, model: &FeasibleCfModel, cap: usize) -> cfx::tensor::Tensor {
+    let x = data.x.gather_rows(&split.test);
+    let preds = model.blackbox().predict(&x);
+    let idx: Vec<usize> =
+        (0..x.rows()).filter(|&r| preds[r] == 0).take(cap).collect();
+    x.gather_rows(&idx)
+}
+
+fn cmd_run(args: &Args) {
+    let (data, split, model) = setup(args);
+    let x = denied(&data, &split, &model, args.explain);
+    let batch = model.explain_batch(&x);
+    println!(
+        "explained {} denied instances: validity {:.1}%, feasibility {:.1}%",
+        batch.examples.len(),
+        100.0 * batch.validity_rate(),
+        100.0 * batch.feasibility_rate()
+    );
+    if let Some(e) = batch.examples.iter().find(|e| e.valid && e.feasible) {
+        println!("\nexample (changes marked *):");
+        print!("{}", format_comparison(&data.schema, &data.encoding, e));
+    }
+}
+
+fn cmd_discover(args: &Args) {
+    let raw = args.dataset.generate(args.n, args.seed);
+    let data = EncodedDataset::from_raw(&raw);
+    let found = discover_binary_constraints(&data, &DiscoveryConfig::default());
+    println!(
+        "{:<18} {:<18} {:>7} {:>10} {:>9}",
+        "cause", "effect", "score", "floor-mono", "dominance"
+    );
+    for c in found.iter().take(10) {
+        println!(
+            "{:<18} {:<18} {:>7.3} {:>10.2} {:>9.3}",
+            c.cause, c.effect, c.score, c.floor_monotonicity, c.dominance
+        );
+    }
+    if found.is_empty() {
+        println!("(no candidates — dataset too small?)");
+    }
+}
+
+fn cmd_diverse(args: &Args) {
+    let (data, split, model) = setup(args);
+    let x = denied(&data, &split, &model, 1);
+    if x.rows() == 0 {
+        println!("no denied instance found");
+        return;
+    }
+    let set = model.explain_diverse(
+        &x,
+        &DiverseConfig { k: args.k, seed: args.seed, ..Default::default() },
+    );
+    println!(
+        "{} diverse counterfactuals (pool kept {}, diversity {:.3}):\n",
+        set.selected.len(),
+        set.pool_after_filter,
+        set.diversity
+    );
+    for (i, e) in set.selected.iter().enumerate() {
+        println!(
+            "--- counterfactual {} (valid {}, feasible {}) ---",
+            i + 1,
+            e.valid,
+            e.feasible
+        );
+        print!("{}", format_comparison(&data.schema, &data.encoding, e));
+        println!();
+    }
+}
+
+fn cmd_data(args: &Args) {
+    let raw = args.dataset.generate(args.n, args.seed);
+    print!("{}", raw_to_csv(&raw));
+}

@@ -1,0 +1,27 @@
+//! # cfx — Feasible Counterfactual Exploration
+//!
+//! A Rust reproduction of *"A Framework for Feasible Counterfactual
+//! Exploration incorporating Causality, Sparsity and Density"* (ICDE
+//! 2024). This facade crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autodiff (`cfx-tensor`)
+//! * [`data`] — the three synthetic benchmarks + preprocessing (`cfx-data`)
+//! * [`models`] — black-box classifier + conditional VAE (`cfx-models`)
+//! * [`core`] — the feasible-CF generator, constraints, losses (`cfx-core`)
+//! * [`baselines`] — Mahajan, REVISE, C-CHVAE, CEM, DiCE, FACE (`cfx-baselines`)
+//! * [`manifold`] — t-SNE, PCA, KDE for the density analysis (`cfx-manifold`)
+//! * [`metrics`] — the §IV-D evaluation metrics (`cfx-metrics`)
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and the
+//! [`guide`] module for a long-form tour.
+
+pub mod guide;
+
+pub use cfx_baselines as baselines;
+pub use cfx_core as core;
+pub use cfx_data as data;
+pub use cfx_manifold as manifold;
+pub use cfx_metrics as metrics;
+pub use cfx_models as models;
+pub use cfx_tensor as tensor;

@@ -1,0 +1,70 @@
+//! End-to-end tests of the `cfx` CLI binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn cfx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfx"))
+}
+
+#[test]
+fn data_subcommand_emits_csv() {
+    let out = cfx()
+        .args(["data", "law", "--n", "50", "--seed", "3"])
+        .output()
+        .expect("spawn cfx");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("lsat,ugpa,zgpa,zfygpa,tier,decile,sex,fulltime,fam_inc_high,race,label")
+    );
+    assert_eq!(stdout.lines().count(), 51, "header + 50 rows");
+}
+
+#[test]
+fn data_is_deterministic_per_seed() {
+    let run = |seed: &str| {
+        let out = cfx()
+            .args(["data", "adult", "--n", "30", "--seed", seed])
+            .output()
+            .expect("spawn cfx");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("5"), run("5"));
+    assert_ne!(run("5"), run("6"));
+}
+
+#[test]
+fn discover_subcommand_finds_the_adult_constraint() {
+    let out = cfx()
+        .args(["discover", "adult", "--n", "4000", "--seed", "2"])
+        .output()
+        .expect("spawn cfx");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("cause"), "missing table header:\n{stdout}");
+    assert!(
+        stdout.contains("education"),
+        "education not among candidates:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let no_args = cfx().output().expect("spawn cfx");
+    assert!(!no_args.status.success());
+
+    let bad_dataset = cfx()
+        .args(["data", "mnist"])
+        .output()
+        .expect("spawn cfx");
+    assert!(!bad_dataset.status.success());
+
+    let bad_command = cfx()
+        .args(["frobnicate", "adult"])
+        .output()
+        .expect("spawn cfx");
+    assert!(!bad_command.status.success());
+}

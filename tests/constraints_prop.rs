@@ -1,0 +1,176 @@
+//! Property tests on the constraint DSL and the evaluation metrics:
+//! penalties vanish exactly when constraints hold, checks agree with the
+//! penalties' zero set, and metric values respect their bounds.
+
+use cfx::core::{feasibility_rate, Constraint};
+use cfx::data::{EncodedDataset, Feature, RawDataset, Schema, Value};
+use cfx::metrics::{
+    categorical_proximity, continuous_proximity, sparsity, validity_pct,
+    MetricContext,
+};
+use cfx::tensor::{Tape, Tensor};
+use proptest::prelude::*;
+
+/// Fixture: numeric age + 4-level ordinal education + frozen binary.
+fn fixture() -> (Schema, cfx::data::Encoding, MetricContext) {
+    let schema = Schema {
+        features: vec![
+            Feature::numeric("age", 0.0, 100.0),
+            Feature::ordinal("education", &["hs", "bs", "ms", "phd"]),
+            Feature::binary("gender").frozen(),
+        ],
+        target: "t".into(),
+        positive_class: "p".into(),
+        negative_class: "n".into(),
+    };
+    let raw = RawDataset {
+        schema: schema.clone(),
+        rows: vec![
+            vec![Value::Num(0.0), Value::Cat(0), Value::Bin(false)],
+            vec![Value::Num(50.0), Value::Cat(2), Value::Bin(true)],
+            vec![Value::Num(100.0), Value::Cat(3), Value::Bin(false)],
+        ],
+        labels: vec![false, true, true],
+    };
+    let data = EncodedDataset::from_raw(&raw);
+    let ctx = MetricContext::new(&data);
+    (schema, data.encoding, ctx)
+}
+
+/// An encoded row for the fixture: [age, edu one-hot ×4, gender].
+fn encoded_row(age: f32, edu: usize, gender: bool) -> Vec<f32> {
+    let mut row = vec![0.0f32; 6];
+    row[0] = age;
+    row[1 + edu] = 1.0;
+    row[5] = gender as u8 as f32;
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unary_check_iff_age_not_decreased(
+        age in 0.0f32..1.0,
+        age_cf in 0.0f32..1.0,
+        edu in 0usize..4,
+        edu_cf in 0usize..4,
+    ) {
+        let (schema, enc, _) = fixture();
+        let c = Constraint::unary(&schema, &enc, "age");
+        let x = encoded_row(age, edu, false);
+        let cf = encoded_row(age_cf, edu_cf, false);
+        let expected = age_cf >= age - 1.1e-4;
+        prop_assert_eq!(c.check(&x, &cf), expected);
+    }
+
+    #[test]
+    fn unary_penalty_zero_iff_check_passes(
+        age in 0.0f32..1.0,
+        age_cf in 0.0f32..1.0,
+    ) {
+        let (schema, enc, _) = fixture();
+        let c = Constraint::unary(&schema, &enc, "age");
+        let x = Tensor::from_vec(1, 6, encoded_row(age, 0, false));
+        let cf = Tensor::from_vec(1, 6, encoded_row(age_cf, 0, false));
+        let check = c.check(x.row_slice(0), cf.row_slice(0));
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let cfv = tape.leaf(cf);
+        let pv = c.penalty_tape(&mut tape, xv, cfv);
+        let p = tape.value(pv).item();
+        prop_assert!(p >= 0.0);
+        if check {
+            prop_assert!(p <= 1.2e-4, "check passed but penalty {p}");
+        } else {
+            prop_assert!(p > 0.0, "check failed but penalty zero");
+        }
+    }
+
+    #[test]
+    fn binary_check_matches_eq2_semantics(
+        age in 0.0f32..0.9,
+        dage in -0.2f32..0.2,
+        edu in 0usize..4,
+        edu_cf in 0usize..4,
+    ) {
+        let (schema, enc, _) = fixture();
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2);
+        let age_cf = (age + dage).clamp(0.0, 1.0);
+        let x = encoded_row(age, edu, true);
+        let cf = encoded_row(age_cf, edu_cf, true);
+        let de = age_cf - age;
+        let expected = if edu_cf > edu {
+            de > 1e-4
+        } else if edu_cf == edu {
+            de >= -1e-4
+        } else {
+            true // Eq. (2) is vacuous when the cause decreases
+        };
+        prop_assert_eq!(c.check(&x, &cf), expected,
+            "edu {} -> {}, age delta {}", edu, edu_cf, de);
+    }
+
+    #[test]
+    fn feasibility_rate_is_a_rate(
+        ages in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 1..20),
+    ) {
+        let (schema, enc, _) = fixture();
+        let c = vec![Constraint::unary(&schema, &enc, "age")];
+        let x_rows: Vec<Vec<f32>> =
+            ages.iter().map(|&(a, _)| encoded_row(a, 1, false)).collect();
+        let cf_rows: Vec<Vec<f32>> =
+            ages.iter().map(|&(_, b)| encoded_row(b, 1, false)).collect();
+        let x = Tensor::from_rows(&x_rows);
+        let cf = Tensor::from_rows(&cf_rows);
+        let rate = feasibility_rate(&c, &x, &cf);
+        prop_assert!((0.0..=1.0).contains(&rate));
+        let manual = ages.iter().filter(|&&(a, b)| b >= a - 1.1e-4).count()
+            as f32 / ages.len() as f32;
+        prop_assert!((rate - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_bounds_hold(
+        rows in prop::collection::vec(
+            ((0.0f32..1.0, 0usize..4, any::<bool>()),
+             (0.0f32..1.0, 0usize..4, any::<bool>())),
+            1..20,
+        ),
+    ) {
+        let (_, _, ctx) = fixture();
+        let x: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|((a, e, g), _)| encoded_row(*a, *e, *g))
+            .collect();
+        let cf: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|(_, (a, e, g))| encoded_row(*a, *e, *g))
+            .collect();
+        let sp = sparsity(&ctx, &x, &cf);
+        let cat = categorical_proximity(&ctx, &x, &cf);
+        let cont = continuous_proximity(&ctx, &x, &cf);
+        // Sparsity counts features: bounded by the schema arity.
+        prop_assert!((0.0..=3.0).contains(&sp));
+        // Categorical proximity: at most one categorical feature changes.
+        prop_assert!((-1.0..=0.0).contains(&cat));
+        // Continuous proximity is never positive.
+        prop_assert!(cont <= 0.0);
+        // Identity counterfactuals zero everything.
+        let sp0 = sparsity(&ctx, &x, &x);
+        prop_assert_eq!(sp0, 0.0);
+    }
+
+    #[test]
+    fn validity_pct_counts_matches(
+        pairs in prop::collection::vec((0u8..2, 0u8..2), 1..50),
+    ) {
+        let desired: Vec<u8> = pairs.iter().map(|p| p.0).collect();
+        let pred: Vec<u8> = pairs.iter().map(|p| p.1).collect();
+        let v = validity_pct(&desired, &pred);
+        let manual = 100.0
+            * pairs.iter().filter(|(d, p)| d == p).count() as f32
+            / pairs.len() as f32;
+        prop_assert!((v - manual).abs() < 1e-5);
+    }
+}

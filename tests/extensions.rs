@@ -1,0 +1,169 @@
+//! Integration tests for the extension features: constraint discovery,
+//! diverse counterfactual sets, and the stability metrics — all exercised
+//! against the real pipeline rather than fixtures.
+
+use cfx::core::{
+    discover_binary_constraints, ConstraintMode, DiscoveryConfig,
+    DiverseConfig, FeasibleCfConfig, FeasibleCfModel, FilterLevel,
+};
+use cfx::data::{DatasetId, EncodedDataset, Split};
+use cfx::metrics::{manifold_distance, robustness, ynn};
+use cfx::models::{BlackBox, BlackBoxConfig};
+use cfx::tensor::Tensor;
+use std::sync::OnceLock;
+
+struct Fixture {
+    data: EncodedDataset,
+    split: Split,
+    model: FeasibleCfModel,
+}
+
+fn fixture() -> &'static Fixture {
+    static CACHE: OnceLock<Fixture> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let raw = DatasetId::Adult.generate_clean(4_000, 77);
+        let data = EncodedDataset::from_raw(&raw);
+        let split = Split::paper(data.len(), 77);
+        let (x_train, y_train) = data.subset(&split.train);
+        let bb_cfg = BlackBoxConfig { epochs: 12, ..Default::default() };
+        let mut bb = BlackBox::new(data.width(), &bb_cfg);
+        bb.train(&x_train, &y_train, &bb_cfg);
+        let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary)
+            .with_step_budget_of(DatasetId::Adult, x_train.rows());
+        let constraints = FeasibleCfModel::paper_constraints(
+            DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
+        );
+        let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
+        model.fit(&x_train);
+        Fixture { data, split, model }
+    })
+}
+
+fn denied(f: &Fixture, cap: usize) -> Tensor {
+    let x = f.data.x.gather_rows(&f.split.test);
+    let preds = f.model.blackbox().predict(&x);
+    let idx: Vec<usize> =
+        (0..x.rows()).filter(|&r| preds[r] == 0).take(cap).collect();
+    x.gather_rows(&idx)
+}
+
+#[test]
+fn discovery_then_training_on_discovered_constraint_works() {
+    let f = fixture();
+    let found =
+        discover_binary_constraints(&f.data, &DiscoveryConfig::default());
+    let top = found
+        .iter()
+        .find(|c| c.cause == "education" && c.effect == "age")
+        .expect("education⇒age not discovered");
+    // Train a model on the discovered constraint end to end.
+    let (x_train, _) = f.data.subset(&f.split.train);
+    let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Binary)
+        .with_step_budget_of(DatasetId::Adult, x_train.rows());
+    let mut model = FeasibleCfModel::new(
+        &f.data,
+        f.model.blackbox().clone(),
+        vec![top.to_constraint(&f.data)],
+        cfg,
+    );
+    model.fit(&x_train);
+    let batch = model.explain_batch(&denied(f, 100));
+    assert!(
+        batch.validity_rate() > 0.7,
+        "validity {}",
+        batch.validity_rate()
+    );
+    assert!(
+        batch.feasibility_rate() > 0.7,
+        "feasibility {}",
+        batch.feasibility_rate()
+    );
+}
+
+#[test]
+fn diverse_sets_are_valid_and_diverse_on_real_instances() {
+    let f = fixture();
+    let x = denied(f, 5);
+    for r in 0..x.rows() {
+        let row = x.slice_rows(r, 1);
+        let set = f.model.explain_diverse(
+            &row,
+            &DiverseConfig { pool_size: 40, k: 3, ..Default::default() },
+        );
+        assert!(!set.selected.is_empty(), "row {r}: empty diverse set");
+        if set.filter_level == FilterLevel::ValidAndFeasible {
+            assert!(set.selected.iter().all(|c| c.valid && c.feasible));
+        }
+        // Each selected CF keeps the immutable columns.
+        let frozen = f.data.encoding.immutable_columns(&f.data.schema);
+        for c in &set.selected {
+            for &col in &frozen {
+                assert_eq!(c.cf[col], c.input[col], "immutable col {col}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stability_metrics_on_generated_counterfactuals() {
+    let f = fixture();
+    let x = denied(f, 80);
+    let cf = f.model.counterfactuals(&x);
+    let desired: Vec<u8> =
+        f.model.blackbox().predict(&x).iter().map(|&p| 1 - p).collect();
+    let (x_train, _) = f.data.subset(&f.split.train);
+    let nn_ref = x_train.slice_rows(0, 1_000);
+    let nn_pred = f.model.blackbox().predict(&nn_ref);
+
+    let rob = robustness(&cf, &desired, 0.02, 10, 3, |t| {
+        f.model.blackbox().predict(t)
+    });
+    assert!((0.0..=1.0).contains(&rob));
+    // Noise smaller than any margin keeps robustness ≥ validity-ish.
+    let rob0 = robustness(&cf, &desired, 0.0, 3, 3, |t| {
+        f.model.blackbox().predict(t)
+    });
+    assert!(rob0 >= rob - 1e-6, "zero noise can only help");
+
+    let y = ynn(&cf, &desired, &nn_ref, &nn_pred, 5);
+    assert!((0.0..=1.0).contains(&y));
+
+    let md = manifold_distance(&cf, &nn_ref);
+    assert!(md.is_finite() && md >= 0.0);
+    // Counterfactuals of a generative model should sit closer to the data
+    // manifold than uniform noise does.
+    let mut noise = Tensor::zeros(cf.rows(), cf.cols());
+    for (i, v) in noise.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 2654435761) % 1000) as f32 / 1000.0;
+    }
+    let md_noise = manifold_distance(&noise, &nn_ref);
+    assert!(
+        md < md_noise,
+        "CFs ({md}) should be nearer the manifold than noise ({md_noise})"
+    );
+}
+
+#[test]
+fn diversity_increases_with_pool_noise() {
+    let f = fixture();
+    let x = denied(f, 1);
+    if x.rows() == 0 {
+        return;
+    }
+    let quiet = f.model.explain_diverse(
+        &x,
+        &DiverseConfig { noise_scale: 0.1, k: 3, ..Default::default() },
+    );
+    let loud = f.model.explain_diverse(
+        &x,
+        &DiverseConfig { noise_scale: 2.0, k: 3, ..Default::default() },
+    );
+    if quiet.selected.len() >= 2 && loud.selected.len() >= 2 {
+        assert!(
+            loud.diversity >= quiet.diversity * 0.5,
+            "noise 2.0 diversity {} collapsed vs 0.1 {}",
+            loud.diversity,
+            quiet.diversity
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the manifold toolkit: KDE normalization and
+//! monotonicity, PCA invariances, t-SNE sanity on structured inputs.
+
+use cfx::manifold::{knn_separability, tsne, Kde, Pca, TsneConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kde_density_positive_and_peaks_near_support(
+        pts in prop::collection::vec(
+            prop::collection::vec(-3.0f32..3.0, 2), 2..15),
+        bw in 0.2f32..1.5,
+    ) {
+        let kde = Kde::fit(pts.clone(), bw);
+        for p in &pts {
+            let near = kde.density(p);
+            let far = kde.density(&[p[0] + 50.0, p[1] + 50.0]);
+            prop_assert!(near > 0.0);
+            prop_assert!(near > far);
+        }
+    }
+
+    #[test]
+    fn kde_1d_integrates_to_one(
+        centers in prop::collection::vec(-2.0f32..2.0, 1..6),
+        bw in 0.3f32..1.0,
+    ) {
+        let pts: Vec<Vec<f32>> = centers.iter().map(|&c| vec![c]).collect();
+        let kde = Kde::fit(pts, bw);
+        let mut integral = 0.0f32;
+        let step = 0.02f32;
+        let mut x = -12.0f32;
+        while x < 12.0 {
+            integral += kde.density(&[x]) * step;
+            x += step;
+        }
+        prop_assert!((integral - 1.0).abs() < 0.03, "∫ = {integral}");
+    }
+
+    #[test]
+    fn pca_projection_is_translation_invariant_in_spread(
+        shift in -10.0f32..10.0,
+    ) {
+        // Shifting all points must not change the projected *spread*.
+        let base: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![i as f32 * 0.1, (i % 7) as f32 * 0.3])
+            .collect();
+        let shifted: Vec<Vec<f32>> = base
+            .iter()
+            .map(|p| vec![p[0] + shift, p[1] + shift])
+            .collect();
+        let spread = |data: &[Vec<f32>]| {
+            let pca = Pca::fit(data, 1);
+            let proj = pca.transform(data);
+            let m = proj.iter().map(|p| p[0]).sum::<f32>() / proj.len() as f32;
+            proj.iter().map(|p| (p[0] - m).powi(2)).sum::<f32>()
+        };
+        let a = spread(&base);
+        let b = spread(&shifted);
+        prop_assert!((a - b).abs() < 1e-2 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn tsne_outputs_are_finite_and_centered(
+        seed in any::<u64>(),
+        n in 8usize..24,
+    ) {
+        let data: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let s = (seed % 97) as f32 / 97.0;
+                vec![
+                    (i as f32 * 0.37 + s) % 1.0,
+                    (i as f32 * 0.71) % 1.0,
+                    (i as f32 * 0.13) % 1.0,
+                ]
+            })
+            .collect();
+        let emb = tsne(&data, &TsneConfig { n_iter: 60, seed, ..Default::default() });
+        prop_assert_eq!(emb.len(), n);
+        prop_assert!(emb.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+        let mx = emb.iter().map(|p| p.0).sum::<f32>() / n as f32;
+        let my = emb.iter().map(|p| p.1).sum::<f32>() / n as f32;
+        prop_assert!(mx.abs() < 1e-2 && my.abs() < 1e-2);
+    }
+
+    #[test]
+    fn separability_is_bounded_and_perfect_for_far_clusters(
+        gap in 20.0f32..100.0,
+        n in 5usize..15,
+    ) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            pts.push((i as f32 * 0.1, 0.0));
+            labels.push(0u8);
+            pts.push((gap + i as f32 * 0.1, 0.0));
+            labels.push(1u8);
+        }
+        let s = knn_separability(&pts, &labels, 3);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(s > 0.99, "far clusters should separate: {s}");
+    }
+}

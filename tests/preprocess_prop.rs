@@ -1,0 +1,129 @@
+//! Property tests for the preprocessing pipeline: encode∘decode identity,
+//! normalization bounds, split partitioning.
+
+use cfx::data::{
+    DatasetId, EncodedDataset, Encoding, Feature, RawDataset, Schema, Split,
+    Value,
+};
+use proptest::prelude::*;
+
+/// A random small schema and matching rows.
+fn schema_and_rows() -> impl Strategy<Value = (Schema, Vec<Vec<Value>>)> {
+    (2usize..5, 2usize..6, 3usize..30).prop_flat_map(
+        |(n_num, n_cat_levels, n_rows)| {
+            let schema = Schema {
+                features: {
+                    let mut fs = Vec::new();
+                    for i in 0..n_num {
+                        fs.push(Feature::numeric(&format!("n{i}"), 0.0, 100.0));
+                    }
+                    let levels: Vec<String> = (0..n_cat_levels)
+                        .map(|l| format!("lv{l}"))
+                        .collect();
+                    let refs: Vec<&str> =
+                        levels.iter().map(String::as_str).collect();
+                    fs.push(Feature::ordinal("cat", &refs));
+                    fs.push(Feature::binary("bin").frozen());
+                    fs
+                },
+                target: "t".into(),
+                positive_class: "p".into(),
+                negative_class: "n".into(),
+            };
+            let row = (
+                prop::collection::vec(0.0f32..100.0, n_num),
+                0..n_cat_levels as u32,
+                any::<bool>(),
+            )
+                .prop_map(move |(nums, cat, bin)| {
+                    let mut row: Vec<Value> =
+                        nums.into_iter().map(Value::Num).collect();
+                    row.push(Value::Cat(cat));
+                    row.push(Value::Bin(bin));
+                    row
+                });
+            prop::collection::vec(row, n_rows..=n_rows)
+                .prop_map(move |rows| (schema.clone(), rows))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_recovers_discrete_and_bounds_numeric(
+        (schema, rows) in schema_and_rows(),
+    ) {
+        let labels = vec![true; rows.len()];
+        let raw = RawDataset { schema: schema.clone(), rows: rows.clone(), labels };
+        let enc = Encoding::fit(&raw);
+        for row in &rows {
+            let e = enc.encode_row(&schema, row);
+            // Everything lands in [0, 1].
+            prop_assert!(e.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let back = enc.decode_row(&schema, &e);
+            for ((orig, rec), f) in row.iter().zip(&back).zip(&schema.features) {
+                match (orig, rec) {
+                    (Value::Num(a), Value::Num(b)) => {
+                        // min-max is lossy only through f32 rounding.
+                        prop_assert!((a - b).abs() < 1e-2,
+                            "{}: {a} vs {b}", f.name);
+                    }
+                    _ => prop_assert_eq!(orig, rec, "{}", &f.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_dataset_one_hot_blocks_sum_to_one(
+        (schema, rows) in schema_and_rows(),
+    ) {
+        let labels = vec![false; rows.len()];
+        let raw = RawDataset { schema, rows, labels };
+        let data = EncodedDataset::from_raw(&raw);
+        let cat_idx = data.schema.index_of("cat");
+        let span = data.encoding.spans[cat_idx];
+        for r in 0..data.len() {
+            let block: f32 = data.x.row_slice(r)
+                [span.start..span.start + span.width]
+                .iter()
+                .sum();
+            prop_assert!((block - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(n in 10usize..3000, seed in any::<u64>()) {
+        let s = Split::paper(n, seed);
+        let mut seen = vec![false; n];
+        for &i in s.train.iter().chain(&s.val).chain(&s.test) {
+            prop_assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b), "missing indices");
+        // 80/10/10 within rounding.
+        prop_assert!((s.train.len() as f64 - 0.8 * n as f64).abs() <= 1.0);
+    }
+
+    #[test]
+    fn generators_respect_their_schemas(seed in any::<u64>(), n in 50usize..300) {
+        for ds in DatasetId::ALL {
+            let raw = ds.generate_clean(n, seed);
+            prop_assert!(raw.validate().is_ok(), "{:?}: {:?}", ds, raw.validate());
+            prop_assert_eq!(raw.len(), n);
+        }
+    }
+
+    #[test]
+    fn missing_injection_is_exact(seed in any::<u64>(), n in 100usize..800) {
+        let raw = DatasetId::Adult.generate(n, seed);
+        let expected = cfx::data::synth::scaled_clean_count(
+            cfx::data::adult::PAPER_CLEAN,
+            cfx::data::adult::PAPER_RAW,
+            n,
+        );
+        prop_assert_eq!(raw.cleaned().len(), expected.min(n));
+    }
+}
