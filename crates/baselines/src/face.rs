@@ -14,7 +14,7 @@
 use crate::method::{BaselineContext, CfMethod};
 use cfx_manifold::Kde;
 use cfx_models::BlackBox;
-use cfx_tensor::Tensor;
+use cfx_tensor::{runtime, Tensor};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -65,8 +65,7 @@ impl Face {
             .collect();
 
         let kde = Kde::fit_scott(nodes.clone());
-        let densities: Vec<f32> =
-            nodes.iter().map(|p| kde.density(p)).collect();
+        let densities = kde.densities(&nodes);
         let threshold = quantile(&mut densities.clone(), config.density_quantile);
         let density_ok: Vec<bool> =
             densities.iter().map(|&d| d >= threshold).collect();
@@ -74,19 +73,28 @@ impl Face {
         let node_tensor = Tensor::from_rows(&nodes);
         let node_pred = ctx.blackbox.predict(&node_tensor);
 
-        // k-NN edges with density-penalized costs.
-        let mut adj = vec![Vec::with_capacity(config.k); nodes.len()];
-        for i in 0..nodes.len() {
-            let mut dists: Vec<(f32, usize)> = (0..nodes.len())
-                .filter(|&j| j != i)
-                .map(|j| (euclid(&nodes[i], &nodes[j]), j))
-                .collect();
-            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-            for &(d, j) in dists.iter().take(config.k) {
-                let cost = edge_cost(&kde, &nodes[i], &nodes[j], d);
-                adj[i].push((j, cost));
-            }
-        }
+        // k-NN edges with density-penalized costs. Each node's neighbour
+        // list only reads the shared node set, so the O(n²) build — the
+        // dominant cost of fitting FACE — fans out across worker threads;
+        // results land in node order, so the graph is identical to the
+        // serial build.
+        let mut adj: Vec<Vec<(usize, f32)>> =
+            runtime::parallel_map(nodes.len(), 4, |i| {
+                let mut dists: Vec<(f32, usize)> = (0..nodes.len())
+                    .filter(|&j| j != i)
+                    .map(|j| (euclid(&nodes[i], &nodes[j]), j))
+                    .collect();
+                dists.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal)
+                });
+                dists
+                    .iter()
+                    .take(config.k)
+                    .map(|&(d, j)| {
+                        (j, edge_cost(&kde, &nodes[i], &nodes[j], d))
+                    })
+                    .collect()
+            });
         // Symmetrize so Dijkstra can traverse either direction.
         let snapshot: Vec<Vec<(usize, f32)>> = adj.clone();
         for (i, edges) in snapshot.iter().enumerate() {
@@ -168,10 +176,11 @@ impl CfMethod for Face {
 
     fn counterfactuals(&self, x: &Tensor) -> Tensor {
         let desired = self.blackbox.predict(x);
-        let mut rows = Vec::with_capacity(x.rows());
-        for r in 0..x.rows() {
-            rows.push(self.explain_one(x.row_slice(r), 1 - desired[r]));
-        }
+        // Each query runs its own Dijkstra over the shared graph, so rows
+        // fan out across worker threads and land back in query order.
+        let rows = runtime::parallel_map(x.rows(), 2, |r| {
+            self.explain_one(x.row_slice(r), 1 - desired[r])
+        });
         Tensor::from_rows(&rows)
     }
 }

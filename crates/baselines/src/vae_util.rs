@@ -4,7 +4,8 @@
 //! Unlike the paper's own model, these baselines were run through the
 //! CARLA library [20], whose VAE is *not* the Table II architecture but a
 //! wider autoencoder sized to the data. We mirror that:
-//! `in → 128 → 32 → latent(10)` with a symmetric decoder, trained on the
+//! `in → 128 → 32 → latent(10)` (or `in → 256 → 64 → latent(24)` for wide
+//! ≥ 100-column inputs) with a symmetric decoder, trained on the
 //! Bernoulli ELBO (BCE-with-logits reconstruction + KL) — BCE because the
 //! encoded features are all in `[0, 1]` and an L1 likelihood over-smooths
 //! the one-hot blocks.
@@ -39,9 +40,11 @@ pub struct PlainVaeConfig {
     pub epochs: usize,
     /// KL weight (β).
     pub kl_weight: f32,
-    /// Latent dimensionality.
+    /// Latent dimensionality; `0` picks it from the data width at fit
+    /// time (10, or 24 for wide ≥ 100-column inputs).
     pub latent_dim: usize,
-    /// First hidden width (second is `hidden / 4`).
+    /// First hidden width (second is `hidden / 4`); `0` picks it from the
+    /// data width at fit time (128, or 256 for wide inputs).
     pub hidden: usize,
     /// RNG seed.
     pub seed: u64,
@@ -54,10 +57,32 @@ impl Default for PlainVaeConfig {
             batch_size: 128,
             epochs: 25,
             kl_weight: 0.05,
-            latent_dim: 10,
-            hidden: 128,
+            latent_dim: 0,
+            hidden: 0,
             seed: 0,
         }
+    }
+}
+
+impl PlainVaeConfig {
+    /// Resolves the `(hidden, latent)` architecture for `width` input
+    /// columns. A fixed 128 → 32 → 10 bottleneck reconstructs the ~30-wide
+    /// Adult/Law encodings fine but pulls Table II-width KDD data (200+
+    /// one-hot columns) toward the majority class; wide inputs get the
+    /// larger 256 → 64 → 24 stack instead.
+    pub fn architecture_for(&self, width: usize) -> (usize, usize) {
+        let wide = width >= 100;
+        let hidden = match self.hidden {
+            0 if wide => 256,
+            0 => 128,
+            h => h,
+        };
+        let latent = match self.latent_dim {
+            0 if wide => 24,
+            0 => 10,
+            l => l,
+        };
+        (hidden, latent)
     }
 }
 
@@ -66,8 +91,9 @@ impl PlainVae {
     pub fn fit(x: &Tensor, config: &PlainVaeConfig) -> (PlainVae, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let input = x.cols();
-        let h1 = config.hidden;
-        let h2 = (config.hidden / 4).max(config.latent_dim);
+        let (hidden, latent_dim) = config.architecture_for(input);
+        let h1 = hidden;
+        let h2 = (hidden / 4).max(latent_dim);
         let encoder = Mlp::new(
             &[input, h1, h2],
             Activation::Relu,
@@ -76,11 +102,11 @@ impl PlainVae {
             &mut rng,
         );
         let mu_head =
-            Linear::new(h2, config.latent_dim, Activation::Identity, &mut rng);
+            Linear::new(h2, latent_dim, Activation::Identity, &mut rng);
         let logvar_head =
-            Linear::new(h2, config.latent_dim, Activation::Identity, &mut rng);
+            Linear::new(h2, latent_dim, Activation::Identity, &mut rng);
         let decoder = Mlp::new(
-            &[config.latent_dim, h2, h1, input],
+            &[latent_dim, h2, h1, input],
             Activation::Relu,
             Activation::Identity, // logits; sigmoid applied at decode
             1.0,
@@ -91,7 +117,7 @@ impl PlainVae {
             mu_head,
             logvar_head,
             decoder,
-            latent_dim: config.latent_dim,
+            latent_dim,
         };
 
         let mut opt = Adam::with_lr(config.learning_rate);
@@ -105,7 +131,7 @@ impl PlainVae {
             for chunk in order.chunks(config.batch_size) {
                 let xb = x.gather_rows(chunk);
                 let b = xb.rows();
-                let eps = randn_tensor(b, config.latent_dim, &mut rng);
+                let eps = randn_tensor(b, latent_dim, &mut rng);
                 let mut tape = Tape::new();
                 let xv = tape.leaf(xb);
                 let mut pv = Vec::new();
@@ -264,9 +290,15 @@ mod tests {
         let bb_cfg = BlackBoxConfig { epochs: 10, ..Default::default() };
         let mut bb = BlackBox::new(data.width(), &bb_cfg);
         bb.train(&data.x, &data.y, &bb_cfg);
+        // Width-aware architecture (256 → 64 → 24 at this width) with a
+        // soft KL so reconstruction, not the prior, wins on 200+ columns.
         let (vae, _) = PlainVae::fit(
             &data.x,
-            &PlainVaeConfig { epochs: 40, ..Default::default() },
+            &PlainVaeConfig {
+                epochs: 80,
+                kl_weight: 0.005,
+                ..Default::default()
+            },
         );
         // Reconstructions of positive-predicted rows must often stay
         // positive.

@@ -3,23 +3,103 @@
 
 use cfx_models::Cvae;
 use cfx_tensor::init::{randn_tensor, uniform_tensor};
-use cfx_tensor::{Adam, Module, Optimizer, Tape, Tensor};
+use cfx_tensor::{runtime, Adam, Module, Optimizer, Tape, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+
+/// Thread counts swept by the kernel benches: the serial baseline plus
+/// the parallel layer at 2 and 4 workers. On a single-core runner the
+/// threaded variants measure the (small) scheduling overhead rather than
+/// a speedup; the JSON baseline records whichever machine ran it.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     let mut rng = StdRng::seed_from_u64(0);
-    for &(m, k, n) in &[(64usize, 32usize, 32usize), (2048, 30, 20), (2048, 200, 20)] {
+    for &(m, k, n) in &[
+        (64usize, 32usize, 32usize),
+        (2048, 30, 20),
+        (2048, 200, 20),
+        (512, 512, 512),
+    ] {
         let a = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
         let b = uniform_tensor(k, n, -1.0, 1.0, &mut rng);
+        for threads in THREAD_SWEEP {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!(
+                    "{m}x{k}x{n}/t{threads}"
+                )),
+                &(a.clone(), b.clone()),
+                |bench, (a, b)| {
+                    runtime::with_threads(threads, || {
+                        bench.iter(|| black_box(a.matmul(b)))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The fused backward kernels against their materialize-then-multiply
+/// equivalents, at the batch/width shapes `Tape::backward` actually sees.
+fn bench_fused_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused");
+    let mut rng = StdRng::seed_from_u64(7);
+    for &(m, k, n) in &[(2048usize, 30usize, 20usize), (512, 512, 512)] {
+        // dA = g @ Bᵀ with g: (m, n), B: (k, n).
+        let g = uniform_tensor(m, n, -1.0, 1.0, &mut rng);
+        let b = uniform_tensor(k, n, -1.0, 1.0, &mut rng);
+        // dB = Aᵀ @ g with A: (m, k).
+        let a = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
+        let dims = format!("{m}x{k}x{n}");
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
-            &(a, b),
-            |bench, (a, b)| bench.iter(|| black_box(a.matmul(b))),
+            BenchmarkId::from_parameter(format!("{dims}/bt_fused")),
+            &(),
+            |bench, _| bench.iter(|| black_box(g.matmul_bt(&b))),
         );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/bt_transpose")),
+            &(),
+            |bench, _| bench.iter(|| black_box(g.matmul(&b.transpose()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/at_fused")),
+            &(),
+            |bench, _| bench.iter(|| black_box(a.matmul_at(&g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/at_transpose")),
+            &(),
+            |bench, _| bench.iter(|| black_box(a.transpose().matmul(&g))),
+        );
+    }
+    group.finish();
+}
+
+/// The shared pairwise-distance kernel at t-SNE / FACE-graph scale.
+fn bench_pairwise_sq_dists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_sq_dists");
+    let mut rng = StdRng::seed_from_u64(11);
+    for &(n, d) in &[(500usize, 16usize), (1500, 32)] {
+        let data: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        for threads in THREAD_SWEEP {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_d{d}/t{threads}")),
+                &data,
+                |bench, data| {
+                    runtime::with_threads(threads, || {
+                        bench.iter(|| {
+                            black_box(cfx_manifold::pairwise_sq_dists(data))
+                        })
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -71,6 +151,7 @@ fn bench_adam_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_vae_forward_backward, bench_adam_step
+    targets = bench_matmul, bench_fused_kernels, bench_pairwise_sq_dists,
+        bench_vae_forward_backward, bench_adam_step
 }
 criterion_main!(benches);

@@ -13,7 +13,7 @@ use cfx_metrics::{
     MetricContext, TableRow,
 };
 use cfx_models::{BlackBox, BlackBoxConfig};
-use cfx_tensor::Tensor;
+use cfx_tensor::{runtime, Tensor};
 
 /// How large an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,9 +220,62 @@ impl Harness {
         model
     }
 
+    /// Trains, explains and evaluates one Table IV row. Rows `0..=6` are
+    /// the seven baselines in the paper's order; rows 7 and 8 are the
+    /// paper's own unary and binary models.
+    fn table4_row(
+        &self,
+        i: usize,
+        x: &Tensor,
+        ctx: &BaselineContext<'_>,
+    ) -> TableRow {
+        match i {
+            0..=6 => {
+                let method = build_baseline(i, ctx, self.dataset);
+                let cf = method.counterfactuals(x);
+                // Mahajan rows show only their own constraint column.
+                let feas = match i {
+                    0 => FeasColumns::UnaryOnly,
+                    1 => FeasColumns::BinaryOnly,
+                    _ => FeasColumns::Both,
+                };
+                self.evaluate(&method.name(), x, &cf, feas)
+            }
+            7 => {
+                let ours = self.train_our_model(ConstraintMode::Unary);
+                let cf = ours.counterfactuals(x);
+                self.evaluate(
+                    "Our method (a)*",
+                    x,
+                    &cf,
+                    FeasColumns::UnaryOnly,
+                )
+            }
+            8 => {
+                let ours = self.train_our_model(ConstraintMode::Binary);
+                let cf = ours.counterfactuals(x);
+                self.evaluate(
+                    "Our method (b)**",
+                    x,
+                    &cf,
+                    FeasColumns::BinaryOnly,
+                )
+            }
+            _ => unreachable!("Table IV has 9 rows"),
+        }
+    }
+
     /// Runs the full Table IV(x) for this dataset: all seven baseline rows
     /// plus the paper's unary and binary models, in the paper's order.
-    /// `progress` receives one line per completed row.
+    /// `progress` receives one line per row, in row order.
+    ///
+    /// Rows are independent experiments — every method trains from its own
+    /// seeded RNG and reads the shared harness immutably — so they
+    /// train/evaluate concurrently on worker threads. Each row pins its
+    /// kernels to one thread ([`runtime::with_threads`]), trading
+    /// fine-grained matmul parallelism for coarse row parallelism without
+    /// oversubscribing, and row order plus per-row seeding make the table
+    /// identical to a serial run.
     pub fn run_table4(&self, mut progress: impl FnMut(&str)) -> Vec<TableRow> {
         let x = self.test_x();
         let ctx = BaselineContext::new(
@@ -231,39 +284,12 @@ impl Harness {
             &self.blackbox,
             self.config.seed,
         );
-        let mut rows = Vec::new();
-        let baselines = baseline_constructors();
-        for (i, build) in baselines.into_iter().enumerate() {
-            let method = build(&ctx, self.dataset);
-            let cf = method.counterfactuals(&x);
-            // Mahajan rows show only their own constraint column.
-            let feas = match i {
-                0 => FeasColumns::UnaryOnly,
-                1 => FeasColumns::BinaryOnly,
-                _ => FeasColumns::Both,
-            };
-            let row = self.evaluate(&method.name(), &x, &cf, feas);
+        let rows = runtime::parallel_map(9, 1, |i| {
+            runtime::with_threads(1, || self.table4_row(i, &x, &ctx))
+        });
+        for row in &rows {
             progress(&row.to_string());
-            rows.push(row);
         }
-
-        let ours_a = self.train_our_model(ConstraintMode::Unary);
-        let cf_a = ours_a.counterfactuals(&x);
-        let row =
-            self.evaluate("Our method (a)*", &x, &cf_a, FeasColumns::UnaryOnly);
-        progress(&row.to_string());
-        rows.push(row);
-
-        let ours_b = self.train_our_model(ConstraintMode::Binary);
-        let cf_b = ours_b.counterfactuals(&x);
-        let row = self.evaluate(
-            "Our method (b)**",
-            &x,
-            &cf_b,
-            FeasColumns::BinaryOnly,
-        );
-        progress(&row.to_string());
-        rows.push(row);
         rows
     }
 }
@@ -279,27 +305,25 @@ pub enum FeasColumns {
     BinaryOnly,
 }
 
-type BaselineBuilder =
-    Box<dyn Fn(&BaselineContext<'_>, DatasetId) -> Box<dyn CfMethod>>;
-
-/// Constructors for the seven baseline rows, in the paper's order.
-fn baseline_constructors() -> Vec<BaselineBuilder> {
+/// Builds baseline row `i` (0-based, the paper's order). A plain function
+/// rather than a table of boxed closures so rows can be constructed from
+/// worker threads.
+fn build_baseline(
+    i: usize,
+    ctx: &BaselineContext<'_>,
+    ds: DatasetId,
+) -> Box<dyn CfMethod> {
     use cfx_baselines::*;
-    vec![
-        Box::new(|ctx, ds| {
-            Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Unary))
-        }),
-        Box::new(|ctx, ds| {
-            Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Binary))
-        }),
-        Box::new(|ctx, _| Box::new(Revise::fit(ctx, ReviseConfig::default()))),
-        Box::new(|ctx, _| Box::new(Cchvae::fit(ctx, CchvaeConfig::default()))),
-        Box::new(|ctx, _| Box::new(Cem::fit(ctx, CemConfig::default()))),
-        Box::new(|ctx, _| {
-            Box::new(DiceRandom::fit(ctx, DiceConfig::default()))
-        }),
-        Box::new(|ctx, _| Box::new(Face::fit(ctx, FaceConfig::default()))),
-    ]
+    match i {
+        0 => Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Unary)),
+        1 => Box::new(Mahajan::fit(ctx, ds, ConstraintMode::Binary)),
+        2 => Box::new(Revise::fit(ctx, ReviseConfig::default())),
+        3 => Box::new(Cchvae::fit(ctx, CchvaeConfig::default())),
+        4 => Box::new(Cem::fit(ctx, CemConfig::default())),
+        5 => Box::new(DiceRandom::fit(ctx, DiceConfig::default())),
+        6 => Box::new(Face::fit(ctx, FaceConfig::default())),
+        _ => unreachable!("seven baselines"),
+    }
 }
 
 /// Parses common CLI args: `[dataset] [--size quick|half|paper]

@@ -2,6 +2,8 @@
 //! paper's manifold analysis (dense regions of feasible examples, Fig. 3)
 //! and the density weighting used by the FACE baseline.
 
+use cfx_tensor::runtime;
+
 /// A fitted Gaussian KDE over d-dimensional points.
 #[derive(Debug, Clone)]
 pub struct Kde {
@@ -82,8 +84,12 @@ impl Kde {
     }
 
     /// Densities at many query points.
+    ///
+    /// Queries are independent, so they fan out across worker threads;
+    /// the per-query kernel sum keeps its serial order, so results match
+    /// the one-thread path bitwise.
     pub fn densities(&self, xs: &[Vec<f32>]) -> Vec<f32> {
-        xs.iter().map(|x| self.density(x)).collect()
+        runtime::parallel_map(xs.len(), 16, |i| self.density(&xs[i]))
     }
 }
 

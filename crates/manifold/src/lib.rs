@@ -19,7 +19,7 @@ pub use grid::{ascii_scatter, knn_separability};
 pub use kde::Kde;
 pub use pca::Pca;
 pub use quality::trustworthiness;
-pub use tsne::{tsne, TsneConfig};
+pub use tsne::{joint_probabilities, pairwise_sq_dists, tsne, TsneConfig};
 
 use rand::Rng;
 

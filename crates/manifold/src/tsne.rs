@@ -9,6 +9,7 @@
 //! Barnes–Hut approximation error.
 
 use crate::pca::Pca;
+use cfx_tensor::runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,38 +85,69 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<(f32, f32)> {
             config.momentum.1
         };
 
-        // Student-t affinities q and normalization Z.
+        // Student-t affinities q and normalization Z. Worker threads fill
+        // whole rows of `num` (the kernel is bitwise symmetric, so the
+        // full-row form matches the half-the-flops triangle form used on
+        // one thread); Z is then reduced over the upper triangle in index
+        // order either way, keeping it bitwise stable across thread
+        // counts.
         let mut num = vec![0.0f32; n * n];
         let mut z = 0.0f32;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let dx = y[i].0 - y[j].0;
-                let dyv = y[i].1 - y[j].1;
-                let t = 1.0 / (1.0 + dx * dx + dyv * dyv);
-                num[i * n + j] = t;
-                num[j * n + i] = t;
-                z += 2.0 * t;
+        let student_t = |i: usize, j: usize| {
+            let dx = y[i].0 - y[j].0;
+            let dyv = y[i].1 - y[j].1;
+            1.0 / (1.0 + dx * dx + dyv * dyv)
+        };
+        if runtime::current_threads() <= 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let t = student_t(i, j);
+                    num[i * n + j] = t;
+                    num[j * n + i] = t;
+                    z += 2.0 * t;
+                }
+            }
+        } else {
+            runtime::parallel_chunks_mut(&mut num, n, 8, |row0, chunk| {
+                for (r, row) in chunk.chunks_mut(n).enumerate() {
+                    let i = row0 + r;
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if j != i {
+                            *v = student_t(i, j);
+                        }
+                    }
+                }
+            });
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    z += 2.0 * num[i * n + j];
+                }
             }
         }
         let z = z.max(1e-12);
 
-        // Gradient 4 Σ_j (p_ij − q_ij) t_ij (y_i − y_j).
-        for i in 0..n {
-            let mut gx = 0.0f32;
-            let mut gy = 0.0f32;
-            for j in 0..n {
-                if i == j {
-                    continue;
+        // Gradient 4 Σ_j (p_ij − q_ij) t_ij (y_i − y_j). Rows are
+        // independent given `num` and `z`, so they fan out across
+        // workers; the gains/momentum update below stays in index order.
+        let grads = {
+            let (p, num, y) = (&p, &num, &y);
+            runtime::parallel_map(n, 64, move |i| {
+                let mut gx = 0.0f32;
+                let mut gy = 0.0f32;
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let t = num[i * n + j];
+                    let q = t / z;
+                    let mult = (p[i * n + j] - q) * t;
+                    gx += mult * (y[i].0 - y[j].0);
+                    gy += mult * (y[i].1 - y[j].1);
                 }
-                let t = num[i * n + j];
-                let q = t / z;
-                let mult = (p[i * n + j] - q) * t;
-                gx += mult * (y[i].0 - y[j].0);
-                gy += mult * (y[i].1 - y[j].1);
-            }
-            gx *= 4.0;
-            gy *= 4.0;
-
+                (4.0 * gx, 4.0 * gy)
+            })
+        };
+        for (i, &(gx, gy)) in grads.iter().enumerate() {
             // Per-parameter adaptive gains (Jacobs rule), as in the
             // reference implementation.
             let g = &mut gains[i];
@@ -179,19 +211,43 @@ fn center(y: &mut [(f32, f32)]) {
 }
 
 /// All pairwise squared Euclidean distances, row-major `n × n`.
+///
+/// With one worker thread this fills the upper triangle and mirrors it
+/// (half the flops); with more, each worker computes whole rows. The two
+/// forms are bitwise identical because `(a−b)²` is exactly symmetric and
+/// the per-pair summation order over dimensions never changes.
 pub fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f32> {
     let n = data.len();
     let mut out = vec![0.0f32; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d: f32 = data[i]
-                .iter()
-                .zip(&data[j])
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum();
-            out[i * n + j] = d;
-            out[j * n + i] = d;
+    if n == 0 {
+        return out;
+    }
+    let sq_dist = |i: usize, j: usize| -> f32 {
+        data[i]
+            .iter()
+            .zip(&data[j])
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    };
+    if runtime::current_threads() <= 1 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = sq_dist(i, j);
+                out[i * n + j] = d;
+                out[j * n + i] = d;
+            }
         }
+    } else {
+        runtime::parallel_chunks_mut(&mut out, n, 8, |row0, chunk| {
+            for (r, row) in chunk.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                for (j, v) in row.iter_mut().enumerate() {
+                    if j != i {
+                        *v = sq_dist(i, j);
+                    }
+                }
+            }
+        });
     }
     out
 }
@@ -205,46 +261,48 @@ pub fn joint_probabilities(d2: &[f32], perplexity: f32) -> Vec<f32> {
     let target_entropy = perplexity.ln();
     let mut p = vec![0.0f32; n * n];
 
-    for i in 0..n {
-        let row = &d2[i * n..(i + 1) * n];
-        let mut beta = 1.0f32; // 1 / (2σ²)
-        let (mut beta_min, mut beta_max) = (0.0f32, f32::INFINITY);
-        let mut probs = vec![0.0f32; n];
-        for _ in 0..64 {
-            // Conditional distribution at the current beta.
-            let mut sum = 0.0f32;
-            for (j, &d) in row.iter().enumerate() {
-                probs[j] = if j == i { 0.0 } else { (-beta * d).exp() };
-                sum += probs[j];
-            }
-            let sum = sum.max(1e-12);
-            let mut entropy = 0.0f32;
-            for pj in probs.iter_mut() {
-                *pj /= sum;
-                if *pj > 1e-12 {
-                    entropy -= *pj * pj.ln();
+    // Each point's bandwidth search touches only its own distance row, so
+    // rows of the conditional matrix fan out across worker threads.
+    runtime::parallel_chunks_mut(&mut p, n, 8, |row0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            let row = &d2[i * n..(i + 1) * n];
+            let mut beta = 1.0f32; // 1 / (2σ²)
+            let (mut beta_min, mut beta_max) = (0.0f32, f32::INFINITY);
+            let probs = out_row;
+            for _ in 0..64 {
+                // Conditional distribution at the current beta.
+                let mut sum = 0.0f32;
+                for (j, &d) in row.iter().enumerate() {
+                    probs[j] = if j == i { 0.0 } else { (-beta * d).exp() };
+                    sum += probs[j];
+                }
+                let sum = sum.max(1e-12);
+                let mut entropy = 0.0f32;
+                for pj in probs.iter_mut() {
+                    *pj /= sum;
+                    if *pj > 1e-12 {
+                        entropy -= *pj * pj.ln();
+                    }
+                }
+                let diff = entropy - target_entropy;
+                if diff.abs() < 1e-4 {
+                    break;
+                }
+                if diff > 0.0 {
+                    beta_min = beta;
+                    beta = if beta_max.is_finite() {
+                        (beta + beta_max) / 2.0
+                    } else {
+                        beta * 2.0
+                    };
+                } else {
+                    beta_max = beta;
+                    beta = (beta + beta_min) / 2.0;
                 }
             }
-            let diff = entropy - target_entropy;
-            if diff.abs() < 1e-4 {
-                break;
-            }
-            if diff > 0.0 {
-                beta_min = beta;
-                beta = if beta_max.is_finite() {
-                    (beta + beta_max) / 2.0
-                } else {
-                    beta * 2.0
-                };
-            } else {
-                beta_max = beta;
-                beta = (beta + beta_min) / 2.0;
-            }
         }
-        for (j, &pj) in probs.iter().enumerate() {
-            p[i * n + j] = pj;
-        }
-    }
+    });
 
     // Symmetrize and normalize: p_ij = (p_j|i + p_i|j) / 2n, floored.
     let mut joint = vec![0.0f32; n * n];

@@ -227,7 +227,10 @@ mod tests {
     #[test]
     fn learns_linearly_separable_data() {
         let (x, y) = toy_linearly_separable();
-        let cfg = BlackBoxConfig { epochs: 40, ..Default::default() };
+        // 100 epochs on 400 rows: the loss is still descending steadily at
+        // 40 under some init draws; a separable problem must end well under
+        // 0.2 once given room to converge.
+        let cfg = BlackBoxConfig { epochs: 100, ..Default::default() };
         let mut bb = BlackBox::new(2, &cfg);
         let losses = bb.train(&x, &y, &cfg);
         assert!(losses.last().unwrap() < &0.2, "final loss {losses:?}");
@@ -278,7 +281,7 @@ mod tests {
     #[test]
     fn confusion_and_f1_are_consistent() {
         let (x, y) = toy_linearly_separable();
-        let cfg = BlackBoxConfig { epochs: 30, ..Default::default() };
+        let cfg = BlackBoxConfig { epochs: 100, ..Default::default() };
         let mut bb = BlackBox::new(2, &cfg);
         bb.train(&x, &y, &cfg);
         let (tp, fp, tn, fal_n) = bb.confusion(&x, &y);

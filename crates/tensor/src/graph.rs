@@ -356,18 +356,18 @@ impl Tape {
 
     // ---- backward ---------------------------------------------------------
 
-    fn accumulate(&mut self, v: Var, g: Tensor) {
-        let slot = &mut self.nodes[v.0].grad;
-        match slot {
-            Some(existing) => existing.axpy(1.0, &g),
-            None => *slot = Some(g),
-        }
-    }
-
     /// Runs reverse-mode differentiation from the scalar `root`.
     ///
     /// Clears all previous gradients first, seeds `d root/d root = 1`, and
     /// sweeps the tape in reverse construction order.
+    ///
+    /// Every op's inputs were recorded before the op itself, so splitting
+    /// the node array at the current index gives simultaneous access to
+    /// the node being differentiated (read-only: its gradient and
+    /// context) and its inputs (mutable: their gradient slots) without
+    /// cloning the recorded op or the incoming gradient. Matmul gradients
+    /// use the fused [`Tensor::matmul_at`] / [`Tensor::matmul_bt`]
+    /// kernels, so no transposed operand is ever materialized.
     ///
     /// # Panics
     /// Panics if `root` is not a `(1, 1)` tensor.
@@ -383,126 +383,160 @@ impl Tape {
         self.nodes[root.0].grad = Some(Tensor::scalar(1.0));
 
         for i in (0..=root.0).rev() {
-            let Some(g) = self.nodes[i].grad.clone() else { continue };
-            let op = self.nodes[i].op.clone();
-            match op {
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &rest[0];
+            let Some(g) = node.grad.as_ref() else { continue };
+            match &node.op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
-                    let da = g.matmul(&self.value(b).transpose());
-                    let db = self.value(a).transpose().matmul(&g);
-                    self.accumulate(a, da);
-                    self.accumulate(b, db);
+                    let da = g.matmul_bt(&before[b.0].value);
+                    let db = before[a.0].value.matmul_at(g);
+                    accumulate(before, *a, da);
+                    accumulate(before, *b, db);
                 }
                 Op::Add(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g);
+                    accumulate_ref(before, *a, g);
+                    accumulate_ref(before, *b, g);
                 }
                 Op::AddRow(a, b) => {
-                    self.accumulate(b, g.sum_rows());
-                    self.accumulate(a, g);
+                    accumulate(before, *b, g.sum_rows());
+                    accumulate_ref(before, *a, g);
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, g.clone());
-                    self.accumulate(b, g.map(|x| -x));
+                    accumulate_ref(before, *a, g);
+                    accumulate(before, *b, g.map(|x| -x));
                 }
                 Op::Mul(a, b) => {
-                    let da = g.zip(self.value(b), |g, b| g * b);
-                    let db = g.zip(self.value(a), |g, a| g * a);
-                    self.accumulate(a, da);
-                    self.accumulate(b, db);
+                    let da = g.zip(&before[b.0].value, |g, b| g * b);
+                    let db = g.zip(&before[a.0].value, |g, a| g * a);
+                    accumulate(before, *a, da);
+                    accumulate(before, *b, db);
                 }
                 Op::Div(a, b) => {
-                    let bv = self.value(b).clone();
-                    let av = self.value(a).clone();
-                    let da = g.zip(&bv, |g, b| g / b);
-                    let mut db = g.zip(&av, |g, a| -g * a);
-                    db = db.zip(&bv, |x, b| x / (b * b));
-                    self.accumulate(a, da);
-                    self.accumulate(b, db);
+                    let av = &before[a.0].value;
+                    let bv = &before[b.0].value;
+                    let da = g.zip(bv, |g, b| g / b);
+                    let mut db = g.zip(av, |g, a| -g * a);
+                    db = db.zip(bv, |x, b| x / (b * b));
+                    accumulate(before, *a, da);
+                    accumulate(before, *b, db);
                 }
-                Op::Neg(a) => self.accumulate(a, g.map(|x| -x)),
-                Op::Scale(a, c) => self.accumulate(a, g.map(|x| c * x)),
-                Op::AddScalar(a) => self.accumulate(a, g),
+                Op::Neg(a) => accumulate(before, *a, g.map(|x| -x)),
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    accumulate(before, *a, g.map(|x| c * x));
+                }
+                Op::AddScalar(a) => accumulate_ref(before, *a, g),
                 Op::Relu(a) => {
-                    let da =
-                        g.zip(self.value(a), |g, x| if x > 0.0 { g } else { 0.0 });
-                    self.accumulate(a, da);
+                    let da = g.zip(&before[a.0].value, |g, x| {
+                        if x > 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate(before, *a, da);
                 }
                 Op::Sigmoid(a) => {
-                    let s = self.nodes[i].value.clone();
-                    self.accumulate(a, g.zip(&s, |g, s| g * s * (1.0 - s)));
+                    let da = g.zip(&node.value, |g, s| g * s * (1.0 - s));
+                    accumulate(before, *a, da);
                 }
                 Op::Tanh(a) => {
-                    let t = self.nodes[i].value.clone();
-                    self.accumulate(a, g.zip(&t, |g, t| g * (1.0 - t * t)));
+                    let da = g.zip(&node.value, |g, t| g * (1.0 - t * t));
+                    accumulate(before, *a, da);
                 }
                 Op::Softplus(a) => {
                     let da = g
-                        .zip(self.value(a), |g, x| g * stable_sigmoid(x));
-                    self.accumulate(a, da);
+                        .zip(&before[a.0].value, |g, x| g * stable_sigmoid(x));
+                    accumulate(before, *a, da);
                 }
                 Op::Exp(a) => {
-                    let e = self.nodes[i].value.clone();
-                    self.accumulate(a, g.zip(&e, |g, e| g * e));
+                    let da = g.zip(&node.value, |g, e| g * e);
+                    accumulate(before, *a, da);
                 }
                 Op::Abs(a) => {
-                    let da = g.zip(self.value(a), |g, x| g * sign(x));
-                    self.accumulate(a, da);
+                    let da = g.zip(&before[a.0].value, |g, x| g * sign(x));
+                    accumulate(before, *a, da);
                 }
                 Op::Square(a) => {
-                    let da = g.zip(self.value(a), |g, x| 2.0 * g * x);
-                    self.accumulate(a, da);
+                    let da = g.zip(&before[a.0].value, |g, x| 2.0 * g * x);
+                    accumulate(before, *a, da);
                 }
                 Op::Dropout(a, mask) => {
-                    self.accumulate(a, g.zip(&mask, |g, m| g * m));
+                    accumulate(before, *a, g.zip(mask, |g, m| g * m));
                 }
                 Op::ConcatCols(a, b) => {
-                    let wa = self.shape(a).1;
-                    let wb = self.shape(b).1;
-                    self.accumulate(a, g.slice_cols(0, wa));
-                    self.accumulate(b, g.slice_cols(wa, wb));
+                    let wa = before[a.0].value.cols();
+                    let wb = before[b.0].value.cols();
+                    accumulate(before, *a, g.slice_cols(0, wa));
+                    accumulate(before, *b, g.slice_cols(wa, wb));
                 }
                 Op::SliceCols(a, start, width) => {
-                    let (rows, cols) = self.shape(a);
+                    let (start, width) = (*start, *width);
+                    let (rows, cols) = before[a.0].value.shape();
                     let mut da = Tensor::zeros(rows, cols);
                     for r in 0..rows {
                         let src = g.row_slice(r);
                         da.row_slice_mut(r)[start..start + width]
                             .copy_from_slice(src);
                     }
-                    self.accumulate(a, da);
+                    accumulate(before, *a, da);
                 }
                 Op::Sum(a) => {
-                    let (rows, cols) = self.shape(a);
-                    self.accumulate(a, Tensor::full(rows, cols, g.item()));
+                    let (rows, cols) = before[a.0].value.shape();
+                    accumulate(before, *a, Tensor::full(rows, cols, g.item()));
                 }
                 Op::Mean(a) => {
-                    let (rows, cols) = self.shape(a);
+                    let (rows, cols) = before[a.0].value.shape();
                     let n = (rows * cols) as f32;
-                    self.accumulate(a, Tensor::full(rows, cols, g.item() / n));
+                    accumulate(
+                        before,
+                        *a,
+                        Tensor::full(rows, cols, g.item() / n),
+                    );
                 }
                 Op::BceWithLogits(a, t) => {
                     let n = t.len() as f32;
                     let gi = g.item();
-                    let da = self
-                        .value(a)
-                        .zip(&t, |z, t| gi * (stable_sigmoid(z) - t) / n);
-                    self.accumulate(a, da);
+                    let da = before[a.0]
+                        .value
+                        .zip(t, |z, t| gi * (stable_sigmoid(z) - t) / n);
+                    accumulate(before, *a, da);
                 }
                 Op::Hinge(a, y, margin) => {
                     let n = y.len() as f32;
                     let gi = g.item();
-                    let da = self.value(a).zip(&y, |z, y| {
+                    let margin = *margin;
+                    let da = before[a.0].value.zip(y, |z, y| {
                         if margin - y * z > 0.0 {
                             -gi * y / n
                         } else {
                             0.0
                         }
                     });
-                    self.accumulate(a, da);
+                    accumulate(before, *a, da);
                 }
             }
         }
+    }
+}
+
+/// Adds `g` into the gradient slot of `nodes[v]`, taking ownership.
+fn accumulate(nodes: &mut [Node], v: Var, g: Tensor) {
+    let slot = &mut nodes[v.0].grad;
+    match slot {
+        Some(existing) => existing.axpy(1.0, &g),
+        None => *slot = Some(g),
+    }
+}
+
+/// Adds `g` into the gradient slot of `nodes[v]` by reference; clones only
+/// when the slot is empty (first consumer).
+fn accumulate_ref(nodes: &mut [Node], v: Var, g: &Tensor) {
+    let slot = &mut nodes[v.0].grad;
+    match slot {
+        Some(existing) => existing.axpy(1.0, g),
+        None => *slot = Some(g.clone()),
     }
 }
 
@@ -777,6 +811,44 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::row(&[1.0, 2.0]));
         tape.backward(x);
+    }
+
+    #[test]
+    fn backward_materializes_no_transposes() {
+        // The Matmul backward rule must use the fused kernels; an explicit
+        // transpose() inside backward would show up on the global counter.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(
+            4,
+            3,
+            (0..12).map(|i| i as f32 * 0.1 - 0.5).collect(),
+        ));
+        let w1 = tape.leaf(Tensor::from_vec(
+            3,
+            5,
+            (0..15).map(|i| i as f32 * 0.07 - 0.4).collect(),
+        ));
+        let w2 = tape.leaf(Tensor::from_vec(
+            5,
+            2,
+            (0..10).map(|i| i as f32 * -0.09 + 0.3).collect(),
+        ));
+        let h = tape.matmul(x, w1);
+        let h = tape.tanh(h);
+        let y = tape.matmul(h, w2);
+        let loss = tape.mean(y);
+        let before = crate::tensor::transpose_count();
+        tape.backward(loss);
+        assert_eq!(
+            crate::tensor::transpose_count(),
+            before,
+            "backward allocated a transposed tensor"
+        );
+        // And the gradients still match the transpose-based formulation.
+        let g_y = Tensor::full(4, 2, 1.0 / 8.0);
+        let h_v = tape.value(h).clone();
+        let want_w2 = h_v.transpose().matmul(&g_y);
+        assert_eq!(tape.grad(w2).as_slice(), want_w2.as_slice());
     }
 
     #[test]

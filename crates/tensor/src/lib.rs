@@ -29,6 +29,7 @@ pub mod graph;
 pub mod init;
 pub mod nn;
 pub mod optim;
+pub mod runtime;
 pub mod serialize;
 pub mod tensor;
 

@@ -8,6 +8,30 @@
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::runtime;
+
+/// How many rows of the left operand each matmul task processes at least;
+/// below this, threading overhead dominates the multiply itself.
+const MIN_ROWS_PER_THREAD: usize = 16;
+
+/// Panel width over the shared `k` dimension. One panel of the right
+/// operand (`KC × n` for n ≤ 512) stays resident in L1/L2 while a block of
+/// output rows streams over it.
+const KC: usize = 64;
+
+static TRANSPOSE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of `Tensor::transpose` calls.
+///
+/// Test instrumentation: the autodiff backward pass is required to use the
+/// fused `matmul_at`/`matmul_bt` kernels instead of materializing
+/// transposed operands, and tests assert this counter does not move.
+#[doc(hidden)]
+pub fn transpose_count() -> u64 {
+    TRANSPOSE_COUNT.load(Ordering::Relaxed)
+}
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -180,11 +204,15 @@ impl Tensor {
 
     /// `self @ other` — matrix product.
     ///
-    /// Uses an ikj loop order so the inner loop streams contiguously over
-    /// both the output row and the right operand row, which the compiler
-    /// auto-vectorizes; the models here are small enough that this is the
-    /// right complexity/performance point (see the perf-book guidance on
-    /// avoiding premature blocking).
+    /// Output rows are split across worker threads (see
+    /// [`crate::runtime`]) and each thread runs a `k`-panelled ikj loop:
+    /// the inner loop streams contiguously over the output row and the
+    /// right operand row (auto-vectorizable), while panels of `other`
+    /// stay cache-resident across a block of output rows.
+    ///
+    /// Accumulation into every output element happens in ascending-`k`
+    /// order regardless of thread count or panelling, so results are
+    /// bitwise identical to a serial triple loop.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -196,24 +224,141 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        runtime::parallel_chunks_mut(
+            &mut out,
+            n.max(1),
+            MIN_ROWS_PER_THREAD,
+            |row0, chunk| {
+                for p0 in (0..k).step_by(KC) {
+                    let p1 = (p0 + KC).min(k);
+                    for (r, o_row) in chunk.chunks_mut(n.max(1)).enumerate() {
+                        let i = row0 + r;
+                        let a_row = &self.data[i * k + p0..i * k + p1];
+                        for (p, &a) in (p0..p1).zip(a_row) {
+                            let b_row = &other.data[p * n..(p + 1) * n];
+                            for (o, &b) in o_row.iter_mut().zip(b_row) {
+                                *o += a * b;
+                            }
+                        }
+                    }
                 }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            },
+        );
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose.
+    ///
+    /// For `self` of shape `(k, m)` and `other` of shape `(k, n)`, returns
+    /// the `(m, n)` product `selfᵀ · other`. Both operands are read in
+    /// row-major order (row `p` of `self` scales into column positions),
+    /// so the kernel needs no transposed copy — this is the shape of the
+    /// left-operand gradient in the autodiff backward pass.
+    ///
+    /// Accumulation per output element is in ascending-`k` order: bitwise
+    /// identical to `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at shape mismatch: ({}x{})ᵀ @ ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        runtime::parallel_chunks_mut(
+            &mut out,
+            n.max(1),
+            MIN_ROWS_PER_THREAD,
+            |row0, chunk| {
+                for p in 0..k {
+                    let a_row = &self.data[p * m..(p + 1) * m];
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (r, o_row) in chunk.chunks_mut(n.max(1)).enumerate() {
+                        let a = a_row[row0 + r];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose.
+    ///
+    /// For `self` of shape `(m, k)` and `other` of shape `(n, k)`, returns
+    /// the `(m, n)` product `self · otherᵀ`: every output element is a dot
+    /// product of two contiguous rows — the shape of the right-operand
+    /// gradient in the autodiff backward pass.
+    ///
+    /// Accumulation per output element is in ascending-`k` order: bitwise
+    /// identical to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt shape mismatch: ({}x{}) @ ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        runtime::parallel_chunks_mut(
+            &mut out,
+            n.max(1),
+            MIN_ROWS_PER_THREAD,
+            |row0, chunk| {
+                // Pack KC×NB tiles of bᵀ into a stack buffer, then run the
+                // same unit-stride axpy as `matmul`. A naive per-element
+                // dot would serialize on one FP-add chain and defeat SIMD;
+                // packing restores vector loads without materializing a
+                // transposed tensor. Each output element still accumulates
+                // in ascending-k order (k-tiles ascending, then in-tile),
+                // so results stay bitwise equal to `matmul(bᵀ)`.
+                const NB: usize = 16;
+                let rows = chunk.len() / n.max(1);
+                let mut tile = [0.0f32; KC * NB];
+                for p0 in (0..k).step_by(KC) {
+                    let pb = KC.min(k - p0);
+                    for j0 in (0..n).step_by(NB) {
+                        let jb = NB.min(n - j0);
+                        for jj in 0..jb {
+                            let b_row =
+                                &other.data[(j0 + jj) * k + p0..][..pb];
+                            for (pp, &v) in b_row.iter().enumerate() {
+                                tile[pp * jb + jj] = v;
+                            }
+                        }
+                        for r in 0..rows {
+                            let i = row0 + r;
+                            let a_row = &self.data[i * k + p0..][..pb];
+                            let o_start = r * n + j0;
+                            for (pp, &a) in a_row.iter().enumerate() {
+                                let t = &tile[pp * jb..pp * jb + jb];
+                                for (o, &b) in chunk
+                                    [o_start..o_start + jb]
+                                    .iter_mut()
+                                    .zip(t)
+                                {
+                                    *o += a * b;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
         Tensor { rows: m, cols: n, data: out }
     }
 
     /// Matrix transpose.
     pub fn transpose(&self) -> Tensor {
+        TRANSPOSE_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut out = vec![0.0f32; self.data.len()];
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -404,6 +549,77 @@ mod tests {
         let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
         let i = Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]);
         assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose_bitwise() {
+        let a = Tensor::from_vec(
+            4,
+            3,
+            (0..12).map(|i| (i as f32) * 0.37 - 1.9).collect(),
+        );
+        let b = Tensor::from_vec(
+            4,
+            5,
+            (0..20).map(|i| (i as f32) * -0.21 + 0.8).collect(),
+        );
+        let fused = a.matmul_at(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(fused.shape(), (3, 5));
+        assert_eq!(fused.as_slice(), explicit.as_slice());
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose_bitwise() {
+        let a = Tensor::from_vec(
+            4,
+            3,
+            (0..12).map(|i| (i as f32) * 0.59 - 2.1).collect(),
+        );
+        let b = Tensor::from_vec(
+            5,
+            3,
+            (0..15).map(|i| (i as f32) * -0.33 + 1.4).collect(),
+        );
+        let fused = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), (4, 5));
+        assert_eq!(fused.as_slice(), explicit.as_slice());
+    }
+
+    #[test]
+    fn matmul_is_bitwise_stable_across_thread_counts() {
+        let a = Tensor::from_vec(
+            37,
+            19,
+            (0..37u32 * 19)
+                .map(|i| (i.wrapping_mul(2654435761) as f32).sin())
+                .collect(),
+        );
+        let b = Tensor::from_vec(
+            19,
+            23,
+            (0..19 * 23).map(|i| ((i * 40503) as f32).cos()).collect(),
+        );
+        let serial = crate::runtime::with_threads(1, || a.matmul(&b));
+        for threads in [2, 3, 8] {
+            let par = crate::runtime::with_threads(threads, || a.matmul(&b));
+            assert_eq!(serial.as_slice(), par.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_matmul_shapes_are_handled() {
+        let a = Tensor::zeros(0, 3);
+        let b = Tensor::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+        let a = Tensor::zeros(2, 0);
+        let b = Tensor::zeros(2, 0);
+        assert_eq!(a.matmul_at(&b).shape(), (0, 0));
+        let a = Tensor::zeros(2, 0);
+        let b = Tensor::zeros(5, 0);
+        // k = 0: all-zero output of the right shape.
+        assert_eq!(a.matmul_bt(&b).as_slice(), &[0.0f32; 10]);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Offline drop-in replacement for the subset of `criterion` used by this
+//! workspace's benches.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be resolved. This shim keeps the same bench-author surface —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter` and `sample_size` — with a simple measurement loop:
+//!
+//! * each benchmark is calibrated to ~5 ms per sample, then timed for
+//!   `sample_size` samples; min / median / mean per-iteration times are
+//!   printed;
+//! * `--test` (as passed by `cargo bench -- --test`) runs every benchmark
+//!   body exactly once as a smoke check;
+//! * a positional CLI argument filters benchmarks by substring, like the
+//!   real crate;
+//! * if the `BENCH_JSON` environment variable names a file, one JSON line
+//!   per benchmark is appended to it (used to record perf trajectories).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// One measured benchmark, kept for JSON output.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    iters_per_sample: u64,
+    samples: usize,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+/// The benchmark runner/registry (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: false,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder-style, as
+    /// used in `criterion_group!` config position).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies CLI arguments: `--test` enables smoke mode, the first
+    /// positional argument becomes a substring filter, and harness flags
+    /// cargo passes (`--bench`, etc.) are ignored.
+    pub fn configure_from_args(&mut self) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline"
+                | "--baseline" | "--sample-size" | "--measurement-time"
+                | "--warm-up-time" | "--noplot" | "--quiet" | "-q" => {
+                    // Value-taking flags consume their value; bare flags
+                    // consumed the name already.
+                    if matches!(
+                        arg.as_str(),
+                        "--profile-time" | "--save-baseline" | "--baseline"
+                            | "--sample-size" | "--measurement-time"
+                            | "--warm-up-time"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                other if !other.starts_with('-') => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { c: self, prefix: name.into(), sample_size }
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().0;
+        self.run(name, &mut f);
+        self
+    }
+
+    fn run(&mut self, name: String, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if self.test_mode {
+            f(&mut b);
+            println!("Testing {name} ... ok");
+            return;
+        }
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least TARGET_SAMPLE (or a single iteration exceeds it).
+        f(&mut b); // warm-up + first timing
+        let mut per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        while b.elapsed < TARGET_SAMPLE && b.iters < 1 << 20 {
+            b.iters = (b.iters * 2).max(
+                (TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64,
+            );
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_secs_f64() * 1e9 / b.iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples_ns.len(),
+            b.iters,
+        );
+        self.results.push(BenchResult {
+            name,
+            iters_per_sample: b.iters,
+            samples: samples_ns.len(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    /// Appends JSON-line results to `$BENCH_JSON` if set. Called by
+    /// `criterion_group!`-generated runners after all targets finish.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else { return };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("BENCH_JSON: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let _ = writeln!(
+                file,
+                "{{\"name\":{:?},\"min_ns\":{:.1},\"median_ns\":{:.1},\
+                 \"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                r.name, r.min_ns, r.median_ns, r.mean_ns, r.samples,
+                r.iters_per_sample,
+            );
+        }
+        self.results.clear();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `prefix/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id.into().0);
+        let saved = self.c.sample_size;
+        self.c.sample_size = self.sample_size;
+        self.c.run(name, &mut f);
+        self.c.sample_size = saved;
+        self
+    }
+
+    /// Benchmarks a closure receiving a shared input, under `prefix/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping the result alive via
+    /// `black_box` so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink (re-exported for parity with the real crate).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner (both the positional and the
+/// `name/config/targets` forms of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            c.configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn group_prefixes_names_and_overrides_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(42), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results[0].name, "grp/42");
+        assert_eq!(c.results[0].samples, 3);
+    }
+}
