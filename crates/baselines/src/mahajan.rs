@@ -53,7 +53,7 @@ impl Mahajan {
         config.seed = ctx.seed ^ 0x0005;
         let constraints = FeasibleCfModel::paper_constraints(
             dataset, ctx.data, mode, config.c1, config.c2,
-        );
+        ).unwrap();
         let mut model = FeasibleCfModel::new(
             ctx.data,
             ctx.blackbox.clone(),

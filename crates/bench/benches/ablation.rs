@@ -16,7 +16,7 @@ use std::hint::black_box;
 fn setup() -> (EncodedDataset, Vec<Constraint>) {
     let raw = DatasetId::Adult.generate_clean(200, 0);
     let data = EncodedDataset::from_raw(&raw);
-    let unary = Constraint::unary(&data.schema, &data.encoding, "age");
+    let unary = Constraint::unary(&data.schema, &data.encoding, "age").unwrap();
     let binary = Constraint::binary(
         &data.schema,
         &data.encoding,
@@ -24,7 +24,8 @@ fn setup() -> (EncodedDataset, Vec<Constraint>) {
         "age",
         0.0,
         0.2,
-    );
+    )
+    .unwrap();
     (data, vec![unary, binary])
 }
 

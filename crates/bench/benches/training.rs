@@ -56,7 +56,7 @@ fn bench_cf_model_epoch(c: &mut Criterion) {
                         ConstraintMode::Unary,
                         config.c1,
                         config.c2,
-                    );
+                    ).unwrap();
                     let mut model = FeasibleCfModel::new(
                         &harness.data,
                         harness.blackbox.clone(),

@@ -30,7 +30,7 @@ fn train_variant(
         ConstraintMode::Unary,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(
         &harness.data,
         harness.blackbox.clone(),

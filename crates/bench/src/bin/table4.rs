@@ -8,7 +8,35 @@
 
 use cfx_bench::{parse_cli, Harness};
 use cfx_data::DatasetId;
-use cfx_metrics::format_table;
+use cfx_metrics::{format_table, TableRow};
+use std::io::Write;
+
+/// Appends one JSON line per row to `$BENCH_JSON` (the same convention
+/// the criterion shim uses), so recovery overhead — the per-row
+/// resampled/fallback tally — lands in `BENCH_*.json` next to the
+/// timing numbers.
+fn append_json(dataset: DatasetId, rows: &[TableRow]) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("BENCH_JSON: cannot open {path}");
+        return;
+    };
+    for r in rows {
+        let _ = writeln!(
+            file,
+            "{{\"table\":\"table4\",\"dataset\":{:?},\"row\":{}}}",
+            dataset.name(),
+            r.to_json()
+        );
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +62,7 @@ fn main() {
             100.0 * harness.val_accuracy()
         );
         let rows = harness.run_table4(|line| eprintln!("  done: {line}"));
+        append_json(ds, &rows);
         println!("\nTABLE IV {sub}");
         print!("{}", format_table("", &rows));
         println!("* Unary Constraint model / ** Binary Constraint model");

@@ -27,7 +27,7 @@ fn main() {
         &harness.data.schema,
         &harness.data.encoding,
         "education",
-    );
+    ).expect("education is a schema feature");
     let pick = batch
         .examples
         .iter()

@@ -170,6 +170,75 @@ impl FeasibleCfConfig {
     }
 }
 
+/// Divergence-watchdog settings for fault-tolerant training (see the
+/// "Failure model & recovery" section of `DESIGN.md`).
+///
+/// The watchdog snapshots the best-so-far weights, detects non-finite
+/// losses/gradients and runaway divergence, and on a fault rolls back to
+/// the snapshot, backs the learning rate off and retries with a reseeded
+/// RNG — up to `max_retries` times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Rollback/retry budget; once exhausted training stops at the best
+    /// snapshot with [`TrainStatus::Exhausted`](crate::TrainStatus).
+    pub max_retries: usize,
+    /// Multiplicative learning-rate backoff applied per retry.
+    pub lr_backoff: f32,
+    /// An epoch's total loss above `divergence_factor × best_total` (and
+    /// above `divergence_floor`) counts as divergence.
+    pub divergence_factor: f32,
+    /// Absolute floor below which the divergence test never fires — early
+    /// noisy epochs legitimately bounce around small losses.
+    pub divergence_floor: f32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            max_retries: 3,
+            lr_backoff: 0.5,
+            divergence_factor: 25.0,
+            divergence_floor: 100.0,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Builder-style retry-budget override.
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// Graceful-degradation settings for counterfactual generation
+/// ([`FeasibleCfModel::explain_batch_with`](crate::FeasibleCfModel::explain_batch_with)).
+///
+/// Samples whose first-shot CF is invalid or infeasible are re-decoded
+/// with perturbed latents up to `resample_attempts` times; whatever still
+/// fails falls back to a nearest-neighbor CF from the training pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenRecoveryConfig {
+    /// Per-sample latent resampling budget before the fallback engages.
+    pub resample_attempts: usize,
+    /// Scale of the latent noise used when resampling.
+    pub noise_scale: f32,
+}
+
+impl Default for GenRecoveryConfig {
+    fn default() -> Self {
+        GenRecoveryConfig { resample_attempts: 4, noise_scale: 0.5 }
+    }
+}
+
+impl GenRecoveryConfig {
+    /// Builder-style resample-budget override.
+    pub fn with_resample_attempts(mut self, attempts: usize) -> Self {
+        self.resample_attempts = attempts;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

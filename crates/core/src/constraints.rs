@@ -21,7 +21,7 @@
 //!    "parameters selected from experimentation".
 
 use cfx_data::{ColumnSpan, Encoding, FeatureKind, Schema};
-use cfx_tensor::{Tape, Tensor, Var};
+use cfx_tensor::{CfxError, Tape, Tensor, Var};
 
 /// How a feature is read as a scalar for constraint purposes.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,20 +43,32 @@ pub enum FeatureView {
 impl FeatureView {
     /// Resolves a feature name into a view.
     ///
-    /// # Panics
-    /// Panics if the feature is binary or a non-ordinal categorical —
-    /// constraints on those have no order to compare on.
-    pub fn resolve(schema: &Schema, encoding: &Encoding, name: &str) -> Self {
-        let idx = schema.index_of(name);
+    /// Errors with [`CfxError::Constraint`] if the name is unknown or the
+    /// feature is binary / a non-ordinal categorical — constraints on
+    /// those have no order to compare on.
+    pub fn resolve(
+        schema: &Schema,
+        encoding: &Encoding,
+        name: &str,
+    ) -> Result<Self, CfxError> {
+        let idx = schema
+            .features
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| {
+                CfxError::constraint(format!("unknown constraint feature {name:?}"))
+            })?;
         let span = encoding.spans[idx];
         match &schema.features[idx].kind {
-            FeatureKind::Numeric { .. } => FeatureView::Numeric { column: span.start },
-            FeatureKind::Categorical { ordinal: true, .. } => {
-                FeatureView::Ordinal { span }
+            FeatureKind::Numeric { .. } => {
+                Ok(FeatureView::Numeric { column: span.start })
             }
-            other => panic!(
+            FeatureKind::Categorical { ordinal: true, .. } => {
+                Ok(FeatureView::Ordinal { span })
+            }
+            other => Err(CfxError::constraint(format!(
                 "constraint feature {name:?} must be numeric or ordinal, got {other:?}"
-            ),
+            ))),
         }
     }
 
@@ -136,15 +148,25 @@ pub enum Constraint {
 
 impl Constraint {
     /// Builds the unary constraint on `feature`.
-    pub fn unary(schema: &Schema, encoding: &Encoding, feature: &str) -> Self {
-        Constraint::UnaryIncrease {
+    ///
+    /// Errors with [`CfxError::Constraint`] when the feature cannot be
+    /// resolved to an ordered view (see [`FeatureView::resolve`]).
+    pub fn unary(
+        schema: &Schema,
+        encoding: &Encoding,
+        feature: &str,
+    ) -> Result<Self, CfxError> {
+        Ok(Constraint::UnaryIncrease {
             feature: feature.to_string(),
-            view: FeatureView::resolve(schema, encoding, feature),
-        }
+            view: FeatureView::resolve(schema, encoding, feature)?,
+        })
     }
 
     /// Builds the binary constraint `cause ⇒ effect` with penalty
     /// parameters `c1`, `c2`.
+    ///
+    /// Errors with [`CfxError::Constraint`] on unresolvable features or a
+    /// negative `c2` (the paper's `-min(0, c₂)` guard requires `c₂ ≥ 0`).
     pub fn binary(
         schema: &Schema,
         encoding: &Encoding,
@@ -152,16 +174,20 @@ impl Constraint {
         effect: &str,
         c1: f32,
         c2: f32,
-    ) -> Self {
-        assert!(c2 >= 0.0, "c2 must be non-negative (paper's -min(0, c2) guard)");
-        Constraint::BinaryImplication {
+    ) -> Result<Self, CfxError> {
+        if c2 < 0.0 {
+            return Err(CfxError::constraint(format!(
+                "c2 must be non-negative (paper's -min(0, c2) guard), got {c2}"
+            )));
+        }
+        Ok(Constraint::BinaryImplication {
             cause: cause.to_string(),
             effect: effect.to_string(),
-            cause_view: FeatureView::resolve(schema, encoding, cause),
-            effect_view: FeatureView::resolve(schema, encoding, effect),
+            cause_view: FeatureView::resolve(schema, encoding, cause)?,
+            effect_view: FeatureView::resolve(schema, encoding, effect)?,
             c1,
             c2,
-        }
+        })
     }
 
     /// Human-readable name used in result tables.
@@ -306,30 +332,38 @@ mod tests {
     #[test]
     fn numeric_view_reads_column() {
         let (schema, enc) = fixture();
-        let v = FeatureView::resolve(&schema, &enc, "age");
+        let v = FeatureView::resolve(&schema, &enc, "age").unwrap();
         assert_eq!(v.value(&[0.42, 1.0, 0.0, 0.0, 0.0, 1.0]), 0.42);
     }
 
     #[test]
     fn ordinal_view_uses_argmax_level() {
         let (schema, enc) = fixture();
-        let v = FeatureView::resolve(&schema, &enc, "education");
+        let v = FeatureView::resolve(&schema, &enc, "education").unwrap();
         // one-hot on level 2 of 4 → 2/3
         let row = [0.5, 0.1, 0.2, 0.9, 0.3, 0.0];
         assert!((v.value(&row) - 2.0 / 3.0).abs() < 1e-6);
     }
 
     #[test]
-    #[should_panic(expected = "must be numeric or ordinal")]
     fn binary_feature_rejected() {
         let (schema, enc) = fixture();
-        let _ = FeatureView::resolve(&schema, &enc, "gender");
+        let err = FeatureView::resolve(&schema, &enc, "gender").unwrap_err();
+        assert!(matches!(err, CfxError::Constraint(_)), "got {err}");
+        assert!(err.to_string().contains("must be numeric or ordinal"));
+    }
+
+    #[test]
+    fn unknown_feature_rejected() {
+        let (schema, enc) = fixture();
+        let err = Constraint::unary(&schema, &enc, "salary").unwrap_err();
+        assert!(err.to_string().contains("unknown constraint feature"));
     }
 
     #[test]
     fn unary_check_semantics() {
         let (schema, enc) = fixture();
-        let c = Constraint::unary(&schema, &enc, "age");
+        let c = Constraint::unary(&schema, &enc, "age").unwrap();
         let x = [0.5, 1.0, 0.0, 0.0, 0.0, 0.0];
         let up = [0.6, 1.0, 0.0, 0.0, 0.0, 0.0];
         let same = [0.5, 1.0, 0.0, 0.0, 0.0, 0.0];
@@ -342,7 +376,7 @@ mod tests {
     #[test]
     fn binary_check_semantics() {
         let (schema, enc) = fixture();
-        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2);
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2).unwrap();
         // x: age 0.5, education level 1.
         let x = [0.5, 0.0, 1.0, 0.0, 0.0, 0.0];
         // education up, age up → ok
@@ -360,7 +394,7 @@ mod tests {
     #[test]
     fn unary_penalty_zero_iff_satisfied() {
         let (schema, enc) = fixture();
-        let c = Constraint::unary(&schema, &enc, "age");
+        let c = Constraint::unary(&schema, &enc, "age").unwrap();
         let x = Tensor::from_vec(2, 6, vec![
             0.5, 1.0, 0.0, 0.0, 0.0, 0.0, //
             0.2, 0.0, 1.0, 0.0, 0.0, 1.0,
@@ -386,7 +420,7 @@ mod tests {
     #[test]
     fn binary_penalty_grows_with_violation() {
         let (schema, enc) = fixture();
-        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.3);
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.3).unwrap();
         let x = Tensor::from_vec(1, 6, vec![0.5, 1.0, 0.0, 0.0, 0.0, 0.0]);
         // education jumps hs→phd (soft level 0→1), age unchanged: demand 0.3.
         let cf = Tensor::from_vec(1, 6, vec![0.5, 0.0, 0.0, 0.0, 1.0, 0.0]);
@@ -405,7 +439,7 @@ mod tests {
     #[test]
     fn penalty_is_differentiable_wrt_cf() {
         let (schema, enc) = fixture();
-        let c = Constraint::unary(&schema, &enc, "age");
+        let c = Constraint::unary(&schema, &enc, "age").unwrap();
         let x = Tensor::from_vec(1, 6, vec![0.5, 1.0, 0.0, 0.0, 0.0, 0.0]);
         let cf = Tensor::from_vec(1, 6, vec![0.2, 1.0, 0.0, 0.0, 0.0, 0.0]);
         let mut tape = Tape::new();
@@ -424,8 +458,8 @@ mod tests {
     fn feasibility_rate_counts_all_constraints() {
         let (schema, enc) = fixture();
         let cs = vec![
-            Constraint::unary(&schema, &enc, "age"),
-            Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2),
+            Constraint::unary(&schema, &enc, "age").unwrap(),
+            Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2).unwrap(),
         ];
         let x = Tensor::from_vec(2, 6, vec![
             0.5, 0.0, 1.0, 0.0, 0.0, 0.0, //
@@ -439,9 +473,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "c2 must be non-negative")]
     fn negative_c2_rejected() {
         let (schema, enc) = fixture();
-        let _ = Constraint::binary(&schema, &enc, "education", "age", 0.0, -1.0);
+        let err = Constraint::binary(&schema, &enc, "education", "age", 0.0, -1.0)
+            .unwrap_err();
+        assert!(err.to_string().contains("c2 must be non-negative"), "got {err}");
     }
 }

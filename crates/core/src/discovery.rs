@@ -59,6 +59,7 @@ impl ScoredConstraint {
             self.c1,
             self.c2.max(0.0),
         )
+        .expect("discovered features resolve by construction")
     }
 }
 

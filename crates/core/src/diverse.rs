@@ -8,7 +8,7 @@
 //! §III-C), filter/rank them by the paper's criteria, and select a
 //! maximally diverse subset with a greedy max-min procedure.
 
-use crate::explain::Counterfactual;
+use crate::explain::{Counterfactual, Provenance};
 use crate::model::FeasibleCfModel;
 use cfx_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -102,6 +102,7 @@ impl FeasibleCfModel {
                 cf_class,
                 valid: cf_class == desired,
                 feasible,
+                provenance: Provenance::FirstShot,
             });
         }
 
@@ -219,7 +220,8 @@ mod tests {
             .with_step_budget_of(DatasetId::Adult, data.len());
         let constraints = FeasibleCfModel::paper_constraints(
             DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
-        );
+        )
+        .unwrap();
         let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
         model.fit(&data.x);
         (data, model)
@@ -292,6 +294,7 @@ mod tests {
                 cf_class: 1,
                 valid: true,
                 feasible: true,
+                provenance: Provenance::FirstShot,
             });
         }
         let base_div = mean_pairwise_l1(&baseline);
@@ -313,6 +316,7 @@ mod tests {
             cf_class: 1,
             valid: true,
             feasible: true,
+            provenance: Provenance::FirstShot,
         };
         let set = vec![mk(vec![0.0, 0.0]), mk(vec![1.0, 0.0]), mk(vec![0.0, 1.0])];
         // pairwise L1s: 1, 1, 2 → mean 4/3.

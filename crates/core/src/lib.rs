@@ -20,13 +20,17 @@
 //! blackbox.train(&data.x, &data.y, &bb_cfg);
 //!
 //! // 2. Train the unary-constraint counterfactual generator (Table III).
+//! //    fit() runs under a divergence watchdog: the returned TrainReport
+//! //    records any rollback/retry recovery events.
 //! let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary);
 //! let constraints = FeasibleCfModel::paper_constraints(
-//!     DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2);
+//!     DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2)
+//!     .expect("paper constraint features exist in the schema");
 //! let mut model = FeasibleCfModel::new(&data, blackbox, constraints, cfg);
-//! model.fit(&data.x);
+//! let report = model.fit(&data.x);
+//! assert!(report.last_total().is_some());
 //!
-//! // 3. Explain.
+//! // 3. Explain (with retry-then-fallback degradation; see provenance).
 //! let batch = model.explain_batch(&data.x);
 //! println!("validity {:.1}%, feasibility {:.1}%",
 //!     100.0 * batch.validity_rate(), 100.0 * batch.feasibility_rate());
@@ -44,12 +48,22 @@ pub mod mask;
 pub mod path;
 pub mod model;
 
-pub use config::{CfLossWeights, ConstraintMode, FeasibleCfConfig};
+pub use cfx_tensor::CfxError;
+pub use config::{
+    CfLossWeights, ConstraintMode, FeasibleCfConfig, GenRecoveryConfig,
+    WatchdogConfig,
+};
 pub use constraints::{feasibility_rate, Constraint, FeatureView};
 pub use discovery::{discover_binary_constraints, DiscoveryConfig, ScoredConstraint};
 pub use diverse::{mean_pairwise_l1, DiverseConfig, DiverseSet, FilterLevel};
-pub use explain::{format_comparison, Counterfactual, ExplanationBatch};
+pub use explain::{
+    format_comparison, Counterfactual, ExplanationBatch, Provenance,
+    ProvenanceCounts,
+};
 pub use loss::{cf_loss, proximity_penalty, sparsity_penalty, CfLossParts};
 pub use mask::ImmutableMask;
 pub use path::{LatentPath, PathStep};
-pub use model::{EpochStats, FeasibleCfModel};
+pub use model::{
+    EpochStats, FaultDetected, FeasibleCfModel, RecoveryEvent, TrainReport,
+    TrainStatus,
+};

@@ -1,15 +1,16 @@
 //! The paper's counterfactual generator: a conditional VAE trained with
 //! the four-part loss, against a frozen black-box classifier (Fig. 4).
 
-use crate::config::{ConstraintMode, FeasibleCfConfig};
+use crate::config::{ConstraintMode, FeasibleCfConfig, WatchdogConfig};
 use crate::constraints::Constraint;
 use crate::loss::cf_loss;
 use crate::mask::ImmutableMask;
 use cfx_data::{DatasetId, EncodedDataset};
 use cfx_models::{BlackBox, Cvae};
+use cfx_tensor::init::randn_tensor;
 use cfx_tensor::stable_sigmoid;
 use cfx_tensor::Activation;
-use cfx_tensor::init::randn_tensor;
+use cfx_tensor::{guard, serialize, CfxError};
 use cfx_tensor::{clip_grad_norm, Adam, Module, Optimizer, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -32,6 +33,110 @@ pub struct EpochStats {
     pub kl: f32,
 }
 
+/// What the training watchdog detected in a failed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDetected {
+    /// An epoch produced a NaN/Inf loss (checked before the optimizer
+    /// step, so corrupted gradients never touch the weights).
+    NonFiniteLoss,
+    /// Backward produced a NaN/Inf gradient despite a finite loss.
+    NonFiniteGrad,
+    /// The epoch loss blew past the divergence threshold relative to the
+    /// best epoch seen so far.
+    Diverged,
+}
+
+impl std::fmt::Display for FaultDetected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultDetected::NonFiniteLoss => write!(f, "non-finite loss"),
+            FaultDetected::NonFiniteGrad => write!(f, "non-finite gradient"),
+            FaultDetected::Diverged => write!(f, "loss divergence"),
+        }
+    }
+}
+
+/// One rollback performed by the training watchdog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch index that faulted (the retry re-runs this epoch).
+    pub epoch: usize,
+    /// 1-based retry count at the time of the rollback.
+    pub retry: usize,
+    /// What tripped the watchdog.
+    pub fault: FaultDetected,
+    /// Learning rate in effect *after* the backoff.
+    pub learning_rate: f32,
+}
+
+/// Terminal state of a watchdog-supervised training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainStatus {
+    /// No fault was ever detected.
+    Completed,
+    /// At least one rollback happened, but training finished the schedule.
+    Recovered,
+    /// The retry budget ran out; the model holds the best snapshot.
+    Exhausted,
+}
+
+/// Outcome of [`FeasibleCfModel::fit`]: the per-epoch loss history plus
+/// the watchdog's recovery record.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss components of every *completed* epoch (faulted epoch
+    /// attempts are not recorded).
+    pub history: Vec<EpochStats>,
+    /// Every rollback the watchdog performed, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Total rollbacks (`events.len()`).
+    pub retries: usize,
+    /// How training ended.
+    pub status: TrainStatus,
+}
+
+impl TrainReport {
+    /// Total loss of the first completed epoch, if any.
+    pub fn first_total(&self) -> Option<f32> {
+        self.history.first().map(|s| s.total)
+    }
+
+    /// Total loss of the last completed epoch, if any.
+    pub fn last_total(&self) -> Option<f32> {
+        self.history.last().map(|s| s.total)
+    }
+}
+
+/// Nearest-neighbor fallback pool for graceful generation degradation: a
+/// subsample of training rows with their black-box classes, searched
+/// FACE-style when the decoder cannot produce a usable counterfactual.
+#[derive(Debug, Clone)]
+pub(crate) struct FallbackPool {
+    /// Encoded training rows (subsampled).
+    pub rows: Vec<Vec<f32>>,
+    /// Black-box class of each pool row.
+    pub classes: Vec<u8>,
+}
+
+/// Pool size cap: large enough that both classes are represented on every
+/// benchmark, small enough that the O(pool²) distance matrix stays cheap.
+const FALLBACK_POOL_CAP: usize = 512;
+
+impl FallbackPool {
+    fn build(data: &EncodedDataset, blackbox: &BlackBox) -> Self {
+        let n = data.len();
+        if n == 0 {
+            return FallbackPool { rows: Vec::new(), classes: Vec::new() };
+        }
+        let stride = n.div_ceil(FALLBACK_POOL_CAP).max(1);
+        let idx: Vec<usize> = (0..n).step_by(stride).collect();
+        let (px, _) = data.subset(&idx);
+        let classes = blackbox.predict(&px);
+        let rows = (0..px.rows()).map(|r| px.row_slice(r).to_vec()).collect();
+        FallbackPool { rows, classes }
+    }
+}
+
 /// The feasible-counterfactual model: VAE generator + frozen black box +
 /// causal constraints + immutable mask.
 #[derive(Debug, Clone)]
@@ -41,6 +146,7 @@ pub struct FeasibleCfModel {
     constraints: Vec<Constraint>,
     mask: ImmutableMask,
     config: FeasibleCfConfig,
+    pub(crate) fallback_pool: FallbackPool,
 }
 
 impl FeasibleCfModel {
@@ -84,47 +190,52 @@ impl FeasibleCfModel {
         } else {
             ImmutableMask::all_mutable(data.width())
         };
-        FeasibleCfModel { vae, blackbox, constraints, mask, config }
+        let fallback_pool = FallbackPool::build(data, &blackbox);
+        FeasibleCfModel { vae, blackbox, constraints, mask, config, fallback_pool }
     }
 
     /// Builds the paper's constraints for a dataset/mode pair (§IV-E):
     /// unary on `age`/`lsat`, binary on `education⇒age`/`tier⇒lsat`.
+    ///
+    /// Errors with [`CfxError::Constraint`] when the dataset's constraint
+    /// features cannot be resolved against `data`'s schema/encoding.
     pub fn paper_constraints(
         dataset: DatasetId,
         data: &EncodedDataset,
         mode: ConstraintMode,
         c1: f32,
         c2: f32,
-    ) -> Vec<Constraint> {
+    ) -> Result<Vec<Constraint>, CfxError> {
         match mode {
-            ConstraintMode::Unary => vec![Constraint::unary(
+            ConstraintMode::Unary => Ok(vec![Constraint::unary(
                 &data.schema,
                 &data.encoding,
                 dataset.unary_constraint_feature(),
-            )],
+            )?]),
             ConstraintMode::Binary => {
                 let (cause, effect) = dataset.binary_constraint_features();
-                vec![Constraint::binary(
+                Ok(vec![Constraint::binary(
                     &data.schema,
                     &data.encoding,
                     cause,
                     effect,
                     c1,
                     c2,
-                )]
+                )?])
             }
         }
     }
 
     /// Trains the VAE on `x` (encoded training rows); the black box stays
-    /// frozen. Returns per-epoch mean loss components.
+    /// frozen. Returns the per-epoch loss history plus the watchdog's
+    /// recovery record.
     ///
     /// Epochs are class-balanced: both flip directions (0→1 recourse and
     /// 1→0) appear equally often, with the minority direction oversampled.
     /// Without this, on skewed benchmarks like Law School (≈80 % positive)
     /// the dominant direction swamps the hinge term and the generator
     /// never learns the recourse flips the evaluation asks for.
-    pub fn fit(&mut self, x: &Tensor) -> Vec<EpochStats> {
+    pub fn fit(&mut self, x: &Tensor) -> TrainReport {
         self.fit_with(x, |_, _| {})
     }
 
@@ -135,21 +246,54 @@ impl FeasibleCfModel {
     pub fn fit_with(
         &mut self,
         x: &Tensor,
+        on_epoch: impl FnMut(usize, &EpochStats),
+    ) -> TrainReport {
+        self.fit_with_watchdog(x, &WatchdogConfig::default(), on_epoch)
+    }
+
+    /// The watchdog-supervised training loop (see `DESIGN.md`, "Failure
+    /// model & recovery").
+    ///
+    /// Each completed epoch that improves on the best total loss is
+    /// snapshotted (via [`cfx_tensor::serialize`]). When an epoch trips a
+    /// fault — non-finite loss, non-finite gradients, or divergence past
+    /// `watchdog.divergence_factor × best` — the epoch's partial updates
+    /// are discarded: the weights roll back to the snapshot, the learning
+    /// rate backs off by `watchdog.lr_backoff`, the data-order RNG is
+    /// reseeded, the optimizer moments reset, and the same epoch is
+    /// retried. After `watchdog.max_retries` rollbacks training stops at
+    /// the snapshot with [`TrainStatus::Exhausted`].
+    pub fn fit_with_watchdog(
+        &mut self,
+        x: &Tensor,
+        watchdog: &WatchdogConfig,
         mut on_epoch: impl FnMut(usize, &EpochStats),
-    ) -> Vec<EpochStats> {
+    ) -> TrainReport {
         let n = x.rows();
         assert!(n > 0, "cannot fit on an empty dataset");
         let cfg = self.config.clone();
+        let mut report = TrainReport {
+            history: Vec::with_capacity(cfg.epochs),
+            events: Vec::new(),
+            retries: 0,
+            status: TrainStatus::Completed,
+        };
+        if cfg.epochs == 0 {
+            return report;
+        }
+        let mut lr = cfg.learning_rate;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17);
-        let mut opt = Adam::with_lr(cfg.learning_rate);
+        let mut opt = Adam::with_lr(lr);
         let preds = self.blackbox.predict(x);
         let group0: Vec<usize> =
             (0..n).filter(|&r| preds[r] == 0).collect();
         let group1: Vec<usize> =
             (0..n).filter(|&r| preds[r] == 1).collect();
-        let mut history = Vec::with_capacity(cfg.epochs);
 
-        for epoch in 0..cfg.epochs {
+        let mut best_total = f32::INFINITY;
+        let mut best_snapshot = serialize::encode(&self.vae.export_params());
+        let mut epoch = 0usize;
+        while epoch < cfg.epochs {
             let order = balanced_order(&group0, &group1, n, &mut rng);
             // KL annealing: ramp the KL weight over the first half of
             // training (the standard cure for posterior collapse — with a
@@ -160,16 +304,24 @@ impl FeasibleCfModel {
                 ((epoch as f32 + 1.0) / (cfg.epochs as f32 / 2.0)).min(1.0);
             let mut sums = [0.0f32; 6];
             let mut batches = 0usize;
+            let mut fault = None;
             for chunk in order.chunks(cfg.batch_size) {
                 let xb = x.gather_rows(chunk);
-                let stats = self.train_batch(&xb, &mut opt, &mut rng, anneal);
-                sums[0] += stats.total;
-                sums[1] += stats.validity;
-                sums[2] += stats.proximity;
-                sums[3] += stats.feasibility;
-                sums[4] += stats.sparsity;
-                sums[5] += stats.kl;
-                batches += 1;
+                match self.train_batch(&xb, &mut opt, &mut rng, anneal) {
+                    Ok(stats) => {
+                        sums[0] += stats.total;
+                        sums[1] += stats.validity;
+                        sums[2] += stats.proximity;
+                        sums[3] += stats.feasibility;
+                        sums[4] += stats.sparsity;
+                        sums[5] += stats.kl;
+                        batches += 1;
+                    }
+                    Err(f) => {
+                        fault = Some(f);
+                        break;
+                    }
+                }
             }
             let b = batches.max(1) as f32;
             let stats = EpochStats {
@@ -180,10 +332,57 @@ impl FeasibleCfModel {
                 sparsity: sums[4] / b,
                 kl: sums[5] / b,
             };
+            if fault.is_none()
+                && stats.total > watchdog.divergence_floor
+                && stats.total > watchdog.divergence_factor * best_total
+            {
+                fault = Some(FaultDetected::Diverged);
+            }
+
+            if let Some(f) = fault {
+                // Roll back: the faulted epoch's partial optimizer steps
+                // are discarded wholesale.
+                let params = serialize::decode(&best_snapshot)
+                    .expect("in-memory snapshot round-trips");
+                self.vae.import_params(&params);
+                report.retries += 1;
+                lr *= watchdog.lr_backoff;
+                report.events.push(RecoveryEvent {
+                    epoch,
+                    retry: report.retries,
+                    fault: f,
+                    learning_rate: lr,
+                });
+                if report.retries > watchdog.max_retries {
+                    report.status = TrainStatus::Exhausted;
+                    return report;
+                }
+                // Fresh optimizer moments (the old ones averaged corrupt
+                // gradients) and a decorrelated data order.
+                opt = Adam::with_lr(lr);
+                rng = StdRng::seed_from_u64(
+                    cfg.seed
+                        ^ 0xF17
+                        ^ 0x9E37_79B9_7F4A_7C15u64
+                            .wrapping_mul(report.retries as u64),
+                );
+                continue; // retry the same epoch
+            }
+
             on_epoch(epoch, &stats);
-            history.push(stats);
+            report.history.push(stats);
+            if stats.total < best_total {
+                best_total = stats.total;
+                best_snapshot = serialize::encode(&self.vae.export_params());
+            }
+            epoch += 1;
         }
-        history
+        report.status = if report.retries > 0 {
+            TrainStatus::Recovered
+        } else {
+            TrainStatus::Completed
+        };
+        report
     }
 
     /// Generation-quality snapshot on a held-out set: the fraction of
@@ -196,13 +395,16 @@ impl FeasibleCfModel {
         (batch.validity_rate(), batch.feasibility_rate())
     }
 
+    /// One optimizer step, guarded: a non-finite loss aborts *before*
+    /// backward, non-finite gradients abort before the weight update, so a
+    /// detected fault never contaminates the parameters.
     fn train_batch(
         &mut self,
         xb: &Tensor,
         opt: &mut Adam,
         rng: &mut StdRng,
         kl_anneal: f32,
-    ) -> EpochStats {
+    ) -> Result<EpochStats, FaultDetected> {
         let n = xb.rows();
         // Desired class = opposite of the black box's current prediction.
         let preds = self.blackbox.predict(xb);
@@ -248,11 +450,17 @@ impl FeasibleCfModel {
             sparsity: tape.value(parts.sparsity).item(),
             kl: tape.value(parts.kl).item(),
         };
+        if !stats.total.is_finite() {
+            return Err(FaultDetected::NonFiniteLoss);
+        }
         tape.backward(parts.total);
         let mut grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
+        if !guard::all_finite(&grads.iter().collect::<Vec<_>>()) {
+            return Err(FaultDetected::NonFiniteGrad);
+        }
         clip_grad_norm(&mut grads, 5.0);
         opt.step(&mut self.vae, &grads);
-        stats
+        Ok(stats)
     }
 
     /// Generates one counterfactual per row of `x`, deterministically
@@ -310,6 +518,13 @@ impl FeasibleCfModel {
     /// The generator network.
     pub fn vae(&self) -> &Cvae {
         &self.vae
+    }
+
+    /// Mutable access to the generator network. Exists so fault-injection
+    /// tests can cripple the decoder and exercise the nearest-neighbor
+    /// fallback; production code should never need it.
+    pub fn vae_mut(&mut self) -> &mut Cvae {
+        &mut self.vae
     }
 
     /// Immutable-column mask in effect.
@@ -391,13 +606,29 @@ mod tests {
             ConstraintMode::Unary,
             cfg.c1,
             cfg.c2,
-        );
+        )
+        .unwrap();
         let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
-        let history = model.fit(&data.x);
-        let first = history.first().unwrap().total;
-        let last = history.last().unwrap().total;
+        let report = model.fit(&data.x);
+        let first = report.first_total().unwrap();
+        let last = report.last_total().unwrap();
         assert!(last < first, "loss did not drop: {first} -> {last}");
         assert!(last.is_finite());
+        assert_eq!(report.status, TrainStatus::Completed);
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn zero_epochs_returns_empty_report() {
+        let (data, bb) = small_setup();
+        let cfg = quick_config(ConstraintMode::Unary).with_epochs(0);
+        let mut model = FeasibleCfModel::new(&data, bb, vec![], cfg);
+        let report = model.fit(&data.x.slice_rows(0, 64));
+        assert!(report.history.is_empty());
+        assert_eq!(report.first_total(), None);
+        assert_eq!(report.last_total(), None);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.status, TrainStatus::Completed);
     }
 
     #[test]
@@ -410,7 +641,8 @@ mod tests {
             ConstraintMode::Unary,
             cfg.c1,
             cfg.c2,
-        );
+        )
+        .unwrap();
         let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
         model.fit(&data.x.slice_rows(0, 512));
         let x = data.x.slice_rows(0, 20);
@@ -445,7 +677,8 @@ mod tests {
             ConstraintMode::Unary,
             cfg.c1,
             cfg.c2,
-        );
+        )
+        .unwrap();
         let mut trained = FeasibleCfModel::new(&data, bb, constraints, cfg);
         trained.fit(&data.x);
 
@@ -477,16 +710,17 @@ mod tests {
             ConstraintMode::Unary,
             cfg.c1,
             cfg.c2,
-        );
+        )
+        .unwrap();
         let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
         let mut seen = Vec::new();
-        let history = model.fit_with(&data.x.slice_rows(0, 512), |e, s| {
+        let report = model.fit_with(&data.x.slice_rows(0, 512), |e, s| {
             seen.push((e, s.total));
         });
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[2].0, 2);
-        for ((_, t), h) in seen.iter().zip(&history) {
+        for ((_, t), h) in seen.iter().zip(&report.history) {
             assert_eq!(*t, h.total);
         }
         // Validation snapshot runs end-to-end.

@@ -74,6 +74,7 @@ impl LatentPath {
             cf_class: step.class,
             valid: step.class == self.desired_class,
             feasible: step.feasible,
+            provenance: crate::explain::Provenance::FirstShot,
         }
     }
 }
@@ -158,7 +159,8 @@ mod tests {
                 ConstraintMode::Unary,
                 cfg.c1,
                 cfg.c2,
-            );
+            )
+            .unwrap();
             let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
             model.fit(&data.x);
             (data, model)

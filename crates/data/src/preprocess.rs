@@ -8,7 +8,7 @@
 //! paper does in its Table V example.
 
 use crate::schema::{FeatureKind, RawDataset, Schema, Value};
-use cfx_tensor::Tensor;
+use cfx_tensor::{CfxError, Tensor};
 
 /// Where a feature lives in the encoded vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,9 +59,9 @@ impl Encoding {
     /// Fits the encoding on a cleaned dataset (numeric scalers come from
     /// the observed min/max; categorical widths from the schema).
     ///
-    /// # Panics
-    /// Panics if the dataset still contains missing values — clean first.
-    pub fn fit(dataset: &RawDataset) -> Encoding {
+    /// Errors with [`CfxError::Data`] if the dataset still contains
+    /// missing or mistyped values — clean first.
+    pub fn fit(dataset: &RawDataset) -> Result<Encoding, CfxError> {
         let schema = &dataset.schema;
         let mut spans = Vec::with_capacity(schema.num_features());
         let mut scalers = Vec::with_capacity(schema.num_features());
@@ -74,9 +74,13 @@ impl Encoding {
                 let mut min = f32::INFINITY;
                 let mut max = f32::NEG_INFINITY;
                 for row in &dataset.rows {
-                    let x = row[j]
-                        .as_num()
-                        .expect("fit requires a cleaned dataset");
+                    let x = row[j].as_num().ok_or_else(|| {
+                        CfxError::data(format!(
+                            "fit requires a cleaned dataset: feature {:?} \
+                             has a non-numeric value {:?}",
+                            f.name, row[j]
+                        ))
+                    })?;
                     min = min.min(x);
                     max = max.max(x);
                 }
@@ -92,15 +96,25 @@ impl Encoding {
                 scalers.push(None);
             }
         }
-        Encoding { spans, scalers, width: offset }
+        Ok(Encoding { spans, scalers, width: offset })
     }
 
     /// Encodes one raw row into a `[0, 1]` vector.
     ///
-    /// # Panics
-    /// Panics on missing values or schema mismatch.
-    pub fn encode_row(&self, schema: &Schema, row: &[Value]) -> Vec<f32> {
-        assert_eq!(row.len(), schema.num_features(), "row arity");
+    /// Errors with [`CfxError::Data`] on missing values, out-of-range
+    /// categorical levels, or value/feature kind mismatches.
+    pub fn encode_row(
+        &self,
+        schema: &Schema,
+        row: &[Value],
+    ) -> Result<Vec<f32>, CfxError> {
+        if row.len() != schema.num_features() {
+            return Err(CfxError::data(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                schema.num_features()
+            )));
+        }
         let mut out = vec![0.0f32; self.width];
         for (j, (v, f)) in row.iter().zip(&schema.features).enumerate() {
             let span = self.spans[j];
@@ -113,15 +127,24 @@ impl Encoding {
                     out[span.start] = if *b { 1.0 } else { 0.0 };
                 }
                 (Value::Cat(c), FeatureKind::Categorical { .. }) => {
+                    if *c as usize >= span.width {
+                        return Err(CfxError::data(format!(
+                            "level {c} out of range for feature {} \
+                             ({} levels)",
+                            f.name, span.width
+                        )));
+                    }
                     out[span.start + *c as usize] = 1.0;
                 }
-                _ => panic!(
-                    "cannot encode value {v:?} for feature {}",
-                    f.name
-                ),
+                _ => {
+                    return Err(CfxError::data(format!(
+                        "cannot encode value {v:?} for feature {}",
+                        f.name
+                    )))
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes an encoded vector back to raw values: denormalizes numerics,
@@ -191,13 +214,27 @@ pub struct EncodedDataset {
 
 impl EncodedDataset {
     /// Cleans, fits and encodes a raw dataset in one step.
+    ///
+    /// # Panics
+    /// Panics if encoding fails — a convenience wrapper around
+    /// [`try_from_raw`](Self::try_from_raw) for the common case where the
+    /// raw data comes from the trusted built-in generators. Services
+    /// ingesting untrusted rows should call `try_from_raw` and handle the
+    /// [`CfxError`] instead.
     pub fn from_raw(raw: &RawDataset) -> EncodedDataset {
+        Self::try_from_raw(raw).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`from_raw`](Self::from_raw): cleans, fits and
+    /// encodes, reporting malformed rows as [`CfxError::Data`] instead of
+    /// panicking.
+    pub fn try_from_raw(raw: &RawDataset) -> Result<EncodedDataset, CfxError> {
         let clean = raw.cleaned();
-        let encoding = Encoding::fit(&clean);
+        let encoding = Encoding::fit(&clean)?;
         let n = clean.len();
         let mut xdata = Vec::with_capacity(n * encoding.width);
         for row in &clean.rows {
-            xdata.extend(encoding.encode_row(&clean.schema, row));
+            xdata.extend(encoding.encode_row(&clean.schema, row)?);
         }
         let ydata = clean
             .labels
@@ -205,12 +242,12 @@ impl EncodedDataset {
             .map(|&l| if l { 1.0 } else { 0.0 })
             .collect();
         let width = encoding.width;
-        EncodedDataset {
+        Ok(EncodedDataset {
             schema: clean.schema,
             encoding,
             x: Tensor::from_vec(n, width, xdata),
             y: Tensor::from_vec(n, 1, ydata),
-        }
+        })
     }
 
     /// Number of instances.
@@ -265,7 +302,7 @@ mod tests {
     #[test]
     fn fit_computes_spans_and_scalers() {
         let ds = toy();
-        let enc = Encoding::fit(&ds);
+        let enc = Encoding::fit(&ds).unwrap();
         assert_eq!(enc.width, 5);
         assert_eq!(enc.spans[2], ColumnSpan { start: 2, width: 3 });
         let s = enc.scalers[0].unwrap();
@@ -276,19 +313,19 @@ mod tests {
     #[test]
     fn encode_normalizes_and_one_hots() {
         let ds = toy();
-        let enc = Encoding::fit(&ds);
-        let v = enc.encode_row(&ds.schema, &ds.rows[1]);
+        let enc = Encoding::fit(&ds).unwrap();
+        let v = enc.encode_row(&ds.schema, &ds.rows[1]).unwrap();
         assert_eq!(v, vec![1.0, 1.0, 0.0, 0.0, 1.0]);
-        let v0 = enc.encode_row(&ds.schema, &ds.rows[0]);
+        let v0 = enc.encode_row(&ds.schema, &ds.rows[0]).unwrap();
         assert_eq!(v0, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
     }
 
     #[test]
     fn decode_inverts_encode() {
         let ds = toy();
-        let enc = Encoding::fit(&ds);
+        let enc = Encoding::fit(&ds).unwrap();
         for row in &ds.rows {
-            let v = enc.encode_row(&ds.schema, row);
+            let v = enc.encode_row(&ds.schema, row).unwrap();
             let back = enc.decode_row(&ds.schema, &v);
             assert_eq!(&back, row);
         }
@@ -297,7 +334,7 @@ mod tests {
     #[test]
     fn decode_thresholds_soft_values() {
         let ds = toy();
-        let enc = Encoding::fit(&ds);
+        let enc = Encoding::fit(&ds).unwrap();
         // age 0.5 → 40, gender 0.7 → true, education argmax of soft one-hot.
         let soft = vec![0.5, 0.7, 0.1, 0.8, 0.3];
         let back = enc.decode_row(&ds.schema, &soft);
@@ -309,7 +346,7 @@ mod tests {
     #[test]
     fn immutable_columns_cover_frozen_spans() {
         let ds = toy();
-        let enc = Encoding::fit(&ds);
+        let enc = Encoding::fit(&ds).unwrap();
         assert_eq!(enc.immutable_columns(&ds.schema), vec![1]);
     }
 
@@ -330,5 +367,32 @@ mod tests {
         let s = Scaler { min: 5.0, max: 5.0 };
         assert_eq!(s.normalize(5.0), 0.0);
         assert_eq!(s.denormalize(0.7), 5.0);
+    }
+
+    #[test]
+    fn encode_row_rejects_missing_value() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds).unwrap();
+        let bad = vec![Value::Missing, Value::Bin(true), Value::Cat(0)];
+        let err = enc.encode_row(&ds.schema, &bad).unwrap_err();
+        assert!(matches!(err, CfxError::Data(_)), "got {err}");
+    }
+
+    #[test]
+    fn encode_row_rejects_out_of_range_level() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds).unwrap();
+        // "education" has 3 levels; level 7 is out of domain.
+        let bad = vec![Value::Num(30.0), Value::Bin(false), Value::Cat(7)];
+        let err = enc.encode_row(&ds.schema, &bad).unwrap_err();
+        assert!(err.to_string().contains("education"), "got {err}");
+    }
+
+    #[test]
+    fn encode_row_rejects_arity_mismatch() {
+        let ds = toy();
+        let enc = Encoding::fit(&ds).unwrap();
+        let short = vec![Value::Num(30.0)];
+        assert!(enc.encode_row(&ds.schema, &short).is_err());
     }
 }

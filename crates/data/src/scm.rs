@@ -34,6 +34,7 @@
 //! ```
 
 use crate::schema::{Feature, RawDataset, Schema, Value};
+use cfx_tensor::CfxError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -69,36 +70,67 @@ impl Parents<'_> {
     /// Numeric parent value.
     ///
     /// # Panics
-    /// Panics if the parent is missing or not numeric — structural
-    /// equations reading undeclared parents are programmer errors.
+    /// Panics if the parent is missing or not numeric. Structural
+    /// equations are closures that cannot propagate a `Result`, so this
+    /// ergonomic accessor stays panicking; validation code that *can*
+    /// propagate should use [`try_num`](Self::try_num).
     pub fn num(&self, name: &str) -> f32 {
-        match self.get(name) {
-            NodeValue::Num(x) => x,
-            other => panic!("parent {name:?} is not numeric: {other:?}"),
-        }
+        self.try_num(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Binary parent value.
+    ///
+    /// # Panics
+    /// See [`num`](Self::num); the fallible form is
+    /// [`try_bin`](Self::try_bin).
     pub fn bin(&self, name: &str) -> bool {
-        match self.get(name) {
-            NodeValue::Bin(b) => b,
-            other => panic!("parent {name:?} is not binary: {other:?}"),
-        }
+        self.try_bin(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Categorical parent level.
+    ///
+    /// # Panics
+    /// See [`num`](Self::num); the fallible form is
+    /// [`try_cat`](Self::try_cat).
     pub fn cat(&self, name: &str) -> u32 {
-        match self.get(name) {
-            NodeValue::Cat(c) => c,
-            other => panic!("parent {name:?} is not categorical: {other:?}"),
+        self.try_cat(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Numeric parent value, reported as [`CfxError::Data`] when the
+    /// parent is undeclared or not numeric.
+    pub fn try_num(&self, name: &str) -> Result<f32, CfxError> {
+        match self.get(name)? {
+            NodeValue::Num(x) => Ok(x),
+            other => Err(CfxError::data(format!(
+                "parent {name:?} is not numeric: {other:?}"
+            ))),
         }
     }
 
-    fn get(&self, name: &str) -> NodeValue {
-        *self
-            .values
-            .get(name)
-            .unwrap_or_else(|| panic!("parent {name:?} was not declared"))
+    /// Binary parent value, as a [`CfxError::Data`] on mismatch.
+    pub fn try_bin(&self, name: &str) -> Result<bool, CfxError> {
+        match self.get(name)? {
+            NodeValue::Bin(b) => Ok(b),
+            other => Err(CfxError::data(format!(
+                "parent {name:?} is not binary: {other:?}"
+            ))),
+        }
+    }
+
+    /// Categorical parent level, as a [`CfxError::Data`] on mismatch.
+    pub fn try_cat(&self, name: &str) -> Result<u32, CfxError> {
+        match self.get(name)? {
+            NodeValue::Cat(c) => Ok(c),
+            other => Err(CfxError::data(format!(
+                "parent {name:?} is not categorical: {other:?}"
+            ))),
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<NodeValue, CfxError> {
+        self.values.get(name).copied().ok_or_else(|| {
+            CfxError::data(format!("parent {name:?} was not declared"))
+        })
     }
 }
 
@@ -176,6 +208,15 @@ impl Scm {
     /// The schema induced by the declared nodes.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Samples `n` rows and validates the result, reporting equations
+    /// that emitted out-of-domain values as [`CfxError::Data`] instead of
+    /// relying on a debug assertion.
+    pub fn try_sample(&self, n: usize, seed: u64) -> Result<RawDataset, CfxError> {
+        let ds = self.sample(n, seed);
+        ds.validate().map_err(CfxError::Data)?;
+        Ok(ds)
     }
 
     /// Samples `n` rows (deterministic per seed) in declaration order.
@@ -366,6 +407,29 @@ mod tests {
             mins[e] = mins[e].min(row[age].as_num().unwrap());
         }
         assert!(mins[0] < mins[1] && mins[1] < mins[2], "{mins:?}");
+    }
+
+    #[test]
+    fn try_accessors_report_typed_errors() {
+        let mut values = HashMap::new();
+        values.insert("age".to_string(), NodeValue::Num(30.0));
+        values.insert("urban".to_string(), NodeValue::Bin(true));
+        let p = Parents { values: &values };
+        assert_eq!(p.try_num("age").unwrap(), 30.0);
+        assert!(p.try_bin("urban").unwrap());
+        // Undeclared parent → Data error, not a panic.
+        let err = p.try_num("income").unwrap_err();
+        assert!(matches!(err, CfxError::Data(_)), "got {err}");
+        // Kind mismatch → Data error naming the parent.
+        let err = p.try_cat("age").unwrap_err();
+        assert!(err.to_string().contains("age"), "got {err}");
+    }
+
+    #[test]
+    fn try_sample_validates_generated_rows() {
+        let scm = loan_scm();
+        let ds = scm.try_sample(200, 4).expect("loan SCM is in-domain");
+        assert_eq!(ds.rows.len(), 200);
     }
 
     #[test]

@@ -172,6 +172,23 @@ fn paired(x: &[Vec<f32>], cf: &[Vec<f32>]) {
     assert_eq!(x.len(), cf.len(), "input/cf counts differ");
 }
 
+/// How many of a row's counterfactuals needed the generation recovery
+/// ladder (latent resampling / nearest-neighbor fallback) — the visible
+/// cost of fault tolerance in benchmark output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryCounts {
+    /// Counterfactuals accepted only after latent resampling.
+    pub resampled: usize,
+    /// Counterfactuals served from the fallback pool.
+    pub fallback: usize,
+}
+
+impl fmt::Display for RecoveryCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r/{}f", self.resampled, self.fallback)
+    }
+}
+
 /// One row of the paper's Table IV.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
@@ -189,20 +206,56 @@ pub struct TableRow {
     pub categorical_proximity: f32,
     /// Sparsity (mean changed features).
     pub sparsity: f32,
+    /// Generation-recovery tally, when the method reports one (methods
+    /// without a degradation ladder print `-`).
+    pub recovery: Option<RecoveryCounts>,
 }
 
 impl TableRow {
-    /// Header matching the paper's column order.
+    /// Header matching the paper's column order (plus the recovery tally).
     pub fn header() -> String {
         format!(
-            "{:<28} {:>8} {:>12} {:>12} {:>11} {:>11} {:>9}",
+            "{:<28} {:>8} {:>12} {:>12} {:>11} {:>11} {:>9} {:>9}",
             "Methods",
             "Validity",
             "Feas/Unary",
             "Feas/Binary",
             "Cont.prox",
             "Cat.prox",
-            "Sparsity"
+            "Sparsity",
+            "Recovery"
+        )
+    }
+
+    /// One JSON line for `BENCH_*.json` dumps (same convention as the
+    /// criterion shim's `BENCH_JSON` appender). Unevaluated feasibility
+    /// columns and absent recovery tallies serialize as `null`.
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<f32>) -> String {
+            v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "null".into())
+        }
+        let recovery = self
+            .recovery
+            .map(|r| {
+                format!(
+                    "{{\"resampled\":{},\"fallback\":{}}}",
+                    r.resampled, r.fallback
+                )
+            })
+            .unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"method\":{:?},\"validity\":{:.4},\
+             \"feasibility_unary\":{},\"feasibility_binary\":{},\
+             \"continuous_proximity\":{:.4},\"categorical_proximity\":{:.4},\
+             \"sparsity\":{:.4},\"recovery\":{}}}",
+            self.method,
+            self.validity,
+            opt(self.feasibility_unary),
+            opt(self.feasibility_binary),
+            self.continuous_proximity,
+            self.categorical_proximity,
+            self.sparsity,
+            recovery,
         )
     }
 }
@@ -214,14 +267,17 @@ impl fmt::Display for TableRow {
         }
         write!(
             f,
-            "{:<28} {:>8.2} {:>12} {:>12} {:>11.2} {:>11.2} {:>9.2}",
+            "{:<28} {:>8.2} {:>12} {:>12} {:>11.2} {:>11.2} {:>9.2} {:>9}",
             self.method,
             self.validity,
             opt(self.feasibility_unary),
             opt(self.feasibility_binary),
             self.continuous_proximity,
             self.categorical_proximity,
-            self.sparsity
+            self.sparsity,
+            self.recovery
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into())
         )
     }
 }
@@ -325,15 +381,37 @@ mod tests {
             continuous_proximity: -2.38,
             categorical_proximity: -2.66,
             sparsity: 4.33,
+            recovery: Some(RecoveryCounts { resampled: 3, fallback: 1 }),
         };
         let s = row.to_string();
         assert!(s.contains("98.00"));
         assert!(s.contains("72.38"));
         assert!(s.contains("-"));
         assert!(s.contains("-2.38"));
-        let table = format_table("Adult", &[row]);
+        assert!(s.contains("3r/1f"));
+        let table = format_table("Adult", &[row.clone()]);
         assert!(table.starts_with("Adult\n"));
         assert!(table.contains("Feas/Unary"));
+        assert!(table.contains("Recovery"));
+        let json = row.to_json();
+        assert!(json.contains("\"method\":\"Our method (a)*\""));
+        assert!(json.contains("\"feasibility_binary\":null"));
+        assert!(json.contains("\"recovery\":{\"resampled\":3,\"fallback\":1}"));
+    }
+
+    #[test]
+    fn recovery_column_defaults_to_dash() {
+        let row = TableRow {
+            method: "CEM".into(),
+            validity: 50.0,
+            feasibility_unary: None,
+            feasibility_binary: None,
+            continuous_proximity: -1.0,
+            categorical_proximity: -1.0,
+            sparsity: 2.0,
+            recovery: None,
+        };
+        assert!(row.to_string().trim_end().ends_with('-'));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! The workspace-wide typed error.
+//!
+//! Hot paths used to `panic!` on bad inputs (unknown constraint features,
+//! malformed raw values, non-finite numerics). For the production-scale
+//! north star those conditions must be *reportable*, not fatal: this enum
+//! is the single error currency threaded through `cfx-data` preprocessing,
+//! `cfx-core` constraint construction, and the training/generation
+//! recovery machinery. It lives in `cfx-tensor` — the root of the crate
+//! graph — so every downstream crate can return it without a cycle.
+
+use std::error::Error;
+use std::fmt;
+
+/// Typed failure modes of the counterfactual pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfxError {
+    /// A constraint referenced a feature that does not exist or has no
+    /// order to compare on (binary / non-ordinal categorical), or carried
+    /// invalid penalty parameters.
+    Constraint(String),
+    /// Raw data could not be encoded/validated (missing value on a
+    /// cleaned row, level out of range, schema mismatch, ...).
+    Data(String),
+    /// A tensor that must be finite contained a NaN or ±Inf. `context`
+    /// names the checkpoint that tripped (e.g. `"epoch loss"`).
+    NonFinite {
+        /// Where the non-finite value was detected.
+        context: String,
+    },
+    /// A `CFX_FAULT` specification (or other fault description) did not
+    /// parse.
+    Fault(String),
+    /// A bounded retry budget was exhausted without recovering.
+    RetryExhausted {
+        /// What was being retried.
+        what: String,
+        /// How many retries were spent.
+        retries: usize,
+    },
+}
+
+impl CfxError {
+    /// Shorthand constructor for [`CfxError::Constraint`].
+    pub fn constraint(msg: impl Into<String>) -> Self {
+        CfxError::Constraint(msg.into())
+    }
+
+    /// Shorthand constructor for [`CfxError::Data`].
+    pub fn data(msg: impl Into<String>) -> Self {
+        CfxError::Data(msg.into())
+    }
+
+    /// Shorthand constructor for [`CfxError::NonFinite`].
+    pub fn non_finite(context: impl Into<String>) -> Self {
+        CfxError::NonFinite { context: context.into() }
+    }
+}
+
+impl fmt::Display for CfxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfxError::Constraint(msg) => write!(f, "constraint error: {msg}"),
+            CfxError::Data(msg) => write!(f, "data error: {msg}"),
+            CfxError::NonFinite { context } => {
+                write!(f, "non-finite value detected in {context}")
+            }
+            CfxError::Fault(msg) => write!(f, "fault spec error: {msg}"),
+            CfxError::RetryExhausted { what, retries } => write!(
+                f,
+                "retry budget exhausted for {what} after {retries} retries"
+            ),
+        }
+    }
+}
+
+impl Error for CfxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_variant() {
+        assert!(CfxError::constraint("no such feature")
+            .to_string()
+            .contains("constraint error"));
+        assert!(CfxError::data("bad level").to_string().contains("data error"));
+        assert!(CfxError::non_finite("epoch loss")
+            .to_string()
+            .contains("epoch loss"));
+        let e = CfxError::RetryExhausted { what: "fit".into(), retries: 3 };
+        assert!(e.to_string().contains("3 retries"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(CfxError::Fault("nope".into()));
+        assert!(e.to_string().contains("fault spec"));
+    }
+}

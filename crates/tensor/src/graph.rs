@@ -105,6 +105,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        // Fault-injection hook (feature `guard`): every op construction
+        // flows through one choke point, so an armed fault can corrupt a
+        // specific op deterministically. Inert unless a fault is armed.
+        #[cfg(feature = "guard")]
+        let value = crate::guard::tamper(value);
         self.nodes.push(Node { value, grad: None, op });
         Var(self.nodes.len() - 1)
     }

@@ -25,7 +25,9 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod graph;
+pub mod guard;
 pub mod init;
 pub mod nn;
 pub mod optim;
@@ -33,6 +35,7 @@ pub mod runtime;
 pub mod serialize;
 pub mod tensor;
 
+pub use error::CfxError;
 pub use graph::{stable_sigmoid, stable_softplus, Tape, Var};
 pub use nn::{Activation, Linear, Mlp, Module};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};

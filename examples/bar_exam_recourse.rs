@@ -31,7 +31,7 @@ fn main() {
         ConstraintMode::Binary,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
     model.fit(&x_train);
 
@@ -55,10 +55,10 @@ fn main() {
     );
 
     // Inspect the tier⇒lsat coupling on the decoded values.
-    let tier_view =
-        FeatureView::resolve(&data.schema, &data.encoding, "tier");
-    let lsat_view =
-        FeatureView::resolve(&data.schema, &data.encoding, "lsat");
+    let tier_view = FeatureView::resolve(&data.schema, &data.encoding, "tier")
+        .expect("tier is a schema feature");
+    let lsat_view = FeatureView::resolve(&data.schema, &data.encoding, "lsat")
+        .expect("lsat is a schema feature");
 
     println!(
         "{:>4} {:>10} {:>10} {:>10} {:>10}  verdict",

@@ -31,7 +31,7 @@ fn main() {
         ConstraintMode::Unary,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
     model.fit(&x_train);
 

@@ -39,10 +39,10 @@ fn main() {
     let cfg = FeasibleCfConfig::paper(dataset, ConstraintMode::Unary);
     let unary = FeasibleCfModel::paper_constraints(
         dataset, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
-    );
+    ).unwrap();
     let binary = FeasibleCfModel::paper_constraints(
         dataset, &data, ConstraintMode::Binary, cfg.c1, cfg.c2,
-    );
+    ).unwrap();
 
     let evaluate = |name: &str, cf: &Tensor| -> TableRow {
         let desired: Vec<u8> =
@@ -60,6 +60,7 @@ fn main() {
             continuous_proximity: continuous_proximity(&metrics, &xr, &cr),
             categorical_proximity: categorical_proximity(&metrics, &xr, &cr),
             sparsity: sparsity(&metrics, &xr, &cr),
+            recovery: None,
         }
     };
 
@@ -76,7 +77,7 @@ fn main() {
             .with_step_budget_of(dataset, x_train.rows());
         let constraints = FeasibleCfModel::paper_constraints(
             dataset, &data, mode, config.c1, config.c2,
-        );
+        ).unwrap();
         let mut model =
             FeasibleCfModel::new(&data, blackbox.clone(), constraints, config);
         model.fit(&x_train);

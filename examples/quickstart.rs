@@ -42,15 +42,23 @@ fn main() {
         ConstraintMode::Unary,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
-    let history = model.fit(&x_train);
-    println!(
-        "trained {} epochs; loss {:.2} -> {:.2}",
-        history.len(),
-        history.first().unwrap().total,
-        history.last().unwrap().total
-    );
+    let report = model.fit(&x_train);
+    match (report.first_total(), report.last_total()) {
+        (Some(first), Some(last)) => println!(
+            "trained {} epochs ({} watchdog retries); loss {first:.2} -> {last:.2}",
+            report.history.len(),
+            report.retries,
+        ),
+        // A persistent fault (e.g. a poisoned black box) exhausts the
+        // watchdog before any epoch completes — an orderly stop at the
+        // initial snapshot, not a panic.
+        _ => println!(
+            "training stopped with no completed epoch ({:?}, {} retries)",
+            report.status, report.retries
+        ),
+    }
 
     // 4. Explain low-income test instances: how do they reach >50k?
     let x_test = data.x.gather_rows(&split.test);

@@ -30,7 +30,7 @@ fn main() {
         ConstraintMode::Binary,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
     model.fit(&x_train);
 

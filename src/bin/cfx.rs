@@ -139,7 +139,7 @@ fn setup(args: &Args) -> (EncodedDataset, Split, FeasibleCfModel) {
         args.mode,
         config.c1,
         config.c2,
-    );
+    ).unwrap();
     let mut model = FeasibleCfModel::new(&data, blackbox, constraints, config);
     model.fit(&x_train);
     (data, split, model)

@@ -53,6 +53,10 @@
 //! * `Constraint::binary(schema, encoding, "education", "age", c1, c2)` —
 //!   raising the cause demands raising the effect (Eq. 2).
 //!
+//! Both return `Result<Constraint, CfxError>`: an unknown, binary, or
+//! non-ordinal feature (or a negative `c2`) is a typed error naming the
+//! offender, not a panic.
+//!
 //! Don't know your constraints? [`cfx_core::discover_binary_constraints`]
 //! scans the data for floor-monotone, dominance-backed implication pairs
 //! and estimates `c1`/`c2` — the paper's §V future work.
@@ -60,7 +64,11 @@
 //! ## 4. Training and explaining
 //!
 //! [`cfx_core::FeasibleCfModel`] ties it together; see the README's
-//! quickstart. Three API layers sit on top of a trained model:
+//! quickstart. [`fit`](cfx_core::FeasibleCfModel::fit) trains under a
+//! divergence watchdog (checkpoint, rollback, LR backoff — see
+//! DESIGN.md, "Failure model & recovery") and returns a
+//! [`TrainReport`](cfx_core::TrainReport) of its recovery events. Three
+//! API layers sit on top of a trained model:
 //!
 //! * [`explain_batch`](cfx_core::FeasibleCfModel::explain_batch) — one
 //!   counterfactual per instance with validity/feasibility verdicts;

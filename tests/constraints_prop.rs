@@ -57,7 +57,7 @@ proptest! {
         edu_cf in 0usize..4,
     ) {
         let (schema, enc, _) = fixture();
-        let c = Constraint::unary(&schema, &enc, "age");
+        let c = Constraint::unary(&schema, &enc, "age").unwrap();
         let x = encoded_row(age, edu, false);
         let cf = encoded_row(age_cf, edu_cf, false);
         let expected = age_cf >= age - 1.1e-4;
@@ -70,7 +70,7 @@ proptest! {
         age_cf in 0.0f32..1.0,
     ) {
         let (schema, enc, _) = fixture();
-        let c = Constraint::unary(&schema, &enc, "age");
+        let c = Constraint::unary(&schema, &enc, "age").unwrap();
         let x = Tensor::from_vec(1, 6, encoded_row(age, 0, false));
         let cf = Tensor::from_vec(1, 6, encoded_row(age_cf, 0, false));
         let check = c.check(x.row_slice(0), cf.row_slice(0));
@@ -95,7 +95,7 @@ proptest! {
         edu_cf in 0usize..4,
     ) {
         let (schema, enc, _) = fixture();
-        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2);
+        let c = Constraint::binary(&schema, &enc, "education", "age", 0.0, 0.2).unwrap();
         let age_cf = (age + dage).clamp(0.0, 1.0);
         let x = encoded_row(age, edu, true);
         let cf = encoded_row(age_cf, edu_cf, true);
@@ -116,7 +116,7 @@ proptest! {
         ages in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0), 1..20),
     ) {
         let (schema, enc, _) = fixture();
-        let c = vec![Constraint::unary(&schema, &enc, "age")];
+        let c = vec![Constraint::unary(&schema, &enc, "age").unwrap()];
         let x_rows: Vec<Vec<f32>> =
             ages.iter().map(|&(a, _)| encoded_row(a, 1, false)).collect();
         let cf_rows: Vec<Vec<f32>> =

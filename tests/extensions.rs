@@ -32,7 +32,7 @@ fn fixture() -> &'static Fixture {
             .with_step_budget_of(DatasetId::Adult, x_train.rows());
         let constraints = FeasibleCfModel::paper_constraints(
             DatasetId::Adult, &data, ConstraintMode::Unary, cfg.c1, cfg.c2,
-        );
+        ).unwrap();
         let mut model = FeasibleCfModel::new(&data, bb, constraints, cfg);
         model.fit(&x_train);
         Fixture { data, split, model }

@@ -49,7 +49,7 @@ fn train_ours(p: &Pipeline, dataset: DatasetId, mode: ConstraintMode) -> Feasibl
         .with_step_budget_of(dataset, x_train.rows());
     let constraints = FeasibleCfModel::paper_constraints(
         dataset, &p.data, mode, config.c1, config.c2,
-    );
+    ).unwrap();
     let mut model =
         FeasibleCfModel::new(&p.data, p.blackbox.clone(), constraints, config);
     model.fit(&x_train);
@@ -208,7 +208,7 @@ fn trained_model_round_trips_through_disk() {
         let constraints = FeasibleCfModel::paper_constraints(
             DatasetId::Adult, &p.data, ConstraintMode::Unary,
             config.c1, config.c2,
-        );
+        ).unwrap();
         FeasibleCfModel::new(&p.data, p.blackbox.clone(), constraints, config)
     };
     load_module(&mut restored, &path).unwrap();

@@ -57,9 +57,9 @@ proptest! {
     ) {
         let labels = vec![true; rows.len()];
         let raw = RawDataset { schema: schema.clone(), rows: rows.clone(), labels };
-        let enc = Encoding::fit(&raw);
+        let enc = Encoding::fit(&raw).unwrap();
         for row in &rows {
-            let e = enc.encode_row(&schema, row);
+            let e = enc.encode_row(&schema, row).unwrap();
             // Everything lands in [0, 1].
             prop_assert!(e.iter().all(|&v| (0.0..=1.0).contains(&v)));
             let back = enc.decode_row(&schema, &e);
