@@ -64,11 +64,14 @@ impl Cem {
         let mut momentum = Tensor::zeros(1, x.cols());
         let mut best: Option<(f32, Tensor)> = None;
 
+        // One tape across the whole FISTA loop: reset() recycles every
+        // iteration's buffers, so the search runs out of the pool.
+        let mut tape = Tape::new();
         for iter in 0..cfg.max_iters {
             // y = x + delta (clipped into the unit box).
             let xcf = x.zip(&delta, |a, d| (a + d).clamp(0.0, 1.0));
-            let mut tape = Tape::new();
-            let xv = tape.leaf(xcf.clone());
+            tape.reset();
+            let xv = tape.leaf_copy(&xcf);
             let logits = self.blackbox.forward_tape(&mut tape, xv);
             let hinge = tape.hinge(logits, &label, cfg.kappa);
             let attack = tape.scale(hinge, cfg.attack_weight);

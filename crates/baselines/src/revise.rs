@@ -62,21 +62,24 @@ impl Revise {
         let target = Tensor::from_vec(1, 1, vec![desired as f32]);
         let mut z = self.vae.encode(x);
         let mut best = self.vae.decode(&z);
+        // One tape across the whole latent search: reset() recycles every
+        // iteration's buffers, so the loop runs out of the pool.
+        let mut tape = Tape::new();
         for _ in 0..self.config.max_iters {
-            let mut tape = Tape::new();
-            let zv = tape.leaf(z.clone());
+            tape.reset();
+            let zv = tape.leaf_copy(&z);
             let recon = self.vae.decode_tape(&mut tape, zv);
             let logits = self.blackbox.forward_tape(&mut tape, recon);
-            let class_loss = tape.bce_with_logits(logits, &target);
-            let xv = tape.leaf(x.clone());
+            let class_loss = tape.sigmoid_bce(logits, &target);
+            let xv = tape.leaf_copy(x);
             let dist = tape.l1_loss(recon, xv);
             let wdist = tape.scale(dist, self.config.distance_weight);
             let loss = tape.add(class_loss, wdist);
             tape.backward(loss);
-            let g = tape.grad(zv);
-            z.axpy(-self.config.step_size, &g);
+            z.axpy(-self.config.step_size, tape.grad(zv));
 
-            best = tape.value(recon).clone();
+            let prev = std::mem::replace(&mut best, tape.value(recon).clone());
+            prev.recycle();
             let pred = (tape.value(logits).item() >= 0.0) as u8;
             if pred == desired {
                 break;
@@ -86,8 +89,10 @@ impl Revise {
         let decoded = self.vae.decode(&z);
         let pred = self.blackbox.predict(&decoded)[0];
         if pred == desired {
+            best.recycle();
             decoded
         } else {
+            decoded.recycle();
             best
         }
     }
@@ -105,6 +110,7 @@ impl CfMethod for Revise {
             let xr = x.slice_rows(r, 1);
             let cf = self.explain_one(&xr, 1 - desired[r]);
             rows.push(cf.as_slice().to_vec());
+            cf.recycle();
         }
         Tensor::from_rows(&rows)
     }

@@ -12,8 +12,8 @@
 
 use cfx_tensor::init::randn_tensor;
 use cfx_tensor::{
-    clip_grad_norm, stable_sigmoid, Activation, Adam, Linear, Mlp, Module,
-    Optimizer, Tape, Tensor, Var,
+    stable_sigmoid, Activation, Adam, Linear, Mlp, Module, Optimizer, Tape,
+    Tensor, Var,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -124,34 +124,38 @@ impl PlainVae {
         let n = x.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let mut losses = Vec::with_capacity(config.epochs);
+        // One tape for the whole fit; reset() recycles every buffer so
+        // steady-state ELBO steps run out of the pool.
+        let mut tape = Tape::new();
+        let mut pv = Vec::new();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(config.batch_size) {
-                let xb = x.gather_rows(chunk);
+                let xb = x.gather_rows_pooled(chunk);
                 let b = xb.rows();
                 let eps = randn_tensor(b, latent_dim, &mut rng);
-                let mut tape = Tape::new();
+                tape.reset();
+                pv.clear();
                 let xv = tape.leaf(xb);
-                let mut pv = Vec::new();
                 let (mu, logvar, recon_logits) =
                     vae.forward(&mut tape, xv, &eps, &mut pv, &mut rng);
-                // Per-row-sum BCE so the KL term (also a per-row sum over
-                // latent dims) cannot dominate and collapse the posterior.
-                let targets = tape.value(xv).clone();
-                let bce = tape.bce_with_logits(recon_logits, &targets);
-                let rec = tape.scale(bce, targets.cols() as f32);
+                // Per-row-sum BCE (fused sigmoid+BCE against the input
+                // node) so the KL term (also a per-row sum over latent
+                // dims) cannot dominate and collapse the posterior.
+                let width = tape.value(xv).cols() as f32;
+                let bce = tape.sigmoid_bce_node(recon_logits, xv);
+                let rec = tape.scale(bce, width);
                 let kl = tape.kl_gauss(mu, logvar);
                 let klw = tape.scale(kl, config.kl_weight);
                 let loss = tape.add(rec, klw);
                 total += tape.value(loss).item();
                 batches += 1;
                 tape.backward(loss);
-                let mut grads: Vec<Tensor> =
-                    pv.iter().map(|&v| tape.grad(v)).collect();
-                clip_grad_norm(&mut grads, 5.0);
-                opt.step(&mut vae, &grads);
+                tape.clip_grads(&pv, 5.0);
+                let grads = tape.grads_of(&pv);
+                opt.step_refs(&mut vae, &grads);
             }
             losses.push(total / batches.max(1) as f32);
         }
@@ -188,6 +192,7 @@ impl PlainVae {
     pub fn encode(&self, x: &Tensor) -> Tensor {
         let trunk = self.encoder.predict(x);
         let mut z = trunk.matmul(&self.mu_head.w);
+        trunk.recycle();
         for r in 0..z.rows() {
             for (v, &b) in
                 z.row_slice_mut(r).iter_mut().zip(self.mu_head.b.as_slice())
@@ -200,7 +205,9 @@ impl PlainVae {
 
     /// Decode latent codes to data space (sigmoid of the decoder logits).
     pub fn decode(&self, z: &Tensor) -> Tensor {
-        self.decoder.predict(z).map(stable_sigmoid)
+        let mut out = self.decoder.predict(z);
+        out.map_inplace(stable_sigmoid);
+        out
     }
 
     /// Decode latent rows inside a tape (for latent-gradient search),

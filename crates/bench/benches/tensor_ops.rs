@@ -3,7 +3,9 @@
 
 use cfx_models::Cvae;
 use cfx_tensor::init::{randn_tensor, uniform_tensor};
-use cfx_tensor::{runtime, Adam, Module, Optimizer, Tape, Tensor};
+use cfx_tensor::{
+    pool, runtime, Activation, Adam, Mlp, Module, Optimizer, Tape, Tensor,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,6 +136,167 @@ fn bench_vae_forward_backward(c: &mut Criterion) {
     group.finish();
 }
 
+/// A complete supervised train step — forward, fused BCE, backward,
+/// Adam — in the zero-churn pattern (one hoisted tape, `reset()` per
+/// step, hot pool) against the pre-pool shape: a fresh tape per step
+/// with the pool emptied first, so every buffer is a heap allocation.
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    for &(batch, width) in &[(256usize, 30usize), (2048, 30)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = uniform_tensor(batch, width, -1.0, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            batch,
+            1,
+            (0..batch)
+                .map(|r| f32::from(x.as_slice()[r * width] > 0.0))
+                .collect(),
+        );
+        let dims = format!("b{batch}_w{width}");
+
+        let step = |tape: &mut Tape,
+                    pv: &mut Vec<cfx_tensor::Var>,
+                    net: &mut Mlp,
+                    opt: &mut Adam| {
+            tape.reset();
+            pv.clear();
+            let xv = tape.leaf_copy(&x);
+            let mut drng = StdRng::seed_from_u64(9);
+            let logits = net.forward(tape, xv, pv, true, &mut drng);
+            let loss = tape.sigmoid_bce(logits, &y);
+            tape.backward(loss);
+            let grads = tape.grads_of(pv);
+            opt.step_refs(net, &grads);
+            tape.value(loss).item()
+        };
+
+        let mut net = Mlp::new(
+            &[width, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            1.0,
+            &mut StdRng::seed_from_u64(17),
+        );
+        let mut opt = Adam::with_lr(1e-2);
+        let mut tape = Tape::new();
+        let mut pv = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/pooled")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(step(&mut tape, &mut pv, &mut net, &mut opt))
+                })
+            },
+        );
+        drop(tape);
+
+        let mut net = Mlp::new(
+            &[width, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            1.0,
+            &mut StdRng::seed_from_u64(17),
+        );
+        let mut opt = Adam::with_lr(1e-2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/unpooled")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    pool::clear();
+                    let mut tape = Tape::new();
+                    let mut pv = Vec::new();
+                    black_box(step(&mut tape, &mut pv, &mut net, &mut opt))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The fused tape ops against the unfused op chains they replace —
+/// forward **and** backward of `relu(x @ w + b)` and of sigmoid + BCE.
+/// (Bitwise equivalence is pinned by `tests/pool_prop.rs`; this
+/// measures what collapsing three tape nodes into one is worth.)
+fn bench_fused_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_ops");
+    let mut rng = StdRng::seed_from_u64(13);
+    for &(m, k, n) in &[(256usize, 30usize, 16usize), (2048, 30, 16)] {
+        let x = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
+        let w = uniform_tensor(k, n, -1.0, 1.0, &mut rng);
+        let b = uniform_tensor(1, n, -1.0, 1.0, &mut rng);
+        let dims = format!("{m}x{k}x{n}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/affine_relu_fused")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut tape = Tape::new();
+                    let xv = tape.leaf_copy(&x);
+                    let wv = tape.leaf_copy(&w);
+                    let bv = tape.leaf_copy(&b);
+                    let out = tape.affine_relu(xv, wv, bv);
+                    let root = tape.sum(out);
+                    tape.backward(root);
+                    black_box(tape.grad(wv).as_slice()[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}/affine_relu_unfused")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut tape = Tape::new();
+                    let xv = tape.leaf_copy(&x);
+                    let wv = tape.leaf_copy(&w);
+                    let bv = tape.leaf_copy(&b);
+                    let mm = tape.matmul(xv, wv);
+                    let z = tape.add_row(mm, bv);
+                    let out = tape.relu(z);
+                    let root = tape.sum(out);
+                    tape.backward(root);
+                    black_box(tape.grad(wv).as_slice()[0])
+                })
+            },
+        );
+    }
+    let z = uniform_tensor(2048, 1, -3.0, 3.0, &mut rng);
+    let t = Tensor::from_vec(
+        2048,
+        1,
+        (0..2048).map(|i| f32::from(i % 2 == 0)).collect(),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("2048x1/sigmoid_bce_fused"),
+        &(),
+        |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let zv = tape.leaf_copy(&z);
+                let loss = tape.sigmoid_bce(zv, &t);
+                tape.backward(loss);
+                black_box(tape.grad(zv).as_slice()[0])
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("2048x1/bce_with_logits_unfused"),
+        &(),
+        |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let zv = tape.leaf_copy(&z);
+                let loss = tape.bce_with_logits(zv, &t);
+                tape.backward(loss);
+                black_box(tape.grad(zv).as_slice()[0])
+            })
+        },
+    );
+    group.finish();
+}
+
 fn bench_adam_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut vae = Cvae::paper(30, &mut rng);
@@ -152,6 +315,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_matmul, bench_fused_kernels, bench_pairwise_sq_dists,
-        bench_vae_forward_backward, bench_adam_step
+        bench_vae_forward_backward, bench_train_step, bench_fused_ops,
+        bench_adam_step
 }
 criterion_main!(benches);

@@ -36,6 +36,20 @@ fn append_json(dataset: DatasetId, rows: &[TableRow]) {
             r.to_json()
         );
     }
+    // Allocation accounting for the run so far (zeros unless the
+    // `pool-stats` feature is on): steady-state training should show a
+    // hit rate near 1 once the pool is warm.
+    let s = cfx_tensor::pool::stats();
+    let _ = writeln!(
+        file,
+        "{{\"table\":\"table4\",\"dataset\":{:?},\"pool\":{{\"hits\":{},\
+         \"misses\":{},\"live_bytes\":{},\"peak_bytes\":{}}}}}",
+        dataset.name(),
+        s.hits,
+        s.misses,
+        s.live_bytes,
+        s.peak_bytes
+    );
 }
 
 fn main() {

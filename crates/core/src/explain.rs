@@ -179,7 +179,7 @@ impl FeasibleCfModel {
             if pending.is_empty() {
                 break;
             }
-            let xb = x.gather_rows(&pending);
+            let xb = x.gather_rows_pooled(&pending);
             let mut rng = StdRng::seed_from_u64(
                 self.config().seed ^ 0x5EED ^ attempt as u64,
             );
@@ -188,6 +188,7 @@ impl FeasibleCfModel {
                 recovery.noise_scale,
                 &mut rng,
             );
+            xb.recycle();
             let try_classes = self.blackbox().predict(&cf_try);
             let mut still = Vec::with_capacity(pending.len());
             for (i, &r) in pending.iter().enumerate() {

@@ -101,11 +101,14 @@ pub fn cf_loss(
 
     let recon = match recon_logits {
         Some(logits) => {
-            let targets = tape.value(x).clone();
-            let bce = tape.bce_with_logits(logits, &targets);
+            // Fused sigmoid+BCE against the `x` node itself: no target
+            // copy, and the kernel reuses the probabilities it computed
+            // forward in its backward rule.
+            let width = tape.value(x).cols() as f32;
+            let bce = tape.sigmoid_bce_node(logits, x);
             // Scale the per-element mean to a per-row sum (like the other
             // terms) so the anchor has comparable magnitude.
-            tape.scale(bce, targets.cols() as f32)
+            tape.scale(bce, width)
         }
         None => tape.leaf(Tensor::scalar(0.0)),
     };

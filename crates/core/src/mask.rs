@@ -81,12 +81,16 @@ impl ImmutableMask {
         out
     }
 
+    /// Pool-backed row-broadcast of the mask: the tape leaf built from it is
+    /// recycled by `Tape::reset`, so repeated training steps reuse the same
+    /// buffer instead of reallocating it.
     fn batch_mask(&self, rows: usize) -> Tensor {
-        let mut data = Vec::with_capacity(rows * self.width());
-        for _ in 0..rows {
-            data.extend_from_slice(&self.mask_row);
+        let width = self.width();
+        let mut data = cfx_tensor::pool::take_buf(rows * width);
+        for chunk in data.chunks_exact_mut(width.max(1)) {
+            chunk.copy_from_slice(&self.mask_row);
         }
-        Tensor::from_vec(rows, self.width(), data)
+        Tensor::from_vec(rows, width, data)
     }
 }
 

@@ -11,7 +11,7 @@ use cfx_tensor::init::randn_tensor;
 use cfx_tensor::stable_sigmoid;
 use cfx_tensor::Activation;
 use cfx_tensor::{guard, serialize, CfxError};
-use cfx_tensor::{clip_grad_norm, Adam, Module, Optimizer, Tape, Tensor};
+use cfx_tensor::{Adam, Module, Optimizer, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -293,6 +293,10 @@ impl FeasibleCfModel {
         let mut best_total = f32::INFINITY;
         let mut best_snapshot = serialize::encode(&self.vae.export_params());
         let mut epoch = 0usize;
+        // One tape reused across every batch of every epoch: reset()
+        // returns all buffers to the pool, so steady-state steps allocate
+        // nothing fresh.
+        let mut tape = Tape::new();
         while epoch < cfg.epochs {
             let order = balanced_order(&group0, &group1, n, &mut rng);
             // KL annealing: ramp the KL weight over the first half of
@@ -306,8 +310,11 @@ impl FeasibleCfModel {
             let mut batches = 0usize;
             let mut fault = None;
             for chunk in order.chunks(cfg.batch_size) {
-                let xb = x.gather_rows(chunk);
-                match self.train_batch(&xb, &mut opt, &mut rng, anneal) {
+                let xb = x.gather_rows_pooled(chunk);
+                let step =
+                    self.train_batch(&xb, &mut tape, &mut opt, &mut rng, anneal);
+                xb.recycle();
+                match step {
                     Ok(stats) => {
                         sums[0] += stats.total;
                         sums[1] += stats.validity;
@@ -401,6 +408,7 @@ impl FeasibleCfModel {
     fn train_batch(
         &mut self,
         xb: &Tensor,
+        tape: &mut Tape,
         opt: &mut Adam,
         rng: &mut StdRng,
         kl_anneal: f32,
@@ -418,16 +426,15 @@ impl FeasibleCfModel {
         );
         let eps = randn_tensor(n, self.vae.latent_dim(), rng);
 
-        let mut tape = Tape::new();
-        let xv = tape.leaf(xb.clone());
+        tape.reset();
+        let xv = tape.leaf_copy(xb);
         let mut pv = Vec::new();
-        let out =
-            self.vae.forward(&mut tape, xv, &cond, &eps, &mut pv, true, rng);
+        let out = self.vae.forward(tape, xv, &cond, &eps, &mut pv, true, rng);
         let probs = tape.sigmoid(out.recon);
-        let x_cf = self.mask.apply_tape(&mut tape, xv, probs);
-        let logits = self.blackbox.forward_tape(&mut tape, x_cf);
+        let x_cf = self.mask.apply_tape(tape, xv, probs);
+        let logits = self.blackbox.forward_tape(tape, x_cf);
         let parts = cf_loss(
-            &mut tape,
+            tape,
             xv,
             x_cf,
             logits,
@@ -454,12 +461,12 @@ impl FeasibleCfModel {
             return Err(FaultDetected::NonFiniteLoss);
         }
         tape.backward(parts.total);
-        let mut grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
-        if !guard::all_finite(&grads.iter().collect::<Vec<_>>()) {
+        if !guard::all_finite(&tape.grads_of(&pv)) {
             return Err(FaultDetected::NonFiniteGrad);
         }
-        clip_grad_norm(&mut grads, 5.0);
-        opt.step(&mut self.vae, &grads);
+        tape.clip_grads(&pv, 5.0);
+        let grads = tape.grads_of(&pv);
+        opt.step_refs(&mut self.vae, &grads);
         Ok(stats)
     }
 
@@ -481,9 +488,14 @@ impl FeasibleCfModel {
         rng: &mut StdRng,
     ) -> Tensor {
         let cond = self.desired_cond(x);
-        let recon =
-            self.vae.generate(x, &cond, noise_scale, rng).map(stable_sigmoid);
-        self.mask.apply(x, &recon)
+        // `generate` returns a pool-origin buffer (it ends in a pooled
+        // `Mlp::predict`): squash it in place and hand it back so repeated
+        // resampling rounds reuse the same allocations.
+        let mut recon = self.vae.generate(x, &cond, noise_scale, rng);
+        recon.map_inplace(stable_sigmoid);
+        let cf = self.mask.apply(x, &recon);
+        recon.recycle();
+        cf
     }
 
     /// The `(n, 1)` desired-class column for a batch (opposite of the

@@ -84,25 +84,29 @@ impl BlackBox {
         let mut opt = Adam::with_lr(config.learning_rate);
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(config.epochs);
+        // One tape for the whole run: reset() returns every buffer to the
+        // pool, so steady-state steps train without fresh heap allocations.
+        let mut tape = Tape::new();
+        let mut pv = Vec::new();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(config.batch_size) {
-                let xb = x.gather_rows(chunk);
-                let yb = y.gather_rows(chunk);
-                let mut tape = Tape::new();
+                let xb = x.gather_rows_pooled(chunk);
+                let yb = y.gather_rows_pooled(chunk);
+                tape.reset();
+                pv.clear();
                 let xv = tape.leaf(xb);
-                let mut pv = Vec::new();
                 let logits =
                     self.net.forward(&mut tape, xv, &mut pv, true, &mut rng);
-                let loss = tape.bce_with_logits(logits, &yb);
+                let loss = tape.sigmoid_bce(logits, &yb);
+                yb.recycle();
                 total += tape.value(loss).item();
                 batches += 1;
                 tape.backward(loss);
-                let grads: Vec<Tensor> =
-                    pv.iter().map(|&v| tape.grad(v)).collect();
-                opt.step(&mut self.net, &grads);
+                let grads = tape.grads_of(&pv);
+                opt.step_refs(&mut self.net, &grads);
             }
             epoch_losses.push(total / batches.max(1) as f32);
         }
@@ -116,20 +120,20 @@ impl BlackBox {
 
     /// `P(class = 1)` per row.
     pub fn predict_proba(&self, x: &Tensor) -> Vec<f32> {
-        self.logits(x)
-            .as_slice()
-            .iter()
-            .map(|&z| stable_sigmoid(z))
-            .collect()
+        let logits = self.logits(x);
+        let probs =
+            logits.as_slice().iter().map(|&z| stable_sigmoid(z)).collect();
+        logits.recycle();
+        probs
     }
 
     /// Hard 0/1 predictions per row.
     pub fn predict(&self, x: &Tensor) -> Vec<u8> {
-        self.logits(x)
-            .as_slice()
-            .iter()
-            .map(|&z| (z >= 0.0) as u8)
-            .collect()
+        let logits = self.logits(x);
+        let preds =
+            logits.as_slice().iter().map(|&z| (z >= 0.0) as u8).collect();
+        logits.recycle();
+        preds
     }
 
     /// Confusion counts `(tp, fp, tn, fn)` against 0/1 labels.

@@ -143,7 +143,7 @@ impl Cvae {
         assert_eq!(cond.shape(), (n, 1), "condition shape");
         assert_eq!(eps.shape(), (n, self.latent_dim), "eps shape");
 
-        let cond_var = tape.leaf(cond.clone());
+        let cond_var = tape.leaf_copy(cond);
         let enc_in = tape.concat_cols(x, cond_var);
         let trunk = self.encoder.forward(tape, enc_in, param_vars, train, rng);
         let mu = self.mu_head.forward(tape, trunk, param_vars);
@@ -156,7 +156,7 @@ impl Cvae {
             tape.scale(t, 6.0)
         };
         let z = tape.reparameterize(mu, logvar, eps);
-        let cond_var2 = tape.leaf(cond.clone());
+        let cond_var2 = tape.leaf_copy(cond);
         let dec_in = tape.concat_cols(z, cond_var2);
         let recon = self.decoder.forward(tape, dec_in, param_vars, train, rng);
         CvaeForward { mu, logvar, z, recon }
@@ -167,8 +167,10 @@ impl Cvae {
         let input = x.concat_cols(cond);
         let trunk = self.encoder.predict(&input);
         let mu = linear_predict(&self.mu_head, &trunk);
-        let logvar_raw = linear_predict(&self.logvar_head, &trunk);
-        (mu, logvar_raw.map(|v| 6.0 * (v / 6.0).tanh()))
+        let mut logvar = linear_predict(&self.logvar_head, &trunk);
+        trunk.recycle();
+        logvar.map_inplace(|v| 6.0 * (v / 6.0).tanh());
+        (mu, logvar)
     }
 
     /// Inference-mode decode of latent codes.
@@ -350,11 +352,13 @@ mod tests {
         let mut opt = Adam::with_lr(5e-3);
         let mut first = None;
         let mut last = 0.0;
+        let mut tape = Tape::new();
+        let mut pv = Vec::new();
         for _ in 0..300 {
             let eps = randn_tensor(n, 3, &mut rng);
-            let mut tape = Tape::new();
-            let xv = tape.leaf(x.clone());
-            let mut pv = Vec::new();
+            tape.reset();
+            pv.clear();
+            let xv = tape.leaf_copy(&x);
             let out =
                 vae.forward(&mut tape, xv, &cond, &eps, &mut pv, true, &mut rng);
             let rec = tape.mse_loss(out.recon, xv);
@@ -364,8 +368,8 @@ mod tests {
             last = tape.value(rec).item();
             first.get_or_insert(last);
             tape.backward(loss);
-            let grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
-            opt.step(&mut vae, &grads);
+            let grads = tape.grads_of(&pv);
+            opt.step_refs(&mut vae, &grads);
         }
         let first = first.unwrap();
         assert!(

@@ -9,6 +9,20 @@
 //! The op set is deliberately small and fully enumerated ([`Op`]): every
 //! rule is covered by a finite-difference gradient check in this module's
 //! tests and by property tests in `tests/grad_prop.rs`.
+//!
+//! # Memory model
+//!
+//! Every tensor a tape materialises — forward values, gradients, op
+//! context — is drawn from the thread-local [`pool`](crate::pool) and
+//! handed back by [`Tape::reset`]. A training loop that keeps one tape
+//! and resets it each step therefore reaches a steady state with zero
+//! heap allocations: same shapes, recycled buffers. Gradient
+//! accumulation is in place (first consumer writes the pooled buffer,
+//! later consumers add into it); temporaries such as matmul gradient
+//! products are recycled the moment they are consumed. The fused ops
+//! ([`Tape::affine_relu`], [`Tape::sigmoid_bce`]) collapse the dominant
+//! op chains into single nodes with exact combined backward rules —
+//! bitwise identical to their unfused compositions.
 
 use crate::tensor::Tensor;
 
@@ -69,6 +83,39 @@ enum Op {
     BceWithLogits(Var, Tensor),
     /// Mean hinge loss `mean(relu(margin - y*z))` for labels `y ∈ {-1,+1}`.
     Hinge(Var, Tensor, f32),
+    /// Fused affine layer `act(x @ w + b)`, `act` ∈ {identity, relu}:
+    /// one tape node — and one fault-injection op index — for the
+    /// dominant matmul + row-bias + activation chain.
+    Affine {
+        /// Input batch `(m, k)`.
+        x: Var,
+        /// Weight matrix `(k, n)`.
+        w: Var,
+        /// Row bias `(1, n)`.
+        b: Var,
+        /// Whether a ReLU is fused onto the output.
+        relu: bool,
+    },
+    /// Fused sigmoid + BCE-with-logits: forward computes the stable-form
+    /// loss and σ(z); backward reuses the stored probabilities instead
+    /// of recomputing the sigmoid.
+    SigmoidBce {
+        /// Logits node.
+        z: Var,
+        /// σ(z) captured during the forward pass.
+        probs: Tensor,
+        /// 0/1 targets (constant w.r.t. the loss — no gradient flows
+        /// into them).
+        targets: SbTargets,
+    },
+}
+
+/// Target operand of a fused [`Op::SigmoidBce`] node: an owned copy, or
+/// a reference to another tape node (avoiding any per-step copy).
+#[derive(Debug, Clone)]
+enum SbTargets {
+    Owned(Tensor),
+    Node(Var),
 }
 
 struct Node {
@@ -79,13 +126,25 @@ struct Node {
 
 /// A define-by-run autodiff tape.
 ///
-/// Typical life cycle: create one per forward pass, register parameters and
-/// inputs with [`Tape::leaf`], build the computation, call
-/// [`Tape::backward`] on the (scalar) loss, read gradients with
-/// [`Tape::grad`], then drop the tape.
+/// Typical life cycle: create one tape per *loop* (not per step),
+/// register parameters and inputs with [`Tape::leaf`] /
+/// [`Tape::leaf_copy`], build the computation, call [`Tape::backward`]
+/// on the (scalar) loss, read gradients with [`Tape::grad`], then call
+/// [`Tape::reset`] at the top of the next step so every buffer recycles
+/// through the [`pool`](crate::pool).
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Recycle through the same path as `reset`: a tape that dies at
+        // the end of a fit (or on unwind) hands its working set back to
+        // the thread-local pool instead of freeing it, so the next loop
+        // starts warm.
+        self.reset();
+    }
 }
 
 impl Tape {
@@ -119,19 +178,92 @@ impl Tape {
         self.push(value, Op::Leaf)
     }
 
+    /// Registers a leaf holding a pooled copy of `value` — the
+    /// zero-allocation sibling of [`Tape::leaf`] for parameters and
+    /// conditioning inputs re-registered on every training step.
+    pub fn leaf_copy(&mut self, value: &Tensor) -> Var {
+        self.push(value.clone_pooled(), Op::Leaf)
+    }
+
+    /// Clears the tape, returning every buffer it owns — forward values,
+    /// gradients, and op context tensors — to the thread-local
+    /// [`pool`](crate::pool). Node storage keeps its capacity.
+    ///
+    /// A loop that holds one tape and resets it at the top of each step
+    /// reaches a steady state where every tensor the step materialises
+    /// is a pool hit: zero heap allocations (see `pool::stats`).
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            node.value.recycle();
+            if let Some(g) = node.grad {
+                g.recycle();
+            }
+            match node.op {
+                Op::Dropout(_, mask) => mask.recycle(),
+                Op::BceWithLogits(_, t) => t.recycle(),
+                Op::Hinge(_, y, _) => y.recycle(),
+                Op::SigmoidBce { probs, targets, .. } => {
+                    probs.recycle();
+                    if let SbTargets::Owned(t) = targets {
+                        t.recycle();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
     }
 
-    /// Gradient of the last [`backward`](Self::backward) root w.r.t. `v`.
+    /// Gradient of the last [`backward`](Self::backward) root w.r.t. `v`,
+    /// borrowed from the tape-owned (pooled) buffer — no clone.
     ///
-    /// Returns an all-zero tensor if the node did not participate.
-    pub fn grad(&self, v: Var) -> Tensor {
-        let n = &self.nodes[v.0];
-        n.grad.clone().unwrap_or_else(|| {
-            Tensor::zeros(n.value.rows(), n.value.cols())
-        })
+    /// After `backward` every leaf has a gradient (zeros if it did not
+    /// participate in the root).
+    ///
+    /// # Panics
+    /// Panics if no gradient is recorded for `v` — i.e. `backward` has
+    /// not run, or `v` is an interior node that did not contribute to
+    /// the root.
+    pub fn grad(&self, v: Var) -> &Tensor {
+        self.nodes[v.0]
+            .grad
+            .as_ref()
+            .expect("no gradient recorded: call backward first")
+    }
+
+    /// Gradients of `vars` (typically the registered parameters),
+    /// borrowed in order — the shape
+    /// [`Optimizer::step_refs`](crate::optim::Optimizer::step_refs)
+    /// expects.
+    pub fn grads_of(&self, vars: &[Var]) -> Vec<&Tensor> {
+        vars.iter().map(|&v| self.grad(v)).collect()
+    }
+
+    /// Global-norm gradient clipping over `vars`, in place on the
+    /// tape-owned buffers; returns the pre-clip norm. Bitwise identical
+    /// to running [`crate::optim::clip_grad_norm`] on cloned gradients
+    /// (per-tensor sums of squares accumulated in `vars` order).
+    pub fn clip_grads(&mut self, vars: &[Var], max_norm: f32) -> f32 {
+        let total: f32 = vars
+            .iter()
+            .map(|&v| {
+                self.grad(v).as_slice().iter().map(|x| x * x).sum::<f32>()
+            })
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let scale = max_norm / total;
+            for &v in vars {
+                if let Some(g) = self.nodes[v.0].grad.as_mut() {
+                    g.map_inplace(|x| x * scale);
+                }
+            }
+        }
+        total
     }
 
     fn shape(&self, v: Var) -> (usize, usize) {
@@ -142,13 +274,13 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = self.value(a).matmul_pooled(self.value(b));
         self.push(value, Op::Matmul(a, b))
     }
 
     /// Element-wise sum of two same-shaped nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip(self.value(b), |x, y| x + y);
+        let value = self.value(a).zip_pooled(self.value(b), |x, y| x + y);
         self.push(value, Op::Add(a, b))
     }
 
@@ -156,10 +288,12 @@ impl Tape {
     pub fn add_row(&mut self, a: Var, b: Var) -> Var {
         let (rows, cols) = self.shape(a);
         assert_eq!(self.shape(b), (1, cols), "add_row expects a (1,n) rhs");
-        let bt = self.value(b).clone();
-        let mut value = self.value(a).clone();
+        let mut value = self.value(a).clone_pooled();
         for r in 0..rows {
-            for (v, &x) in value.row_slice_mut(r).iter_mut().zip(bt.as_slice())
+            for (v, &x) in value
+                .row_slice_mut(r)
+                .iter_mut()
+                .zip(self.nodes[b.0].value.as_slice())
             {
                 *v += x;
             }
@@ -169,79 +303,79 @@ impl Tape {
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip(self.value(b), |x, y| x - y);
+        let value = self.value(a).zip_pooled(self.value(b), |x, y| x - y);
         self.push(value, Op::Sub(a, b))
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        let value = self.value(a).zip_pooled(self.value(b), |x, y| x * y);
         self.push(value, Op::Mul(a, b))
     }
 
     /// Element-wise quotient.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip(self.value(b), |x, y| x / y);
+        let value = self.value(a).zip_pooled(self.value(b), |x, y| x / y);
         self.push(value, Op::Div(a, b))
     }
 
     /// Element-wise negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| -x);
+        let value = self.value(a).map_pooled(|x| -x);
         self.push(value, Op::Neg(a))
     }
 
     /// Multiplies every element by the constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let value = self.value(a).map(|x| c * x);
+        let value = self.value(a).map_pooled(|x| c * x);
         self.push(value, Op::Scale(a, c))
     }
 
     /// Adds the constant `c` to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let value = self.value(a).map(|x| x + c);
+        let value = self.value(a).map_pooled(|x| x + c);
         self.push(value, Op::AddScalar(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| x.max(0.0));
+        let value = self.value(a).map_pooled(|x| x.max(0.0));
         self.push(value, Op::Relu(a))
     }
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(stable_sigmoid);
+        let value = self.value(a).map_pooled(stable_sigmoid);
         self.push(value, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let value = self.value(a).map_pooled(f32::tanh);
         self.push(value, Op::Tanh(a))
     }
 
     /// Numerically stable `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(stable_softplus);
+        let value = self.value(a).map_pooled(stable_softplus);
         self.push(value, Op::Softplus(a))
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::exp);
+        let value = self.value(a).map_pooled(f32::exp);
         self.push(value, Op::Exp(a))
     }
 
     /// Element-wise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::abs);
+        let value = self.value(a).map_pooled(f32::abs);
         self.push(value, Op::Abs(a))
     }
 
     /// Element-wise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| x * x);
+        let value = self.value(a).map_pooled(|x| x * x);
         self.push(value, Op::Square(a))
     }
 
@@ -253,32 +387,32 @@ impl Tape {
     pub fn dropout(&mut self, a: Var, mask01: &Tensor, keep: f32) -> Var {
         assert!(keep > 0.0 && keep <= 1.0, "keep must be in (0, 1]");
         assert_eq!(self.shape(a), mask01.shape(), "dropout mask shape");
-        let scaled = mask01.map(|m| m / keep);
-        let value = self.value(a).zip(&scaled, |x, m| x * m);
+        let scaled = mask01.map_pooled(|m| m / keep);
+        let value = self.value(a).zip_pooled(&scaled, |x, m| x * m);
         self.push(value, Op::Dropout(a, scaled))
     }
 
     /// Horizontal concatenation `[a | b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).concat_cols(self.value(b));
+        let value = self.value(a).concat_cols_pooled(self.value(b));
         self.push(value, Op::ConcatCols(a, b))
     }
 
     /// Copies out columns `[start, start+width)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
-        let value = self.value(a).slice_cols(start, width);
+        let value = self.value(a).slice_cols_pooled(start, width);
         self.push(value, Op::SliceCols(a, start, width))
     }
 
     /// Scalar sum of all elements.
     pub fn sum(&mut self, a: Var) -> Var {
-        let value = Tensor::scalar(self.value(a).sum());
+        let value = Tensor::scalar_pooled(self.value(a).sum());
         self.push(value, Op::Sum(a))
     }
 
     /// Scalar mean of all elements.
     pub fn mean(&mut self, a: Var) -> Var {
-        let value = Tensor::scalar(self.value(a).mean());
+        let value = Tensor::scalar_pooled(self.value(a).mean());
         self.push(value, Op::Mean(a))
     }
 
@@ -297,8 +431,48 @@ impl Tape {
             .map(|(&z, &t)| z.max(0.0) - z * t + stable_softplus(-z.abs()))
             .sum();
         self.push(
-            Tensor::scalar(total / n),
-            Op::BceWithLogits(a, targets.clone()),
+            Tensor::scalar_pooled(total / n),
+            Op::BceWithLogits(a, targets.clone_pooled()),
+        )
+    }
+
+    /// Fused sigmoid + BCE-with-logits against owned 0/1 `targets`.
+    ///
+    /// One tape node — one fault-injection op index — computing the same
+    /// stable-form loss as [`Tape::bce_with_logits`] (bitwise identical)
+    /// while also capturing `σ(z)`, so the backward rule
+    /// `g·(σ(z) - t)/n` reuses the stored probabilities instead of
+    /// recomputing the sigmoid per element.
+    pub fn sigmoid_bce(&mut self, z: Var, targets: &Tensor) -> Var {
+        assert_eq!(self.shape(z), targets.shape(), "bce target shape");
+        self.sigmoid_bce_impl(z, SbTargets::Owned(targets.clone_pooled()))
+    }
+
+    /// Fused sigmoid + BCE where the targets are another tape node,
+    /// treated as constant (no gradient flows into the targets). Avoids
+    /// the per-step target copy entirely — the reconstruction-loss shape
+    /// `bce(recon_logits, value_of(x))`.
+    pub fn sigmoid_bce_node(&mut self, z: Var, targets: Var) -> Var {
+        assert_eq!(self.shape(z), self.shape(targets), "bce target shape");
+        self.sigmoid_bce_impl(z, SbTargets::Node(targets))
+    }
+
+    fn sigmoid_bce_impl(&mut self, z: Var, targets: SbTargets) -> Var {
+        let probs = self.value(z).map_pooled(stable_sigmoid);
+        let zv = self.value(z).as_slice();
+        let tv = match &targets {
+            SbTargets::Owned(t) => t.as_slice(),
+            SbTargets::Node(t) => self.nodes[t.0].value.as_slice(),
+        };
+        let n = zv.len() as f32;
+        let total: f32 = zv
+            .iter()
+            .zip(tv)
+            .map(|(&z, &t)| z.max(0.0) - z * t + stable_softplus(-z.abs()))
+            .sum();
+        self.push(
+            Tensor::scalar_pooled(total / n),
+            Op::SigmoidBce { z, probs, targets },
         )
     }
 
@@ -316,7 +490,48 @@ impl Tape {
             .zip(labels.as_slice())
             .map(|(&z, &y)| (margin - y * z).max(0.0))
             .sum();
-        self.push(Tensor::scalar(total / n), Op::Hinge(a, labels.clone(), margin))
+        self.push(
+            Tensor::scalar_pooled(total / n),
+            Op::Hinge(a, labels.clone_pooled(), margin),
+        )
+    }
+
+    /// Fused affine layer `x @ w + b` (identity activation) as a single
+    /// tape node — one fault-injection op index instead of two. Bitwise
+    /// identical to `matmul` → `add_row`.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        self.affine_impl(x, w, b, false)
+    }
+
+    /// Fused `relu(x @ w + b)` — the dominant hidden-layer chain — as a
+    /// single tape node. Bitwise identical to `matmul` → `add_row` →
+    /// `relu`. The combined backward rule masks the incoming gradient by
+    /// `out > 0` (equivalent to pre-activation `> 0` since
+    /// `out = max(0, z)`), then feeds the masked gradient through the
+    /// same fused `matmul_at`/`matmul_bt` kernels the unfused chain
+    /// uses, in the same accumulation order (bias, input, weights).
+    pub fn affine_relu(&mut self, x: Var, w: Var, b: Var) -> Var {
+        self.affine_impl(x, w, b, true)
+    }
+
+    fn affine_impl(&mut self, x: Var, w: Var, b: Var, relu: bool) -> Var {
+        let rows = self.shape(x).0;
+        let n = self.shape(w).1;
+        assert_eq!(self.shape(b), (1, n), "affine expects a (1,n) bias");
+        let mut value = self.value(x).matmul_pooled(self.value(w));
+        for r in 0..rows {
+            for (v, &x) in value
+                .row_slice_mut(r)
+                .iter_mut()
+                .zip(self.nodes[b.0].value.as_slice())
+            {
+                *v += x;
+            }
+        }
+        if relu {
+            value.map_inplace(|x| x.max(0.0));
+        }
+        self.push(value, Op::Affine { x, w, b, relu })
     }
 
     // ---- composite helpers ----------------------------------------------
@@ -354,7 +569,7 @@ impl Tape {
         assert_eq!(self.shape(mu), eps.shape(), "eps shape");
         let half = self.scale(logvar, 0.5);
         let std = self.exp(half);
-        let e = self.leaf(eps.clone());
+        let e = self.leaf_copy(eps);
         let noise = self.mul(std, e);
         self.add(mu, noise)
     }
@@ -374,6 +589,14 @@ impl Tape {
     /// use the fused [`Tensor::matmul_at`] / [`Tensor::matmul_bt`]
     /// kernels, so no transposed operand is ever materialized.
     ///
+    /// Gradient accumulation is in place and pool-backed: the first
+    /// consumer of a node *writes* its contribution into a pooled buffer
+    /// (no zero-fill, no clone), later consumers add into it, and
+    /// gradient temporaries (matmul products, scatter buffers) recycle
+    /// through the pool as soon as they are consumed. After the sweep,
+    /// every leaf without a recorded gradient gets pooled zeros so
+    /// [`Tape::grad`] is total over leaves.
+    ///
     /// # Panics
     /// Panics if `root` is not a `(1, 1)` tensor.
     pub fn backward(&mut self, root: Var) {
@@ -383,9 +606,11 @@ impl Tape {
             "backward root must be a scalar loss"
         );
         for n in &mut self.nodes {
-            n.grad = None;
+            if let Some(g) = n.grad.take() {
+                g.recycle();
+            }
         }
-        self.nodes[root.0].grad = Some(Tensor::scalar(1.0));
+        self.nodes[root.0].grad = Some(Tensor::scalar_pooled(1.0));
 
         for i in (0..=root.0).rev() {
             let (before, rest) = self.nodes.split_at_mut(i);
@@ -394,154 +619,289 @@ impl Tape {
             match &node.op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
-                    let da = g.matmul_bt(&before[b.0].value);
-                    let db = before[a.0].value.matmul_at(g);
-                    accumulate(before, *a, da);
-                    accumulate(before, *b, db);
+                    let da = g.matmul_bt_pooled(&before[b.0].value);
+                    accumulate_owned(before, *a, da);
+                    let db = before[a.0].value.matmul_at_pooled(g);
+                    accumulate_owned(before, *b, db);
                 }
                 Op::Add(a, b) => {
-                    accumulate_ref(before, *a, g);
-                    accumulate_ref(before, *b, g);
+                    accumulate_passthrough(before, *a, g);
+                    accumulate_passthrough(before, *b, g);
                 }
                 Op::AddRow(a, b) => {
-                    accumulate(before, *b, g.sum_rows());
-                    accumulate_ref(before, *a, g);
+                    accumulate_owned(before, *b, g.sum_rows_pooled());
+                    accumulate_passthrough(before, *a, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate_ref(before, *a, g);
-                    accumulate(before, *b, g.map(|x| -x));
+                    accumulate_passthrough(before, *a, g);
+                    accumulate_map(before, *b, g, |x| -x);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.zip(&before[b.0].value, |g, b| g * b);
-                    let db = g.zip(&before[a.0].value, |g, a| g * a);
-                    accumulate(before, *a, da);
-                    accumulate(before, *b, db);
+                    let (slot, bv) = grad_and_value(before, *a, *b);
+                    acc_zip(slot, g, bv, |g, b| g * b);
+                    let (slot, av) = grad_and_value(before, *b, *a);
+                    acc_zip(slot, g, av, |g, a| g * a);
                 }
                 Op::Div(a, b) => {
-                    let av = &before[a.0].value;
-                    let bv = &before[b.0].value;
-                    let da = g.zip(bv, |g, b| g / b);
-                    let mut db = g.zip(av, |g, a| -g * a);
-                    db = db.zip(bv, |x, b| x / (b * b));
-                    accumulate(before, *a, da);
-                    accumulate(before, *b, db);
+                    let (slot, bv) = grad_and_value(before, *a, *b);
+                    acc_zip(slot, g, bv, |g, b| g / b);
+                    // db is a two-stage product (`-g·a`, then `/ b²`);
+                    // keep the staging so rounding matches the original
+                    // rule bitwise, but in pooled, recycled buffers.
+                    let mut db =
+                        g.zip_pooled(&before[a.0].value, |g, a| -g * a);
+                    for (x, &b) in db
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(before[b.0].value.as_slice())
+                    {
+                        *x /= b * b;
+                    }
+                    accumulate_owned(before, *b, db);
                 }
-                Op::Neg(a) => accumulate(before, *a, g.map(|x| -x)),
+                Op::Neg(a) => accumulate_map(before, *a, g, |x| -x),
                 Op::Scale(a, c) => {
                     let c = *c;
-                    accumulate(before, *a, g.map(|x| c * x));
+                    accumulate_map(before, *a, g, move |x| c * x);
                 }
-                Op::AddScalar(a) => accumulate_ref(before, *a, g),
+                Op::AddScalar(a) => accumulate_passthrough(before, *a, g),
                 Op::Relu(a) => {
-                    let da = g.zip(&before[a.0].value, |g, x| {
-                        if x > 0.0 {
-                            g
-                        } else {
-                            0.0
-                        }
-                    });
-                    accumulate(before, *a, da);
+                    let (slot, av) = grad_and_value(before, *a, *a);
+                    acc_zip(slot, g, av, |g, x| if x > 0.0 { g } else { 0.0 });
                 }
                 Op::Sigmoid(a) => {
-                    let da = g.zip(&node.value, |g, s| g * s * (1.0 - s));
-                    accumulate(before, *a, da);
+                    let slot = &mut before[a.0].grad;
+                    acc_zip(slot, g, &node.value, |g, s| g * s * (1.0 - s));
                 }
                 Op::Tanh(a) => {
-                    let da = g.zip(&node.value, |g, t| g * (1.0 - t * t));
-                    accumulate(before, *a, da);
+                    let slot = &mut before[a.0].grad;
+                    acc_zip(slot, g, &node.value, |g, t| g * (1.0 - t * t));
                 }
                 Op::Softplus(a) => {
-                    let da = g
-                        .zip(&before[a.0].value, |g, x| g * stable_sigmoid(x));
-                    accumulate(before, *a, da);
+                    let (slot, av) = grad_and_value(before, *a, *a);
+                    acc_zip(slot, g, av, |g, x| g * stable_sigmoid(x));
                 }
                 Op::Exp(a) => {
-                    let da = g.zip(&node.value, |g, e| g * e);
-                    accumulate(before, *a, da);
+                    let slot = &mut before[a.0].grad;
+                    acc_zip(slot, g, &node.value, |g, e| g * e);
                 }
                 Op::Abs(a) => {
-                    let da = g.zip(&before[a.0].value, |g, x| g * sign(x));
-                    accumulate(before, *a, da);
+                    let (slot, av) = grad_and_value(before, *a, *a);
+                    acc_zip(slot, g, av, |g, x| g * sign(x));
                 }
                 Op::Square(a) => {
-                    let da = g.zip(&before[a.0].value, |g, x| 2.0 * g * x);
-                    accumulate(before, *a, da);
+                    let (slot, av) = grad_and_value(before, *a, *a);
+                    acc_zip(slot, g, av, |g, x| 2.0 * g * x);
                 }
                 Op::Dropout(a, mask) => {
-                    accumulate(before, *a, g.zip(mask, |g, m| g * m));
+                    let slot = &mut before[a.0].grad;
+                    acc_zip(slot, g, mask, |g, m| g * m);
                 }
                 Op::ConcatCols(a, b) => {
                     let wa = before[a.0].value.cols();
                     let wb = before[b.0].value.cols();
-                    accumulate(before, *a, g.slice_cols(0, wa));
-                    accumulate(before, *b, g.slice_cols(wa, wb));
+                    accumulate_owned(before, *a, g.slice_cols_pooled(0, wa));
+                    accumulate_owned(before, *b, g.slice_cols_pooled(wa, wb));
                 }
                 Op::SliceCols(a, start, width) => {
                     let (start, width) = (*start, *width);
                     let (rows, cols) = before[a.0].value.shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let mut da = Tensor::zeros_pooled(rows, cols);
                     for r in 0..rows {
                         let src = g.row_slice(r);
                         da.row_slice_mut(r)[start..start + width]
                             .copy_from_slice(src);
                     }
-                    accumulate(before, *a, da);
+                    accumulate_owned(before, *a, da);
                 }
                 Op::Sum(a) => {
-                    let (rows, cols) = before[a.0].value.shape();
-                    accumulate(before, *a, Tensor::full(rows, cols, g.item()));
+                    let node_a = &mut before[a.0];
+                    let (rows, cols) = node_a.value.shape();
+                    acc_fill(&mut node_a.grad, rows, cols, g.item());
                 }
                 Op::Mean(a) => {
-                    let (rows, cols) = before[a.0].value.shape();
+                    let node_a = &mut before[a.0];
+                    let (rows, cols) = node_a.value.shape();
                     let n = (rows * cols) as f32;
-                    accumulate(
-                        before,
-                        *a,
-                        Tensor::full(rows, cols, g.item() / n),
-                    );
+                    acc_fill(&mut node_a.grad, rows, cols, g.item() / n);
                 }
                 Op::BceWithLogits(a, t) => {
                     let n = t.len() as f32;
                     let gi = g.item();
-                    let da = before[a.0]
-                        .value
-                        .zip(t, |z, t| gi * (stable_sigmoid(z) - t) / n);
-                    accumulate(before, *a, da);
+                    let node_a = &mut before[a.0];
+                    acc_zip(&mut node_a.grad, &node_a.value, t, |z, t| {
+                        gi * (stable_sigmoid(z) - t) / n
+                    });
                 }
                 Op::Hinge(a, y, margin) => {
                     let n = y.len() as f32;
                     let gi = g.item();
                     let margin = *margin;
-                    let da = before[a.0].value.zip(y, |z, y| {
+                    let node_a = &mut before[a.0];
+                    acc_zip(&mut node_a.grad, &node_a.value, y, |z, y| {
                         if margin - y * z > 0.0 {
                             -gi * y / n
                         } else {
                             0.0
                         }
                     });
-                    accumulate(before, *a, da);
                 }
+                Op::SigmoidBce { z: a, probs, targets } => {
+                    let n = probs.len() as f32;
+                    let gi = g.item();
+                    let f = move |p: f32, t: f32| gi * (p - t) / n;
+                    match targets {
+                        SbTargets::Owned(t) => {
+                            acc_zip(&mut before[a.0].grad, probs, t, f);
+                        }
+                        SbTargets::Node(t) => {
+                            let (slot, tv) = grad_and_value(before, *a, *t);
+                            acc_zip(slot, probs, tv, f);
+                        }
+                    }
+                }
+                Op::Affine { x, w, b, relu } => {
+                    // Exactly the unfused chain's backward, collapsed:
+                    // relu mask (out > 0 ⟺ pre-activation > 0), then
+                    // bias/input/weight gradients in the same order the
+                    // reverse sweep over matmul → add_row → relu visits
+                    // them, through the same fused kernels.
+                    let dz_owned = relu.then(|| {
+                        g.zip_pooled(&node.value, |g, o| {
+                            if o > 0.0 {
+                                g
+                            } else {
+                                0.0
+                            }
+                        })
+                    });
+                    let dz = dz_owned.as_ref().unwrap_or(g);
+                    accumulate_owned(before, *b, dz.sum_rows_pooled());
+                    let dx = dz.matmul_bt_pooled(&before[w.0].value);
+                    accumulate_owned(before, *x, dx);
+                    let dw = before[x.0].value.matmul_at_pooled(dz);
+                    accumulate_owned(before, *w, dw);
+                    if let Some(t) = dz_owned {
+                        t.recycle();
+                    }
+                }
+            }
+        }
+
+        // Leaves that did not participate still answer `grad` with zeros,
+        // from pooled buffers.
+        for node in &mut self.nodes {
+            if matches!(node.op, Op::Leaf) && node.grad.is_none() {
+                let (rows, cols) = node.value.shape();
+                node.grad = Some(Tensor::zeros_pooled(rows, cols));
             }
         }
     }
 }
 
-/// Adds `g` into the gradient slot of `nodes[v]`, taking ownership.
-fn accumulate(nodes: &mut [Node], v: Var, g: Tensor) {
+/// Adds `g` into the gradient slot of `nodes[v]`, taking ownership: the
+/// first consumer's tensor *becomes* the gradient buffer; later
+/// consumers fold it in and recycle it.
+fn accumulate_owned(nodes: &mut [Node], v: Var, g: Tensor) {
     let slot = &mut nodes[v.0].grad;
     match slot {
-        Some(existing) => existing.axpy(1.0, &g),
+        Some(existing) => {
+            existing.axpy(1.0, &g);
+            g.recycle();
+        }
         None => *slot = Some(g),
     }
 }
 
-/// Adds `g` into the gradient slot of `nodes[v]` by reference; clones only
-/// when the slot is empty (first consumer).
-fn accumulate_ref(nodes: &mut [Node], v: Var, g: &Tensor) {
+/// Pass-through accumulation (`+= g`): the first consumer takes a pooled
+/// copy, later consumers add in place — no intermediate tensor.
+fn accumulate_passthrough(nodes: &mut [Node], v: Var, g: &Tensor) {
     let slot = &mut nodes[v.0].grad;
     match slot {
-        Some(existing) => existing.axpy(1.0, g),
-        None => *slot = Some(g.clone()),
+        Some(existing) => {
+            for (e, &x) in
+                existing.as_mut_slice().iter_mut().zip(g.as_slice())
+            {
+                *e += x;
+            }
+        }
+        None => *slot = Some(g.clone_pooled()),
+    }
+}
+
+/// Element-wise mapped accumulation (`+= f(src)`): first consumer writes
+/// a pooled buffer directly, later consumers add in place.
+fn accumulate_map(
+    nodes: &mut [Node],
+    v: Var,
+    src: &Tensor,
+    f: impl Fn(f32) -> f32,
+) {
+    let slot = &mut nodes[v.0].grad;
+    match slot {
+        Some(existing) => {
+            for (e, &s) in
+                existing.as_mut_slice().iter_mut().zip(src.as_slice())
+            {
+                *e += f(s);
+            }
+        }
+        None => *slot = Some(src.map_pooled(f)),
+    }
+}
+
+/// Element-wise zipped accumulation (`+= f(a, b)`) straight into a
+/// gradient slot: first consumer writes a pooled buffer, later consumers
+/// add in place. Element arithmetic is identical to materializing the
+/// zip and `axpy`-ing it, so results stay bitwise-stable.
+fn acc_zip(
+    slot: &mut Option<Tensor>,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) {
+    match slot {
+        Some(existing) => {
+            for ((e, &x), &y) in existing
+                .as_mut_slice()
+                .iter_mut()
+                .zip(a.as_slice())
+                .zip(b.as_slice())
+            {
+                *e += f(x, y);
+            }
+        }
+        None => *slot = Some(a.zip_pooled(b, f)),
+    }
+}
+
+/// Constant-fill accumulation (`+= c` everywhere) for reduction rules.
+fn acc_fill(slot: &mut Option<Tensor>, rows: usize, cols: usize, c: f32) {
+    match slot {
+        Some(existing) => {
+            existing.as_mut_slice().iter_mut().for_each(|x| *x += c);
+        }
+        None => *slot = Some(Tensor::full_pooled(rows, cols, c)),
+    }
+}
+
+/// Simultaneous access to the gradient slot of `gv` and the forward
+/// value of `vv` — the split-borrow the in-place rules need. When the
+/// two are the same node, splits the node's fields instead.
+fn grad_and_value(
+    nodes: &mut [Node],
+    gv: Var,
+    vv: Var,
+) -> (&mut Option<Tensor>, &Tensor) {
+    if gv.0 == vv.0 {
+        let Node { value, grad, .. } = &mut nodes[gv.0];
+        (grad, &*value)
+    } else if gv.0 < vv.0 {
+        let (lo, hi) = nodes.split_at_mut(vv.0);
+        (&mut lo[gv.0].grad, &hi[0].value)
+    } else {
+        let (lo, hi) = nodes.split_at_mut(gv.0);
+        (&mut hi[0].grad, &lo[vv.0].value)
     }
 }
 

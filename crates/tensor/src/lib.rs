@@ -31,6 +31,7 @@ pub mod guard;
 pub mod init;
 pub mod nn;
 pub mod optim;
+pub mod pool;
 pub mod runtime;
 pub mod serialize;
 pub mod tensor;

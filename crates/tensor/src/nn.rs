@@ -122,21 +122,36 @@ impl Linear {
         self.w.cols()
     }
 
-    /// Forward pass; registers `w` and `b` on the tape and appends their
-    /// vars to `param_vars`.
+    /// Forward pass; registers `w` and `b` on the tape (pooled copies)
+    /// and appends their vars to `param_vars`.
+    ///
+    /// ReLU-family and identity layers go through the fused
+    /// [`Tape::affine_relu`] / [`Tape::affine`] kernels — one tape node
+    /// per layer instead of three, bitwise identical to the unfused
+    /// matmul → add_row → activation chain.
     pub fn forward(
         &self,
         tape: &mut Tape,
         x: Var,
         param_vars: &mut Vec<Var>,
     ) -> Var {
-        let w = tape.leaf(self.w.clone());
-        let b = tape.leaf(self.b.clone());
+        let w = tape.leaf_copy(&self.w);
+        let b = tape.leaf_copy(&self.b);
         param_vars.push(w);
         param_vars.push(b);
-        let xw = tape.matmul(x, w);
-        let z = tape.add_row(xw, b);
-        self.activation.apply(tape, z)
+        match self.activation {
+            Activation::Identity => tape.affine(x, w, b),
+            Activation::Relu => tape.affine_relu(x, w, b),
+            Activation::ReluSigmoid => {
+                let r = tape.affine_relu(x, w, b);
+                tape.sigmoid(r)
+            }
+            act => {
+                let xw = tape.matmul(x, w);
+                let z = tape.add_row(xw, b);
+                act.apply(tape, z)
+            }
+        }
     }
 }
 
@@ -224,10 +239,17 @@ impl Mlp {
     }
 
     /// Convenience inference pass on plain tensors (no tape, no dropout).
+    ///
+    /// Intermediate activations live in pooled buffers and recycle as
+    /// soon as the next layer consumes them; the returned tensor's
+    /// buffer also originates from the pool, so hot inference loops
+    /// (e.g. counterfactual resampling) can hand it back with
+    /// [`Tensor::recycle`] to close the allocation cycle.
     pub fn predict(&self, x: &Tensor) -> Tensor {
-        let mut h = x.clone();
+        let mut h: Option<Tensor> = None;
         for layer in &self.layers {
-            let mut z = h.matmul(&layer.w);
+            let src = h.as_ref().unwrap_or(x);
+            let mut z = src.matmul_pooled(&layer.w);
             for r in 0..z.rows() {
                 for (v, &b) in
                     z.row_slice_mut(r).iter_mut().zip(layer.b.as_slice())
@@ -235,17 +257,22 @@ impl Mlp {
                     *v += b;
                 }
             }
-            h = match layer.activation {
-                Activation::Identity => z,
-                Activation::Relu => z.map(|x| x.max(0.0)),
-                Activation::Sigmoid => z.map(crate::graph::stable_sigmoid),
-                Activation::Tanh => z.map(f32::tanh),
-                Activation::ReluSigmoid => {
-                    z.map(|x| crate::graph::stable_sigmoid(x.max(0.0)))
+            match layer.activation {
+                Activation::Identity => {}
+                Activation::Relu => z.map_inplace(|x| x.max(0.0)),
+                Activation::Sigmoid => {
+                    z.map_inplace(crate::graph::stable_sigmoid)
                 }
-            };
+                Activation::Tanh => z.map_inplace(f32::tanh),
+                Activation::ReluSigmoid => {
+                    z.map_inplace(|x| crate::graph::stable_sigmoid(x.max(0.0)))
+                }
+            }
+            if let Some(prev) = h.replace(z) {
+                prev.recycle();
+            }
         }
-        h
+        h.unwrap_or_else(|| x.clone())
     }
 }
 
@@ -319,19 +346,20 @@ mod tests {
             (0..64).map(|r| x[(r, 0)] + x[(r, 1)]).collect(),
         );
         let mut losses = Vec::new();
+        let mut tape = Tape::new();
         for _ in 0..200 {
-            let mut tape = Tape::new();
-            let xv = tape.leaf(x.clone());
-            let yv = tape.leaf(y.clone());
+            tape.reset();
+            let xv = tape.leaf_copy(&x);
+            let yv = tape.leaf_copy(&y);
             let mut pv = Vec::new();
             let out = mlp.forward(&mut tape, xv, &mut pv, true, &mut rng);
             let loss = tape.mse_loss(out, yv);
             losses.push(tape.value(loss).item());
             tape.backward(loss);
-            let grads: Vec<Tensor> = pv.iter().map(|&v| tape.grad(v)).collect();
+            let grads = tape.grads_of(&pv);
             let mut i = 0;
             mlp.visit_params_mut(&mut |p| {
-                p.axpy(-0.1, &grads[i]);
+                p.axpy(-0.1, grads[i]);
                 i += 1;
             });
         }

@@ -9,9 +9,20 @@ use crate::tensor::Tensor;
 
 /// A first-order optimizer.
 pub trait Optimizer {
-    /// Applies one update to `module` given `grads`, which must align
-    /// one-to-one with the module's parameter traversal order.
-    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]);
+    /// Applies one update to `module` given borrowed `grads`, which must
+    /// align one-to-one with the module's parameter traversal order. This
+    /// is the allocation-free entry point used with [`Tape::grads_of`]
+    /// (crate::graph::Tape::grads_of): gradients stay in the tape's pooled
+    /// buffers and are never cloned.
+    fn step_refs(&mut self, module: &mut dyn Module, grads: &[&Tensor]);
+
+    /// Applies one update to `module` given owned `grads`, in the module's
+    /// parameter traversal order. Provided convenience over [`step_refs`]
+    /// (Optimizer::step_refs) for callers that already own the gradients.
+    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]) {
+        let refs: Vec<&Tensor> = grads.iter().collect();
+        self.step_refs(module, &refs);
+    }
 
     /// The current learning rate.
     fn learning_rate(&self) -> f32;
@@ -38,7 +49,7 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]) {
+    fn step_refs(&mut self, module: &mut dyn Module, grads: &[&Tensor]) {
         if self.velocity.is_empty() && self.momentum > 0.0 {
             self.velocity =
                 grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
@@ -46,7 +57,7 @@ impl Optimizer for Sgd {
         let mut i = 0;
         module.visit_params_mut(&mut |p| {
             assert!(i < grads.len(), "fewer grads than params");
-            let g = &grads[i];
+            let g = grads[i];
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[i];
                 for (v, &g) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
@@ -96,7 +107,7 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, module: &mut dyn Module, grads: &[Tensor]) {
+    fn step_refs(&mut self, module: &mut dyn Module, grads: &[&Tensor]) {
         if self.m.is_empty() {
             self.m = grads
                 .iter()

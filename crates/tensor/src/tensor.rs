@@ -202,6 +202,97 @@ impl Tensor {
         }
     }
 
+    /// Consumes the tensor and hands its buffer to the thread-local
+    /// [`pool`](crate::pool) for reuse. Dropping a tensor normally is
+    /// always correct too — recycling just keeps the allocation warm.
+    pub fn recycle(self) {
+        crate::pool::give_buf(self.data);
+    }
+
+    /// Pool-backed [`Tensor::map`]: same values, recycled buffer.
+    pub(crate) fn map_pooled(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = crate::pool::take_buf(self.data.len());
+        for (o, &x) in out.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+        Tensor { rows: self.rows, cols: self.cols, data: out }
+    }
+
+    /// Pool-backed [`Tensor::zip`]: same values, recycled buffer.
+    pub(crate) fn zip_pooled(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        let mut out = crate::pool::take_buf(self.data.len());
+        for ((o, &a), &b) in out.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+        Tensor { rows: self.rows, cols: self.cols, data: out }
+    }
+
+    /// Pool-backed deep copy.
+    pub(crate) fn clone_pooled(&self) -> Tensor {
+        let mut out = crate::pool::take_buf(self.data.len());
+        out.copy_from_slice(&self.data);
+        Tensor { rows: self.rows, cols: self.cols, data: out }
+    }
+
+    /// Pool-backed [`Tensor::full`].
+    pub(crate) fn full_pooled(rows: usize, cols: usize, value: f32) -> Tensor {
+        let mut out = crate::pool::take_buf(rows * cols);
+        out.iter_mut().for_each(|x| *x = value);
+        Tensor { rows, cols, data: out }
+    }
+
+    /// Pool-backed [`Tensor::zeros`].
+    pub(crate) fn zeros_pooled(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: crate::pool::take_zeroed_buf(rows * cols) }
+    }
+
+    /// Pool-backed [`Tensor::scalar`].
+    pub(crate) fn scalar_pooled(value: f32) -> Tensor {
+        Tensor::full_pooled(1, 1, value)
+    }
+
+    /// Pool-backed [`Tensor::sum_rows`]; bitwise identical output.
+    pub(crate) fn sum_rows_pooled(&self) -> Tensor {
+        let mut out = crate::pool::take_zeroed_buf(self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += v;
+            }
+        }
+        Tensor { rows: 1, cols: self.cols, data: out }
+    }
+
+    /// Pool-backed [`Tensor::concat_cols`]; bitwise identical output.
+    pub(crate) fn concat_cols_pooled(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = crate::pool::take_buf(self.rows * cols);
+        for r in 0..self.rows {
+            let start = r * cols;
+            out[start..start + self.cols].copy_from_slice(self.row_slice(r));
+            out[start + self.cols..start + cols]
+                .copy_from_slice(other.row_slice(r));
+        }
+        Tensor { rows: self.rows, cols, data: out }
+    }
+
+    /// Pool-backed [`Tensor::slice_cols`]; bitwise identical output.
+    pub(crate) fn slice_cols_pooled(&self, start: usize, width: usize) -> Tensor {
+        assert!(start + width <= self.cols, "slice_cols out of range");
+        let mut out = crate::pool::take_buf(self.rows * width);
+        for r in 0..self.rows {
+            let row = self.row_slice(r);
+            out[r * width..(r + 1) * width]
+                .copy_from_slice(&row[start..start + width]);
+        }
+        Tensor { rows: self.rows, cols: width, data: out }
+    }
+
     /// `self @ other` — matrix product.
     ///
     /// Output rows are split across worker threads (see
@@ -217,13 +308,27 @@ impl Tensor {
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let len = self.rows * other.cols;
+        self.matmul_into(other, vec![0.0f32; len])
+    }
+
+    /// Like [`Tensor::matmul`] but the output buffer is drawn from the
+    /// thread-local [`pool`](crate::pool) (zero-filled, so results are
+    /// bitwise identical). The returned tensor behaves normally — it
+    /// simply frees on drop unless handed back via [`Tensor::recycle`].
+    pub fn matmul_pooled(&self, other: &Tensor) -> Tensor {
+        let len = self.rows * other.cols;
+        self.matmul_into(other, crate::pool::take_zeroed_buf(len))
+    }
+
+    fn matmul_into(&self, other: &Tensor, mut out: Vec<f32>) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: ({}x{}) @ ({}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
+        debug_assert_eq!(out.len(), m * n);
         runtime::parallel_chunks_mut(
             &mut out,
             n.max(1),
@@ -261,13 +366,24 @@ impl Tensor {
     /// # Panics
     /// Panics if `self.rows != other.rows`.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        let len = self.cols * other.cols;
+        self.matmul_at_into(other, vec![0.0f32; len])
+    }
+
+    /// Pool-backed [`Tensor::matmul_at`]; bitwise identical output.
+    pub fn matmul_at_pooled(&self, other: &Tensor) -> Tensor {
+        let len = self.cols * other.cols;
+        self.matmul_at_into(other, crate::pool::take_zeroed_buf(len))
+    }
+
+    fn matmul_at_into(&self, other: &Tensor, mut out: Vec<f32>) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
             "matmul_at shape mismatch: ({}x{})ᵀ @ ({}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; m * n];
+        debug_assert_eq!(out.len(), m * n);
         runtime::parallel_chunks_mut(
             &mut out,
             n.max(1),
@@ -301,13 +417,24 @@ impl Tensor {
     /// # Panics
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let len = self.rows * other.rows;
+        self.matmul_bt_into(other, vec![0.0f32; len])
+    }
+
+    /// Pool-backed [`Tensor::matmul_bt`]; bitwise identical output.
+    pub fn matmul_bt_pooled(&self, other: &Tensor) -> Tensor {
+        let len = self.rows * other.rows;
+        self.matmul_bt_into(other, crate::pool::take_zeroed_buf(len))
+    }
+
+    fn matmul_bt_into(&self, other: &Tensor, mut out: Vec<f32>) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_bt shape mismatch: ({}x{}) @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0f32; m * n];
+        debug_assert_eq!(out.len(), m * n);
         runtime::parallel_chunks_mut(
             &mut out,
             n.max(1),
@@ -448,6 +575,19 @@ impl Tensor {
             data.extend_from_slice(self.row_slice(i));
         }
         Tensor { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Pool-backed [`Tensor::gather_rows`] for hot loops: the result draws
+    /// its buffer from the thread-local [`pool`](crate::pool), so a training
+    /// step that gathers a mini-batch and later recycles it (directly or via
+    /// `Tape::reset`) allocates nothing in steady state.
+    pub fn gather_rows_pooled(&self, indices: &[usize]) -> Tensor {
+        let cols = self.cols;
+        let mut data = crate::pool::take_buf(indices.len() * cols);
+        for (k, &i) in indices.iter().enumerate() {
+            data[k * cols..(k + 1) * cols].copy_from_slice(self.row_slice(i));
+        }
+        Tensor { rows: indices.len(), cols, data }
     }
 
     /// Frobenius (L2) norm of the whole tensor.

@@ -67,7 +67,7 @@ fn run_chain(values: &[f32], ops: &[UnaryOp]) -> (f32, Vec<f32>) {
     let loss = tape.mean(v);
     let out = tape.value(loss).item();
     tape.backward(loss);
-    (out, tape.grad(x).into_vec())
+    (out, tape.grad(x).as_slice().to_vec())
 }
 
 proptest! {
@@ -112,7 +112,7 @@ proptest! {
             let loss = tape.sum(c);
             let out = tape.value(loss).item();
             tape.backward(loss);
-            (out, tape.grad(av).into_vec(), tape.grad(bv).into_vec())
+            (out, tape.grad(av).as_slice().to_vec(), tape.grad(bv).as_slice().to_vec())
         };
         let (_, ga, gb) = run(&a, &b);
         let eps = 1e-2f32;
@@ -145,7 +145,7 @@ proptest! {
             let s = tape.sigmoid(x);
             let loss = tape.sum(s);
             tape.backward(loss);
-            tape.grad(x).into_vec()
+            tape.grad(x).as_slice().to_vec()
         };
         let double = {
             let mut tape = Tape::new();
@@ -154,7 +154,7 @@ proptest! {
             let twice = tape.add(s, s);
             let loss = tape.sum(twice);
             tape.backward(loss);
-            tape.grad(x).into_vec()
+            tape.grad(x).as_slice().to_vec()
         };
         for (s, d) in single.iter().zip(&double) {
             prop_assert!((2.0 * s - d).abs() < 1e-5);
