@@ -57,7 +57,12 @@ impl Cchvae {
     pub fn fit(ctx: &BaselineContext<'_>, mut config: CchvaeConfig) -> Self {
         config.vae.seed = ctx.seed;
         config.seed = ctx.seed ^ 0xCC;
-        let (vae, _) = PlainVae::fit(&ctx.train_x, &config.vae);
+        let (vae, _) = PlainVae::fit_with_checkpoints(
+            &ctx.train_x,
+            &config.vae,
+            &ctx.method_checkpoint("cchvae"),
+        )
+        .expect("C-CHVAE substrate fit failed");
         Cchvae { vae, blackbox: ctx.blackbox.clone(), config }
     }
 

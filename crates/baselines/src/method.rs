@@ -3,6 +3,7 @@
 
 use cfx_data::EncodedDataset;
 use cfx_models::BlackBox;
+use cfx_tensor::checkpoint::CheckpointConfig;
 use cfx_tensor::Tensor;
 
 /// Shared inputs for fitting a baseline: the encoded dataset, the training
@@ -16,10 +17,16 @@ pub struct BaselineContext<'a> {
     pub blackbox: &'a BlackBox,
     /// RNG seed for any stochastic component.
     pub seed: u64,
+    /// Durability policy for the generative substrates (the PlainVae fits
+    /// of REVISE / C-CHVAE). Disabled by default; the bench harness turns
+    /// it on when `--checkpoint-dir` is given. Each method derives its own
+    /// file prefix from the base prefix set here.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl<'a> BaselineContext<'a> {
-    /// Builds a context using the given training rows.
+    /// Builds a context using the given training rows (checkpointing
+    /// disabled).
     pub fn new(
         data: &'a EncodedDataset,
         train_x: Tensor,
@@ -27,7 +34,22 @@ impl<'a> BaselineContext<'a> {
         seed: u64,
     ) -> Self {
         assert_eq!(train_x.cols(), data.width(), "training width mismatch");
-        BaselineContext { data, train_x, blackbox, seed }
+        BaselineContext {
+            data,
+            train_x,
+            blackbox,
+            seed,
+            checkpoint: CheckpointConfig::disabled(),
+        }
+    }
+
+    /// The context's checkpoint policy specialized for one method: the
+    /// method's name is appended to the file prefix so several baselines
+    /// can share a directory without colliding.
+    pub fn method_checkpoint(&self, method: &str) -> CheckpointConfig {
+        let mut c = self.checkpoint.clone();
+        c.prefix = format!("{}-{method}", c.prefix);
+        c
     }
 
     /// The desired class per row (opposite of the black-box prediction).

@@ -54,7 +54,12 @@ impl Revise {
     pub fn fit(ctx: &BaselineContext<'_>, config: ReviseConfig) -> Self {
         let mut vae_cfg = config.vae;
         vae_cfg.seed = ctx.seed;
-        let (vae, _) = PlainVae::fit(&ctx.train_x, &vae_cfg);
+        let (vae, _) = PlainVae::fit_with_checkpoints(
+            &ctx.train_x,
+            &vae_cfg,
+            &ctx.method_checkpoint("revise"),
+        )
+        .expect("REVISE substrate fit failed");
         Revise { vae, blackbox: ctx.blackbox.clone(), config }
     }
 

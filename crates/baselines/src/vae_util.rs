@@ -10,10 +10,11 @@
 //! encoded features are all in `[0, 1]` and an L1 likelihood over-smooths
 //! the one-hot blocks.
 
+use cfx_tensor::checkpoint::{crash_point, Checkpoint, CheckpointConfig};
 use cfx_tensor::init::randn_tensor;
 use cfx_tensor::{
-    stable_sigmoid, Activation, Adam, Linear, Mlp, Module, Optimizer, Tape,
-    Tensor, Var,
+    stable_sigmoid, Activation, Adam, CfxError, Linear, Mlp, Module,
+    Optimizer, Tape, Tensor, Var,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -89,6 +90,21 @@ impl PlainVaeConfig {
 impl PlainVae {
     /// Fits the VAE on `x` and returns it with the per-epoch ELBO losses.
     pub fn fit(x: &Tensor, config: &PlainVaeConfig) -> (PlainVae, Vec<f32>) {
+        Self::fit_with_checkpoints(x, config, &CheckpointConfig::disabled())
+            .expect("disabled checkpointing cannot fail")
+    }
+
+    /// [`fit`](Self::fit) with durable state: parameters, Adam moments +
+    /// step count, RNG stream, and the loss history are checkpointed
+    /// together every `ckpt.every_epochs` epochs, and with `ckpt.resume`
+    /// the fit continues bitwise-identically from the newest intact
+    /// checkpoint (the architecture is a pure function of the config and
+    /// data width, so the model is rebuilt then overwritten).
+    pub fn fit_with_checkpoints(
+        x: &Tensor,
+        config: &PlainVaeConfig,
+        ckpt: &CheckpointConfig,
+    ) -> Result<(PlainVae, Vec<f32>), CfxError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let input = x.cols();
         let (hidden, latent_dim) = config.architecture_for(input);
@@ -124,11 +140,35 @@ impl PlainVae {
         let n = x.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let mut losses = Vec::with_capacity(config.epochs);
+        let mut epoch = 0usize;
+
+        let mut manager = ckpt.manager()?;
+        if let Some(mgr) = manager.as_mut() {
+            if ckpt.resume {
+                if let Some((_, c)) = mgr.load_latest()? {
+                    vae.try_import_params(&c.tensors("vae")?)?;
+                    opt = Adam::from_state(c.adam("adam")?);
+                    let rs = c.u64s("rng")?;
+                    let rs: [u64; 4] =
+                        rs.as_slice().try_into().map_err(|_| {
+                            CfxError::corrupt("rng section malformed")
+                        })?;
+                    rng = StdRng::from_state(rs);
+                    let meta = c.u64s("meta.u64")?;
+                    epoch = *meta.first().ok_or_else(|| {
+                        CfxError::corrupt("meta.u64 section empty")
+                    })? as usize;
+                    losses = c.f32s("losses")?;
+                }
+            }
+        }
+        let every = ckpt.every_epochs.max(1);
+
         // One tape for the whole fit; reset() recycles every buffer so
         // steady-state ELBO steps run out of the pool.
         let mut tape = Tape::new();
         let mut pv = Vec::new();
-        for _ in 0..config.epochs {
+        while epoch < config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut batches = 0;
@@ -157,9 +197,24 @@ impl PlainVae {
                 let grads = tape.grads_of(&pv);
                 opt.step_refs(&mut vae, &grads);
             }
-            losses.push(total / batches.max(1) as f32);
+            let mean = total / batches.max(1) as f32;
+            losses.push(mean);
+            epoch += 1;
+            if let Some(mgr) = manager.as_mut() {
+                if epoch % every == 0 || epoch == config.epochs {
+                    let mut c = Checkpoint::new();
+                    c.put_str("model", "PlainVae.fit");
+                    c.put_tensors("vae", &vae.export_params());
+                    c.put_adam("adam", &opt.export_state());
+                    c.put_u64s("rng", &rng.state());
+                    c.put_u64s("meta.u64", &[epoch as u64]);
+                    c.put_f32s("losses", &losses);
+                    mgr.save(epoch as u64, mean, &mut c)?;
+                    crash_point("vae-epoch", epoch as u64);
+                }
+            }
         }
-        (vae, losses)
+        Ok((vae, losses))
     }
 
     fn forward(

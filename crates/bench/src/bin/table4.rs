@@ -4,7 +4,15 @@
 //! ```text
 //! cargo run --release -p cfx-bench --bin table4 -- adult [--size quick|half|paper] [--eval N] [--seed N]
 //! cargo run --release -p cfx-bench --bin table4 -- all --size quick
+//! cargo run --release -p cfx-bench --bin table4 -- adult --checkpoint-dir ck/   # durable run
+//! cargo run --release -p cfx-bench --bin table4 -- adult --checkpoint-dir ck/ --resume
 //! ```
+//!
+//! With `--checkpoint-dir`, every training stage (black box, baseline
+//! VAE substrates, the paper's models) checkpoints durably and each
+//! completed table row is persisted; `--resume` after a crash replays
+//! finished rows from disk and continues interrupted training
+//! bitwise-identically from the newest intact checkpoint.
 
 use cfx_bench::{parse_cli, Harness};
 use cfx_data::DatasetId;
@@ -68,7 +76,7 @@ fn main() {
             DatasetId::LawSchool => "(c) Law School Dataset",
         };
         eprintln!("building harness for {} …", ds.name());
-        let harness = Harness::build(ds, config);
+        let harness = Harness::build(ds, config.clone());
         eprintln!(
             "  {} cleaned rows, width {}, black-box val accuracy {:.1}%",
             harness.data.len(),

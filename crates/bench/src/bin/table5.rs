@@ -5,7 +5,12 @@
 //!
 //! ```text
 //! cargo run --release -p cfx-bench --bin table5 [-- --size quick|half|paper]
+//! cargo run --release -p cfx-bench --bin table5 -- --checkpoint-dir ck/ [--resume]
 //! ```
+//!
+//! `--checkpoint-dir` makes both training stages (black box + the
+//! binary-constraint model) durable; `--resume` continues an interrupted
+//! run bitwise-identically from the newest intact checkpoint.
 
 use cfx_bench::{parse_cli, Harness};
 use cfx_core::{format_comparison, ConstraintMode};

@@ -12,7 +12,9 @@ use cfx_metrics::{
     categorical_proximity, continuous_proximity, sparsity, validity_pct,
     MetricContext, RecoveryCounts, TableRow,
 };
+use cfx_core::WatchdogConfig;
 use cfx_models::{BlackBox, BlackBoxConfig};
+use cfx_tensor::checkpoint::{self, Checkpoint, CheckpointConfig};
 use cfx_tensor::{runtime, Tensor};
 
 /// How large an experiment to run.
@@ -48,7 +50,7 @@ impl RunSize {
 }
 
 /// Harness settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Experiment scale.
     pub size: RunSize,
@@ -58,6 +60,11 @@ pub struct HarnessConfig {
     pub eval_cap: usize,
     /// Black-box training epochs.
     pub blackbox_epochs: usize,
+    /// Durability policy: when a directory is set, every training stage
+    /// (black box, baseline substrates, the paper's models) checkpoints
+    /// there and completed table rows are persisted, so a killed run
+    /// restarted with `resume` continues from the last durable state.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for HarnessConfig {
@@ -67,6 +74,7 @@ impl Default for HarnessConfig {
             seed: 42,
             eval_cap: 500,
             blackbox_epochs: 12,
+            checkpoint: CheckpointConfig::disabled(),
         }
     }
 }
@@ -107,7 +115,13 @@ impl Harness {
             ..Default::default()
         };
         let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
-        blackbox.train(&x_train, &y_train, &bb_cfg);
+        let bb_ckpt = config
+            .checkpoint
+            .clone()
+            .with_prefix(format!("bb-{}", dataset.slug()));
+        blackbox
+            .train_with_checkpoints(&x_train, &y_train, &bb_cfg, &bb_ckpt)
+            .expect("black-box checkpointing failed");
 
         let metrics = MetricContext::new(&data);
         let paper_cfg =
@@ -217,7 +231,22 @@ impl Harness {
             constraints,
             config,
         );
-        model.fit(&self.train_x());
+        let mode_tag = match mode {
+            ConstraintMode::Unary => "unary",
+            ConstraintMode::Binary => "binary",
+        };
+        let ckpt = self.config.checkpoint.clone().with_prefix(format!(
+            "ours-{mode_tag}-{}",
+            self.dataset.slug()
+        ));
+        model
+            .fit_with_checkpoints(
+                &self.train_x(),
+                &WatchdogConfig::default(),
+                &ckpt,
+                |_, _| {},
+            )
+            .expect("our-model checkpointing failed");
         model
     }
 
@@ -289,19 +318,65 @@ impl Harness {
     /// identical to a serial run.
     pub fn run_table4(&self, mut progress: impl FnMut(&str)) -> Vec<TableRow> {
         let x = self.test_x();
-        let ctx = BaselineContext::new(
+        let mut ctx = BaselineContext::new(
             &self.data,
             self.train_x(),
             &self.blackbox,
             self.config.seed,
         );
+        ctx.checkpoint = self
+            .config
+            .checkpoint
+            .clone()
+            .with_prefix(format!("table4-{}", self.dataset.slug()));
         let rows = runtime::parallel_map(9, 1, |i| {
-            runtime::with_threads(1, || self.table4_row(i, &x, &ctx))
+            runtime::with_threads(1, || self.table4_row_durable(i, &x, &ctx))
         });
         for row in &rows {
             progress(&row.to_string());
         }
         rows
+    }
+
+    /// The durable wrapper around [`table4_row`](Self::table4_row): with a
+    /// checkpoint directory configured, a completed row is persisted as
+    /// its own checkpoint file, and a `resume` run replays finished rows
+    /// from disk instead of retraining their methods — stage-level restart
+    /// on top of the epoch-level resume inside each training loop. A row
+    /// file that fails verification is quarantined and the row recomputed.
+    fn table4_row_durable(
+        &self,
+        i: usize,
+        x: &Tensor,
+        ctx: &BaselineContext<'_>,
+    ) -> TableRow {
+        let path = self.config.checkpoint.dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "table4-{}-row{i}.{}",
+                self.dataset.slug(),
+                checkpoint::EXTENSION
+            ))
+        });
+        if self.config.checkpoint.resume {
+            if let Some(p) = path.as_deref().filter(|p| p.exists()) {
+                match Checkpoint::read(p)
+                    .and_then(|c| TableRow::from_checkpoint(&c))
+                {
+                    Ok(row) => return row,
+                    Err(_) => checkpoint::quarantine(p),
+                }
+            }
+        }
+        let row = self.table4_row(i, x, ctx);
+        if let Some(p) = &path {
+            if let Some(dir) = p.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            row.to_checkpoint()
+                .write_atomic(p)
+                .expect("persist completed table row");
+        }
+        row
     }
 }
 
@@ -337,14 +412,35 @@ fn build_baseline(
     }
 }
 
+/// The shared bench-bin usage text (printed by `--help`).
+pub const CLI_USAGE: &str = "\
+usage: <bin> [dataset] [options]
+
+  dataset                adult | kdd | law (default varies by bin)
+  --size quick|half|paper   experiment scale
+  --seed N               master RNG seed
+  --eval N               cap on evaluated test instances
+  --checkpoint-dir DIR   write durable training checkpoints + completed
+                         table rows to DIR (crash-safe: temp + fsync +
+                         atomic rename)
+  --resume               with --checkpoint-dir: resume from the newest
+                         intact checkpoint instead of starting over;
+                         corrupt files are quarantined (*.corrupt) and
+                         the run falls back to the last good state
+  --help                 print this message
+";
+
 /// Parses common CLI args: `[dataset] [--size quick|half|paper]
-/// [--seed N] [--eval N]`. Returns `(dataset, config)`.
+/// [--seed N] [--eval N] [--checkpoint-dir DIR] [--resume]`. Returns
+/// `(dataset, config)`. `--help` prints [`CLI_USAGE`] and exits.
 pub fn parse_cli(
     args: &[String],
     default_dataset: DatasetId,
 ) -> (DatasetId, HarnessConfig) {
     let mut dataset = default_dataset;
     let mut config = HarnessConfig::default();
+    let mut ckpt_dir: Option<String> = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -361,12 +457,28 @@ pub fn parse_cli(
                 i += 1;
                 config.eval_cap = args[i].parse().expect("bad --eval");
             }
+            "--checkpoint-dir" => {
+                i += 1;
+                ckpt_dir = Some(args[i].clone());
+            }
+            "--resume" => resume = true,
+            "--help" | "-h" => {
+                print!("{CLI_USAGE}");
+                std::process::exit(0);
+            }
             name => {
                 dataset = DatasetId::parse(name)
                     .unwrap_or_else(|| panic!("unknown dataset {name:?}"));
             }
         }
         i += 1;
+    }
+    match ckpt_dir {
+        Some(dir) => {
+            config.checkpoint =
+                CheckpointConfig::in_dir(dir).with_resume(resume);
+        }
+        None => assert!(!resume, "--resume requires --checkpoint-dir"),
     }
     (dataset, config)
 }
@@ -422,6 +534,31 @@ mod tests {
         assert_eq!(cfg.size, RunSize::Half);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.eval_cap, 99);
+        assert!(!cfg.checkpoint.enabled());
+    }
+
+    #[test]
+    fn cli_parser_handles_checkpoint_flags() {
+        // --resume before --checkpoint-dir must still take effect.
+        let args: Vec<String> =
+            ["--resume", "--checkpoint-dir", "/tmp/ck", "adult"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let (_, cfg) = parse_cli(&args, DatasetId::Adult);
+        assert!(cfg.checkpoint.enabled());
+        assert!(cfg.checkpoint.resume);
+        assert_eq!(
+            cfg.checkpoint.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ck"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--resume requires --checkpoint-dir")]
+    fn cli_parser_rejects_resume_without_dir() {
+        let args = vec!["--resume".to_string()];
+        parse_cli(&args, DatasetId::Adult);
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn faulted_training_still_yields_a_table4_row() {
             seed: 42,
             eval_cap: 12,
             blackbox_epochs: 4,
+            ..Default::default()
         },
     );
     // Train the paper's unary model with a transient NaN injected into a

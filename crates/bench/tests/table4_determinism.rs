@@ -16,6 +16,7 @@ fn run_table4_is_identical_across_thread_counts() {
             seed: 42,
             eval_cap: 12,
             blackbox_epochs: 4,
+            ..Default::default()
         },
     );
     // One worker thread == the serial reference; four == oversubscribed

@@ -48,6 +48,9 @@ pub mod mask;
 pub mod path;
 pub mod model;
 
+pub use cfx_tensor::checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointManager,
+};
 pub use cfx_tensor::CfxError;
 pub use config::{
     CfLossWeights, ConstraintMode, FeasibleCfConfig, GenRecoveryConfig,

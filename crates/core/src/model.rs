@@ -10,7 +10,8 @@ use cfx_models::{BlackBox, Cvae};
 use cfx_tensor::init::randn_tensor;
 use cfx_tensor::stable_sigmoid;
 use cfx_tensor::Activation;
-use cfx_tensor::{guard, serialize, CfxError};
+use cfx_tensor::checkpoint::{crash_point, Checkpoint, CheckpointConfig};
+use cfx_tensor::{guard, CfxError};
 use cfx_tensor::{Adam, Module, Optimizer, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -78,11 +79,17 @@ pub enum TrainStatus {
     Recovered,
     /// The retry budget ran out; the model holds the best snapshot.
     Exhausted,
+    /// The per-call epoch budget ran out before the schedule finished; a
+    /// checkpoint holds the full state and a resumed call continues
+    /// bitwise-identically (only reachable through
+    /// [`FeasibleCfModel::fit_with_checkpoints`] with an
+    /// `epoch_budget`).
+    Paused,
 }
 
 /// Outcome of [`FeasibleCfModel::fit`]: the per-epoch loss history plus
 /// the watchdog's recovery record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// Mean loss components of every *completed* epoch (faulted epoch
     /// attempts are not recorded).
@@ -267,8 +274,40 @@ impl FeasibleCfModel {
         &mut self,
         x: &Tensor,
         watchdog: &WatchdogConfig,
-        mut on_epoch: impl FnMut(usize, &EpochStats),
+        on_epoch: impl FnMut(usize, &EpochStats),
     ) -> TrainReport {
+        self.fit_with_checkpoints(
+            x,
+            watchdog,
+            &CheckpointConfig::disabled(),
+            on_epoch,
+        )
+        .expect("disabled checkpointing cannot fail")
+    }
+
+    /// [`fit_with_watchdog`](Self::fit_with_watchdog) with durable state:
+    /// when `ckpt` names a directory, the full training state — VAE
+    /// parameters, best snapshot, Adam moments + step count, RNG stream
+    /// state, and epoch/watchdog metadata — is checkpointed every
+    /// `ckpt.every_epochs` completed epochs (and after every watchdog
+    /// rollback), crash-safely.
+    ///
+    /// With `ckpt.resume`, the newest intact checkpoint is restored
+    /// before training, and the run continues **bitwise-identically** to
+    /// one that was never interrupted: same final weights, same
+    /// [`TrainReport`]. Corrupt checkpoint files are quarantined and the
+    /// next older one is used. `on_epoch` fires only for epochs trained
+    /// in *this* call, not for restored history.
+    ///
+    /// `ckpt.epoch_budget` pauses the run ([`TrainStatus::Paused`], with
+    /// a forced checkpoint) after that many epochs complete in this call.
+    pub fn fit_with_checkpoints(
+        &mut self,
+        x: &Tensor,
+        watchdog: &WatchdogConfig,
+        ckpt: &CheckpointConfig,
+        mut on_epoch: impl FnMut(usize, &EpochStats),
+    ) -> Result<TrainReport, CfxError> {
         let n = x.rows();
         assert!(n > 0, "cannot fit on an empty dataset");
         let cfg = self.config.clone();
@@ -279,7 +318,7 @@ impl FeasibleCfModel {
             status: TrainStatus::Completed,
         };
         if cfg.epochs == 0 {
-            return report;
+            return Ok(report);
         }
         let mut lr = cfg.learning_rate;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17);
@@ -291,8 +330,29 @@ impl FeasibleCfModel {
             (0..n).filter(|&r| preds[r] == 1).collect();
 
         let mut best_total = f32::INFINITY;
-        let mut best_snapshot = serialize::encode(&self.vae.export_params());
+        let mut best_snapshot = self.vae.export_params();
         let mut epoch = 0usize;
+
+        let mut manager = ckpt.manager()?;
+        if let Some(mgr) = manager.as_mut() {
+            if ckpt.resume {
+                if let Some((_, c)) = mgr.load_latest()? {
+                    self.restore_fit_state(
+                        &c,
+                        &mut report,
+                        &mut epoch,
+                        &mut lr,
+                        &mut best_total,
+                        &mut best_snapshot,
+                        &mut opt,
+                        &mut rng,
+                    )?;
+                }
+            }
+        }
+        let every = ckpt.every_epochs.max(1);
+        let mut epochs_this_call = 0usize;
+
         // One tape reused across every batch of every epoch: reset()
         // returns all buffers to the pool, so steady-state steps allocate
         // nothing fresh.
@@ -349,9 +409,7 @@ impl FeasibleCfModel {
             if let Some(f) = fault {
                 // Roll back: the faulted epoch's partial optimizer steps
                 // are discarded wholesale.
-                let params = serialize::decode(&best_snapshot)
-                    .expect("in-memory snapshot round-trips");
-                self.vae.import_params(&params);
+                self.vae.import_params(&best_snapshot);
                 report.retries += 1;
                 lr *= watchdog.lr_backoff;
                 report.events.push(RecoveryEvent {
@@ -362,7 +420,7 @@ impl FeasibleCfModel {
                 });
                 if report.retries > watchdog.max_retries {
                     report.status = TrainStatus::Exhausted;
-                    return report;
+                    return Ok(report);
                 }
                 // Fresh optimizer moments (the old ones averaged corrupt
                 // gradients) and a decorrelated data order.
@@ -373,6 +431,23 @@ impl FeasibleCfModel {
                         ^ 0x9E37_79B9_7F4A_7C15u64
                             .wrapping_mul(report.retries as u64),
                 );
+                // Persist the rolled-back state so a crash during the
+                // retry resumes from *after* the rollback, not before it
+                // (same step number: the newest state for this epoch
+                // count wins).
+                if let Some(mgr) = manager.as_mut() {
+                    let mut c = self.fit_state_checkpoint(
+                        &report,
+                        epoch,
+                        lr,
+                        best_total,
+                        &best_snapshot,
+                        &opt,
+                        &rng,
+                    );
+                    // INFINITY: a rollback never displaces the best file.
+                    mgr.save(epoch as u64, f32::INFINITY, &mut c)?;
+                }
                 continue; // retry the same epoch
             }
 
@@ -380,16 +455,174 @@ impl FeasibleCfModel {
             report.history.push(stats);
             if stats.total < best_total {
                 best_total = stats.total;
-                best_snapshot = serialize::encode(&self.vae.export_params());
+                best_snapshot = self.vae.export_params();
             }
             epoch += 1;
+            epochs_this_call += 1;
+            let budget_hit = ckpt
+                .epoch_budget
+                .is_some_and(|b| epochs_this_call >= b)
+                && epoch < cfg.epochs;
+            if let Some(mgr) = manager.as_mut() {
+                if epoch % every == 0 || epoch == cfg.epochs || budget_hit {
+                    let mut c = self.fit_state_checkpoint(
+                        &report,
+                        epoch,
+                        lr,
+                        best_total,
+                        &best_snapshot,
+                        &opt,
+                        &rng,
+                    );
+                    mgr.save(epoch as u64, stats.total, &mut c)?;
+                    // Deterministic kill switch for the crash-consistency
+                    // tests: always lands right after a durable save.
+                    crash_point("epoch", epoch as u64);
+                }
+            }
+            if budget_hit {
+                report.status = TrainStatus::Paused;
+                return Ok(report);
+            }
         }
         report.status = if report.retries > 0 {
             TrainStatus::Recovered
         } else {
             TrainStatus::Completed
         };
-        report
+        Ok(report)
+    }
+
+    /// Serializes the complete mid-fit state into a checkpoint. Together
+    /// with [`restore_fit_state`](Self::restore_fit_state) this defines
+    /// the resume contract: params + optimizer + RNG + watchdog metadata
+    /// travel as one unit, so a restored run replays the exact arithmetic
+    /// of an uninterrupted one.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_state_checkpoint(
+        &self,
+        report: &TrainReport,
+        epoch: usize,
+        lr: f32,
+        best_total: f32,
+        best_snapshot: &[Tensor],
+        opt: &Adam,
+        rng: &StdRng,
+    ) -> Checkpoint {
+        let mut c = Checkpoint::new();
+        c.put_str("model", "FeasibleCfModel.fit");
+        c.put_tensors("vae", &self.vae.export_params());
+        c.put_tensors("best", best_snapshot);
+        c.put_adam("adam", &opt.export_state());
+        c.put_u64s("rng", &rng.state());
+        c.put_u64s("meta.u64", &[epoch as u64, report.retries as u64]);
+        c.put_f32s("meta.f32", &[lr, best_total]);
+        let mut hist = Vec::with_capacity(report.history.len() * 6);
+        for s in &report.history {
+            hist.extend_from_slice(&[
+                s.total,
+                s.validity,
+                s.proximity,
+                s.feasibility,
+                s.sparsity,
+                s.kl,
+            ]);
+        }
+        c.put_f32s("history", &hist);
+        let mut ev_u = Vec::with_capacity(report.events.len() * 3);
+        let mut ev_f = Vec::with_capacity(report.events.len());
+        for e in &report.events {
+            ev_u.extend_from_slice(&[
+                e.epoch as u64,
+                e.retry as u64,
+                match e.fault {
+                    FaultDetected::NonFiniteLoss => 0,
+                    FaultDetected::NonFiniteGrad => 1,
+                    FaultDetected::Diverged => 2,
+                },
+            ]);
+            ev_f.push(e.learning_rate);
+        }
+        c.put_u64s("events.u64", &ev_u);
+        c.put_f32s("events.f32", &ev_f);
+        c
+    }
+
+    /// Restores mid-fit state from a checkpoint produced by
+    /// [`fit_state_checkpoint`](Self::fit_state_checkpoint). Shape
+    /// mismatches (a checkpoint from a different architecture) surface as
+    /// [`CfxError::Corrupt`], never a panic or a silently misloaded model.
+    #[allow(clippy::too_many_arguments)]
+    fn restore_fit_state(
+        &mut self,
+        c: &Checkpoint,
+        report: &mut TrainReport,
+        epoch: &mut usize,
+        lr: &mut f32,
+        best_total: &mut f32,
+        best_snapshot: &mut Vec<Tensor>,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+    ) -> Result<(), CfxError> {
+        self.vae.try_import_params(&c.tensors("vae")?)?;
+        *best_snapshot = c.tensors("best")?;
+        *opt = Adam::from_state(c.adam("adam")?);
+        let rs = c.u64s("rng")?;
+        let rs: [u64; 4] = rs.as_slice().try_into().map_err(|_| {
+            CfxError::corrupt(format!("rng section has {} words", rs.len()))
+        })?;
+        *rng = StdRng::from_state(rs);
+        let meta_u = c.u64s("meta.u64")?;
+        let meta_f = c.f32s("meta.f32")?;
+        if meta_u.len() != 2 || meta_f.len() != 2 {
+            return Err(CfxError::corrupt("fit metadata sections malformed"));
+        }
+        *epoch = meta_u[0] as usize;
+        report.retries = meta_u[1] as usize;
+        *lr = meta_f[0];
+        *best_total = meta_f[1];
+        let hist = c.f32s("history")?;
+        if hist.len() % 6 != 0 {
+            return Err(CfxError::corrupt("history section malformed"));
+        }
+        report.history = hist
+            .chunks_exact(6)
+            .map(|s| EpochStats {
+                total: s[0],
+                validity: s[1],
+                proximity: s[2],
+                feasibility: s[3],
+                sparsity: s[4],
+                kl: s[5],
+            })
+            .collect();
+        let ev_u = c.u64s("events.u64")?;
+        let ev_f = c.f32s("events.f32")?;
+        if ev_u.len() % 3 != 0 || ev_u.len() / 3 != ev_f.len() {
+            return Err(CfxError::corrupt("event sections malformed"));
+        }
+        report.events = ev_u
+            .chunks_exact(3)
+            .zip(&ev_f)
+            .map(|(u, &learning_rate)| {
+                Ok(RecoveryEvent {
+                    epoch: u[0] as usize,
+                    retry: u[1] as usize,
+                    fault: match u[2] {
+                        0 => FaultDetected::NonFiniteLoss,
+                        1 => FaultDetected::NonFiniteGrad,
+                        2 => FaultDetected::Diverged,
+                        k => {
+                            return Err(CfxError::corrupt(format!(
+                                "unknown fault code {k}"
+                            )))
+                        }
+                    },
+                    learning_rate,
+                })
+            })
+            .collect::<Result<_, CfxError>>()?;
+        Ok(())
     }
 
     /// Generation-quality snapshot on a held-out set: the fraction of

@@ -23,6 +23,8 @@ pub mod stability;
 pub use stability::{manifold_distance, robustness, ynn};
 
 use cfx_data::{EncodedDataset, Encoding, FeatureKind, Schema};
+use cfx_tensor::checkpoint::Checkpoint;
+use cfx_tensor::CfxError;
 use std::fmt;
 
 /// Precomputed per-dataset context: feature spans, types, and the
@@ -258,6 +260,71 @@ impl TableRow {
             recovery,
         )
     }
+
+    /// Serializes the row into a durable [`Checkpoint`] — the unit of
+    /// stage-level resume in the bench bins: a completed Table IV row is
+    /// persisted so a killed run restarts from the last finished row
+    /// instead of retraining its method. Floats are stored as raw bits,
+    /// so the round-trip is bitwise.
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let mut c = Checkpoint::new();
+        c.put_str("row.method", &self.method);
+        // Option<f32> encoding: a presence flag next to the raw bits.
+        c.put_f32s(
+            "row.metrics",
+            &[
+                self.validity,
+                self.feasibility_unary.unwrap_or(0.0),
+                self.feasibility_binary.unwrap_or(0.0),
+                self.continuous_proximity,
+                self.categorical_proximity,
+                self.sparsity,
+            ],
+        );
+        let mut flags = vec![
+            self.feasibility_unary.is_some() as u64,
+            self.feasibility_binary.is_some() as u64,
+            self.recovery.is_some() as u64,
+        ];
+        if let Some(r) = self.recovery {
+            flags.push(r.resampled as u64);
+            flags.push(r.fallback as u64);
+        }
+        c.put_u64s("row.flags", &flags);
+        c
+    }
+
+    /// Restores a row from [`to_checkpoint`](Self::to_checkpoint)
+    /// sections; malformed sections are [`CfxError::Corrupt`].
+    pub fn from_checkpoint(c: &Checkpoint) -> Result<TableRow, CfxError> {
+        let method = c.str_section("row.method")?;
+        let m = c.f32s("row.metrics")?;
+        let flags = c.u64s("row.flags")?;
+        if m.len() != 6 || flags.len() < 3 {
+            return Err(CfxError::corrupt("table row sections malformed"));
+        }
+        let recovery = if flags[2] != 0 {
+            if flags.len() != 5 {
+                return Err(CfxError::corrupt("recovery counts missing"));
+            }
+            Some(RecoveryCounts {
+                resampled: flags[3] as usize,
+                fallback: flags[4] as usize,
+            })
+        } else {
+            None
+        };
+        Ok(TableRow {
+            method,
+            validity: m[0],
+            feasibility_unary: (flags[0] != 0).then_some(m[1]),
+            feasibility_binary: (flags[1] != 0).then_some(m[2]),
+            continuous_proximity: m[3],
+            categorical_proximity: m[4],
+            sparsity: m[5],
+            recovery,
+        })
+    }
 }
 
 impl fmt::Display for TableRow {
@@ -412,6 +479,40 @@ mod tests {
             recovery: None,
         };
         assert!(row.to_string().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn table_row_checkpoint_round_trips() {
+        let rows = [
+            TableRow {
+                method: "Our method (a)*".into(),
+                validity: 93.25,
+                feasibility_unary: Some(88.5),
+                feasibility_binary: None,
+                continuous_proximity: -1.125,
+                categorical_proximity: -0.75,
+                sparsity: 3.5,
+                recovery: Some(RecoveryCounts { resampled: 3, fallback: 1 }),
+            },
+            TableRow {
+                method: "CEM".into(),
+                validity: 50.0,
+                feasibility_unary: None,
+                feasibility_binary: None,
+                continuous_proximity: -1.0,
+                categorical_proximity: -1.0,
+                sparsity: 2.0,
+                recovery: None,
+            },
+        ];
+        for row in rows {
+            let bytes = row.to_checkpoint().encode();
+            let back = TableRow::from_checkpoint(
+                &Checkpoint::decode(&bytes).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(back, row);
+        }
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! methods that need ∂logit/∂x (REVISE, CEM, the VAE validity term) use
 //! [`BlackBox::forward_tape`] to run it inside an autodiff tape.
 
+use cfx_tensor::checkpoint::{crash_point, Checkpoint, CheckpointConfig};
 use cfx_tensor::{
-    stable_sigmoid, Activation, Adam, Mlp, Module, Optimizer, Tape, Tensor, Var,
+    stable_sigmoid, Activation, Adam, CfxError, Mlp, Module, Optimizer, Tape,
+    Tensor, Var,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -77,6 +79,22 @@ impl BlackBox {
         y: &Tensor,
         config: &BlackBoxConfig,
     ) -> Vec<f32> {
+        self.train_with_checkpoints(x, y, config, &CheckpointConfig::disabled())
+            .expect("disabled checkpointing cannot fail")
+    }
+
+    /// [`train`](Self::train) with durable state: network parameters,
+    /// Adam moments + step count, RNG stream, and the loss history are
+    /// checkpointed together every `ckpt.every_epochs` epochs, and with
+    /// `ckpt.resume` the run continues bitwise-identically from the
+    /// newest intact checkpoint.
+    pub fn train_with_checkpoints(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        config: &BlackBoxConfig,
+        ckpt: &CheckpointConfig,
+    ) -> Result<Vec<f32>, CfxError> {
         assert_eq!(x.rows(), y.rows(), "x/y row mismatch");
         assert_eq!(y.cols(), 1, "y must be (n, 1)");
         let n = x.rows();
@@ -84,11 +102,35 @@ impl BlackBox {
         let mut opt = Adam::with_lr(config.learning_rate);
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(config.epochs);
+        let mut epoch = 0usize;
+
+        let mut manager = ckpt.manager()?;
+        if let Some(mgr) = manager.as_mut() {
+            if ckpt.resume {
+                if let Some((_, c)) = mgr.load_latest()? {
+                    self.net.try_import_params(&c.tensors("net")?)?;
+                    opt = Adam::from_state(c.adam("adam")?);
+                    let rs = c.u64s("rng")?;
+                    let rs: [u64; 4] =
+                        rs.as_slice().try_into().map_err(|_| {
+                            CfxError::corrupt("rng section malformed")
+                        })?;
+                    rng = StdRng::from_state(rs);
+                    let meta = c.u64s("meta.u64")?;
+                    epoch = *meta.first().ok_or_else(|| {
+                        CfxError::corrupt("meta.u64 section empty")
+                    })? as usize;
+                    epoch_losses = c.f32s("losses")?;
+                }
+            }
+        }
+        let every = ckpt.every_epochs.max(1);
+
         // One tape for the whole run: reset() returns every buffer to the
         // pool, so steady-state steps train without fresh heap allocations.
         let mut tape = Tape::new();
         let mut pv = Vec::new();
-        for _ in 0..config.epochs {
+        while epoch < config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut batches = 0;
@@ -108,9 +150,24 @@ impl BlackBox {
                 let grads = tape.grads_of(&pv);
                 opt.step_refs(&mut self.net, &grads);
             }
-            epoch_losses.push(total / batches.max(1) as f32);
+            let mean = total / batches.max(1) as f32;
+            epoch_losses.push(mean);
+            epoch += 1;
+            if let Some(mgr) = manager.as_mut() {
+                if epoch % every == 0 || epoch == config.epochs {
+                    let mut c = Checkpoint::new();
+                    c.put_str("model", "BlackBox.train");
+                    c.put_tensors("net", &self.net.export_params());
+                    c.put_adam("adam", &opt.export_state());
+                    c.put_u64s("rng", &rng.state());
+                    c.put_u64s("meta.u64", &[epoch as u64]);
+                    c.put_f32s("losses", &epoch_losses);
+                    mgr.save(epoch as u64, mean, &mut c)?;
+                    crash_point("bb-epoch", epoch as u64);
+                }
+            }
         }
-        epoch_losses
+        Ok(epoch_losses)
     }
 
     /// Raw logits `(n, 1)` for a batch.
@@ -185,6 +242,38 @@ impl BlackBox {
         let mut pv = Vec::new();
         let mut rng = StdRng::seed_from_u64(0); // unused: train=false
         self.net.forward(tape, x, &mut pv, false, &mut rng)
+    }
+
+    /// Writes the classifier — architecture dims plus every parameter —
+    /// into checkpoint sections under `prefix`.
+    pub fn export_to(&self, ckpt: &mut Checkpoint, prefix: &str) {
+        ckpt.put_u64s(
+            &format!("{prefix}.dims"),
+            &[self.net.in_dim() as u64, self.net.out_dim() as u64],
+        );
+        ckpt.put_tensors(
+            &format!("{prefix}.params"),
+            &self.net.export_params(),
+        );
+    }
+
+    /// Restores the classifier from [`export_to`](Self::export_to)
+    /// sections, validating the recorded dims against this instance's
+    /// architecture first — a checkpoint for a different input width is a
+    /// [`CfxError::Corrupt`], never a silently misloaded model.
+    pub fn import_from(
+        &mut self,
+        ckpt: &Checkpoint,
+        prefix: &str,
+    ) -> Result<(), CfxError> {
+        let dims = ckpt.u64s(&format!("{prefix}.dims"))?;
+        let want = [self.net.in_dim() as u64, self.net.out_dim() as u64];
+        if dims != want {
+            return Err(CfxError::corrupt(format!(
+                "black-box dims mismatch: checkpoint {dims:?}, model {want:?}"
+            )));
+        }
+        self.net.try_import_params(&ckpt.tensors(&format!("{prefix}.params"))?)
     }
 
     /// Access to the underlying network (e.g. for serialization).

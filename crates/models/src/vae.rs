@@ -13,8 +13,11 @@
 //! it as two heads — `mu` and `logvar` — from the last 12-unit layer, with
 //! the reparameterization `z = mu + ε·exp(logvar/2)`.
 
-use cfx_tensor::{Activation, Linear, Mlp, Module, Tape, Tensor, Var};
+use cfx_tensor::checkpoint::Checkpoint;
 use cfx_tensor::init::randn_tensor;
+use cfx_tensor::{
+    Activation, CfxError, Linear, Mlp, Module, Tape, Tensor, Var,
+};
 use rand::Rng;
 
 /// Encoder/decoder hidden widths from Table II.
@@ -211,6 +214,37 @@ impl Cvae {
     /// Samples `n` latent codes from the prior `N(0, I)`.
     pub fn sample_prior<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Tensor {
         randn_tensor(n, self.latent_dim, rng)
+    }
+
+    /// Writes the generator — architecture dims (input width, latent
+    /// size) plus every parameter — into checkpoint sections under
+    /// `prefix`. Dims travel with the weights so a restore can reject a
+    /// checkpoint from a differently-shaped model.
+    pub fn export_to(&self, ckpt: &mut Checkpoint, prefix: &str) {
+        ckpt.put_u64s(
+            &format!("{prefix}.dims"),
+            &[self.input_dim as u64, self.latent_dim as u64],
+        );
+        ckpt.put_tensors(&format!("{prefix}.params"), &self.export_params());
+    }
+
+    /// Restores the generator from [`export_to`](Self::export_to)
+    /// sections. The recorded dims must match this instance's
+    /// architecture; a mismatch is a [`CfxError::Corrupt`], never a panic
+    /// or a silently misloaded model.
+    pub fn import_from(
+        &mut self,
+        ckpt: &Checkpoint,
+        prefix: &str,
+    ) -> Result<(), CfxError> {
+        let dims = ckpt.u64s(&format!("{prefix}.dims"))?;
+        let want = [self.input_dim as u64, self.latent_dim as u64];
+        if dims != want {
+            return Err(CfxError::corrupt(format!(
+                "cvae dims mismatch: checkpoint {dims:?}, model {want:?}"
+            )));
+        }
+        self.try_import_params(&ckpt.tensors(&format!("{prefix}.params"))?)
     }
 }
 

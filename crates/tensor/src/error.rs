@@ -37,6 +37,13 @@ pub enum CfxError {
         /// How many retries were spent.
         retries: usize,
     },
+    /// A persisted artifact (checkpoint, saved module) failed
+    /// verification: bad magic/version, truncation, CRC mismatch, or a
+    /// malformed section. Corrupt data is never silently loaded.
+    Corrupt(String),
+    /// An I/O operation on a persisted artifact failed. Kept as a string
+    /// (not `std::io::Error`) so the enum stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl CfxError {
@@ -54,6 +61,16 @@ impl CfxError {
     pub fn non_finite(context: impl Into<String>) -> Self {
         CfxError::NonFinite { context: context.into() }
     }
+
+    /// Shorthand constructor for [`CfxError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        CfxError::Corrupt(msg.into())
+    }
+
+    /// Shorthand constructor for [`CfxError::Io`].
+    pub fn io(msg: impl Into<String>) -> Self {
+        CfxError::Io(msg.into())
+    }
 }
 
 impl fmt::Display for CfxError {
@@ -69,6 +86,8 @@ impl fmt::Display for CfxError {
                 f,
                 "retry budget exhausted for {what} after {retries} retries"
             ),
+            CfxError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            CfxError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

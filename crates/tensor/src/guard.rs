@@ -73,20 +73,16 @@ impl Fault {
 }
 
 /// The fault configured by the `CFX_FAULT` environment variable, read
-/// once per process. A malformed spec is reported to stderr and ignored
-/// rather than aborting the run.
-pub fn env_fault() -> Option<Fault> {
-    static ENV: OnceLock<Option<Fault>> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("CFX_FAULT") {
-        Ok(spec) => match Fault::parse(&spec) {
-            Ok(f) => Some(f),
-            Err(e) => {
-                eprintln!("ignoring CFX_FAULT: {e}");
-                None
-            }
-        },
-        Err(_) => None,
+/// once per process. `Ok(None)` when the variable is unset; a malformed
+/// spec is a hard [`CfxError::Fault`] so a typo'd CI scenario fails
+/// loudly instead of silently running fault-free.
+pub fn env_fault() -> Result<Option<Fault>, CfxError> {
+    static ENV: OnceLock<Result<Option<Fault>, CfxError>> = OnceLock::new();
+    ENV.get_or_init(|| match std::env::var("CFX_FAULT") {
+        Ok(spec) => Fault::parse(&spec).map(Some),
+        Err(_) => Ok(None),
     })
+    .clone()
 }
 
 #[derive(Clone, Copy)]
@@ -104,8 +100,12 @@ thread_local! {
 
 fn load_state() -> InjectorState {
     STATE.with(|s| {
-        s.get().unwrap_or(InjectorState {
-            armed: env_fault(),
+        s.get().unwrap_or_else(|| InjectorState {
+            // A bad CFX_FAULT spec must abort, not silently disarm the
+            // injector: tests that rely on the fault firing would pass
+            // vacuously otherwise.
+            armed: env_fault()
+                .unwrap_or_else(|e| panic!("invalid CFX_FAULT: {e}")),
             count: 0,
             fired: false,
         })

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod graph;
 pub mod guard;
@@ -36,8 +37,11 @@ pub mod runtime;
 pub mod serialize;
 pub mod tensor;
 
+pub use checkpoint::{
+    crash_point, Checkpoint, CheckpointConfig, CheckpointManager,
+};
 pub use error::CfxError;
 pub use graph::{stable_sigmoid, stable_softplus, Tape, Var};
 pub use nn::{Activation, Linear, Mlp, Module};
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
 pub use tensor::Tensor;

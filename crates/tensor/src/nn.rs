@@ -6,6 +6,7 @@
 //! `param_vars` vector, so the caller can later pair every parameter with
 //! its gradient for the optimizer — see [`crate::optim`].
 
+use crate::error::CfxError;
 use crate::graph::{Tape, Var};
 use crate::init::{dropout_mask, he_normal, xavier_uniform};
 use crate::tensor::Tensor;
@@ -80,6 +81,35 @@ pub trait Module {
             i += 1;
         });
         assert_eq!(i, params.len(), "too many parameters to import");
+    }
+
+    /// Fallible [`import_params`](Module::import_params): a count or
+    /// shape mismatch is a [`CfxError::Corrupt`] instead of a panic, and
+    /// the module is left untouched. The import path for parameters that
+    /// come from disk (checkpoints), where a mismatch means the file
+    /// belongs to a different architecture.
+    fn try_import_params(&mut self, params: &[Tensor]) -> Result<(), CfxError> {
+        let mut shapes = Vec::new();
+        self.visit_params(&mut |t| shapes.push(t.shape()));
+        if shapes.len() != params.len() {
+            return Err(CfxError::corrupt(format!(
+                "parameter count mismatch: module has {}, import has {}",
+                shapes.len(),
+                params.len()
+            )));
+        }
+        for (i, (want, got)) in
+            shapes.iter().zip(params.iter().map(|p| p.shape())).enumerate()
+        {
+            if *want != got {
+                return Err(CfxError::corrupt(format!(
+                    "parameter {i} shape mismatch: module {want:?}, \
+                     import {got:?}"
+                )));
+            }
+        }
+        self.import_params(params);
+        Ok(())
     }
 }
 

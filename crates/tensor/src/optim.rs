@@ -104,6 +104,56 @@ impl Adam {
     pub fn with_lr(lr: f32) -> Self {
         Self::new(lr, 0.9, 0.999, 1e-8)
     }
+
+    /// Snapshots the full optimizer state — hyper-parameters, step count,
+    /// and both moment vectors — for checkpointing. Restoring the snapshot
+    /// with [`Adam::from_state`] reproduces the optimizer bitwise, which
+    /// resume-determinism depends on: the moments and `t` shape every
+    /// subsequent parameter update.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Rebuilds an Adam instance from a checkpointed state.
+    pub fn from_state(state: AdamState) -> Self {
+        Adam {
+            lr: state.lr,
+            beta1: state.beta1,
+            beta2: state.beta2,
+            eps: state.eps,
+            t: state.t,
+            m: state.m,
+            v: state.v,
+        }
+    }
+}
+
+/// A serializable snapshot of an [`Adam`] optimizer: everything needed to
+/// continue training as if the process never stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+    /// Completed update count (drives bias correction).
+    pub t: u32,
+    /// First moments, one per parameter slot.
+    pub m: Vec<Tensor>,
+    /// Second moments, one per parameter slot.
+    pub v: Vec<Tensor>,
 }
 
 impl Optimizer for Adam {

@@ -127,9 +127,19 @@ pub fn decode(text: &str) -> Result<Vec<Tensor>, LoadError> {
     Ok(tensors)
 }
 
-/// Saves a module's parameters to `path`.
+/// Saves a module's parameters to `path` crash-safely.
+///
+/// The encoded text is written to a sibling temp file, fsynced, and
+/// atomically renamed over `path` (see
+/// [`checkpoint`](crate::checkpoint) for the full crash-consistency
+/// argument) — a crash mid-save leaves the previous good file intact
+/// instead of a truncated one.
 pub fn save_module(module: &dyn Module, path: &Path) -> io::Result<()> {
-    fs::write(path, encode(&module.export_params()))
+    crate::checkpoint::write_bytes_atomic(
+        path,
+        encode(&module.export_params()).as_bytes(),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))
 }
 
 /// Restores a module's parameters from `path`.
@@ -205,5 +215,26 @@ mod tests {
         load_module(&mut restored, &path).unwrap();
         assert_eq!(mlp.export_params(), restored.export_params());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_module_is_atomic() {
+        let dir = std::env::temp_dir().join("cfx_tensor_serialize_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.cfxt");
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, 1.0, &mut rng);
+        let b = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, 1.0, &mut rng);
+        save_module(&a, &path).unwrap();
+        // Overwriting goes through a temp + rename: no temp residue, and
+        // the destination always parses.
+        save_module(&b, &path).unwrap();
+        assert!(!dir.join("m.cfxt.tmp").exists());
+        let mut restored =
+            Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, 1.0, &mut rng);
+        load_module(&mut restored, &path).unwrap();
+        assert_eq!(b.export_params(), restored.export_params());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -180,6 +180,21 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Snapshots the full generator state. Restoring it with
+        /// [`StdRng::from_state`] continues the exact bit stream — the
+        /// contract checkpoint/resume relies on.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator mid-stream from a [`StdRng::state`]
+        /// snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, the canonical xoshiro seeding routine.
@@ -284,6 +299,17 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let _: f32 = a.gen();
+        let snap = a.state();
+        let tail: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let mut b = StdRng::from_state(snap);
+        let resumed: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(tail, resumed);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the durable checkpoint format: a checkpoint holding
+//! arbitrary tensors (including NaN / ±0.0 / infinities / subnormals),
+//! integer metadata, loss histories and full Adam optimizer state must
+//! round-trip through `encode` → `decode` **bitwise**, and *any* single
+//! corrupted byte — anywhere in the file, header or payload — must be
+//! rejected with `CfxError::Corrupt`, never silently accepted and never
+//! crash the decoder.
+
+use cfx::tensor::checkpoint::Checkpoint;
+use cfx::tensor::{AdamState, CfxError, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random f32 drawn from a palette heavy on encoding edge cases.
+fn edge_f32(rng: &mut StdRng) -> f32 {
+    match rng.gen_range(0u8..8) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::NAN,
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => f32::MIN_POSITIVE / 2.0, // subnormal
+        6 => f32::from_bits(rng.gen::<u32>()), // arbitrary bit pattern
+        _ => rng.gen_range(-1e6f32..1e6),
+    }
+}
+
+fn random_tensor(rng: &mut StdRng) -> Tensor {
+    let rows = rng.gen_range(1usize..5);
+    let cols = rng.gen_range(1usize..6);
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| edge_f32(rng)).collect(),
+    )
+}
+
+fn random_tensors(rng: &mut StdRng) -> Vec<Tensor> {
+    (0..rng.gen_range(1usize..4)).map(|_| random_tensor(rng)).collect()
+}
+
+/// A checkpoint shaped like the real training ones: parameters, Adam
+/// state, RNG words, scalar metadata, a loss history and a tag string.
+fn random_checkpoint(rng: &mut StdRng) -> Checkpoint {
+    let mut c = Checkpoint::new();
+    c.put_str("model", "prop.test");
+    c.put_tensors("params", &random_tensors(rng));
+    let n = rng.gen_range(1usize..3);
+    c.put_adam(
+        "adam",
+        &AdamState {
+            lr: edge_f32(rng),
+            beta1: rng.gen_range(0.0f32..1.0),
+            beta2: rng.gen_range(0.0f32..1.0),
+            eps: f32::MIN_POSITIVE,
+            t: rng.gen::<u32>(),
+            m: (0..n).map(|_| random_tensor(rng)).collect(),
+            v: (0..n).map(|_| random_tensor(rng)).collect(),
+        },
+    );
+    c.put_u64s("rng", &[rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+    c.put_u64s("meta.u64", &[rng.gen_range(0u64..1000), rng.gen()]);
+    let hist = rng.gen_range(0usize..10);
+    c.put_f32s(
+        "history",
+        &(0..hist).map(|_| edge_f32(rng)).collect::<Vec<_>>(),
+    );
+    c
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(c)) reproduces every section bitwise — NaN payloads,
+    /// signed zeros and subnormals included — and re-encoding the decoded
+    /// checkpoint yields byte-identical output (the format is canonical).
+    #[test]
+    fn encode_decode_round_trips_bitwise(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = random_checkpoint(&mut rng);
+        let bytes = c.encode();
+        let d = Checkpoint::decode(&bytes).expect("intact bytes decode");
+        prop_assert_eq!(d.encode(), bytes, "re-encoding must be canonical");
+
+        prop_assert_eq!(d.str_section("model").unwrap(), "prop.test");
+        let want: Vec<Vec<u32>> =
+            c.tensors("params").unwrap().iter().map(bits).collect();
+        let got: Vec<Vec<u32>> =
+            d.tensors("params").unwrap().iter().map(bits).collect();
+        prop_assert_eq!(got, want, "tensor bits changed in round trip");
+
+        let (wa, ga) = (c.adam("adam").unwrap(), d.adam("adam").unwrap());
+        prop_assert_eq!(wa.lr.to_bits(), ga.lr.to_bits());
+        prop_assert_eq!(wa.t, ga.t);
+        prop_assert_eq!(
+            wa.m.iter().map(bits).collect::<Vec<_>>(),
+            ga.m.iter().map(bits).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            wa.v.iter().map(bits).collect::<Vec<_>>(),
+            ga.v.iter().map(bits).collect::<Vec<_>>()
+        );
+
+        prop_assert_eq!(d.u64s("rng").unwrap(), c.u64s("rng").unwrap());
+        prop_assert_eq!(
+            d.f32s("history").unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c.f32s("history").unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Flipping any single byte anywhere in the encoding — with any
+    /// non-zero XOR mask — is detected as `CfxError::Corrupt`.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        seed in any::<u64>(),
+        pos_sel in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = random_checkpoint(&mut rng).encode();
+        let pos = (pos_sel % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        match Checkpoint::decode(&bytes) {
+            Err(CfxError::Corrupt(_)) => {}
+            other => prop_assert!(
+                false,
+                "flip at byte {} (mask {:#04x}) not rejected: {:?}",
+                pos, mask, other.map(|_| "decoded OK")
+            ),
+        }
+    }
+
+    /// Truncating the file at any length short of the full encoding is
+    /// detected as `CfxError::Corrupt` (never a panic or over-read).
+    #[test]
+    fn any_truncation_is_rejected(
+        seed in any::<u64>(),
+        len_sel in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes = random_checkpoint(&mut rng).encode();
+        let len = (len_sel % bytes.len() as u64) as usize;
+        match Checkpoint::decode(&bytes[..len]) {
+            Err(CfxError::Corrupt(_)) => {}
+            other => prop_assert!(
+                false,
+                "truncation to {} bytes not rejected: {:?}",
+                len, other.map(|_| "decoded OK")
+            ),
+        }
+    }
+
+    /// Appending trailing garbage after a valid encoding is rejected:
+    /// every byte of a checkpoint file is covered by exactly one CRC.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        seed in any::<u64>(),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = random_checkpoint(&mut rng).encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CfxError::Corrupt(_))
+        ));
+    }
+}

@@ -208,7 +208,10 @@ mod injected {
     /// run alone in the process — without the variable it is a no-op.
     #[test]
     fn env_fault_scenario() {
-        let Some(fault) = guard::env_fault() else { return };
+        let Some(fault) = guard::env_fault().expect("CFX_FAULT must parse")
+        else {
+            return;
+        };
         let f = fixture();
         let mut model = small_model(&f);
         let report = model.fit(&f.x_train);
