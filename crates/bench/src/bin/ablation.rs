@@ -10,7 +10,7 @@
 //! cargo run --release -p cfx-bench --bin ablation -- adult [--size quick|half|paper]
 //! ```
 
-use cfx_bench::{parse_cli, FeasColumns, Harness};
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli, FeasColumns, Harness};
 use cfx_core::{ConstraintMode, FeasibleCfConfig, FeasibleCfModel};
 use cfx_data::DatasetId;
 use cfx_metrics::{format_table, TableRow};
@@ -46,8 +46,9 @@ fn train_variant(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (dataset, config) = parse_cli(&args, DatasetId::Adult);
-    eprintln!("building harness for {} …", dataset.name());
-    let harness = Harness::build(dataset, config);
+    init_telemetry(&config);
+    cfx_obs::info!("building_harness", dataset = dataset.name());
+    let harness = Harness::build(dataset, config.clone());
 
     // 1 + 3: sparsity and immutability toggles.
     let mut rows = Vec::new();
@@ -83,4 +84,5 @@ fn main() {
     }
     println!("\nABLATION 4: latent-size sweep ({})", dataset.name());
     print!("{}", format_table("", &latent));
+    finish_telemetry(&config);
 }

@@ -8,6 +8,7 @@
 //! cargo run --release -p cfx-bench --bin figure123
 //! ```
 
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli};
 use cfx_manifold::Kde;
 use cfx_models::{BlackBox, BlackBoxConfig};
 use cfx_tensor::Tensor;
@@ -18,6 +19,11 @@ const W: usize = 72;
 const H: usize = 26;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Shared flag handling for --trace-out/--prom-out/--help; the toy
+    // world ignores the dataset/size options.
+    let (_, tele_config) = parse_cli(&args, cfx_data::DatasetId::Adult);
+    init_telemetry(&tele_config);
     // Toy loan world: x = (income, savings) in [0,1]²; approved when a
     // nonlinear score clears a threshold.
     let mut rng = StdRng::seed_from_u64(4);
@@ -39,7 +45,10 @@ fn main() {
     let cfg = BlackBoxConfig { epochs: 60, ..Default::default() };
     let mut bb = BlackBox::new(2, &cfg);
     bb.train(&x, &y, &cfg);
-    eprintln!("toy classifier accuracy: {:.1}%", 100.0 * bb.accuracy(&x, &y));
+    cfx_obs::info!(
+        "toy_classifier_ready",
+        accuracy_pct = 100.0 * bb.accuracy(&x, &y),
+    );
 
     // The rejected individual of Figure 1.
     let applicant = [0.35f32, 0.30];
@@ -154,4 +163,5 @@ fn main() {
         }
         None => println!("\nno valid + feasible candidate in this draw"),
     }
+    finish_telemetry(&tele_config);
 }

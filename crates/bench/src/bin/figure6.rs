@@ -11,7 +11,7 @@
 //! cargo run --release -p cfx-bench --bin figure6 -- adult [--size quick|half|paper]
 //! ```
 
-use cfx_bench::{parse_cli, Harness};
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli, Harness};
 use cfx_core::ConstraintMode;
 use cfx_data::csv::points_to_csv;
 use cfx_data::DatasetId;
@@ -32,8 +32,9 @@ fn main() {
     let (dataset, mut config) = parse_cli(&args, DatasetId::Adult);
     config.eval_cap = config.eval_cap.max(PANEL_POINTS);
 
-    eprintln!("building harness for {} …", dataset.name());
-    let harness = Harness::build(dataset, config);
+    init_telemetry(&config);
+    cfx_obs::info!("building_harness", dataset = dataset.name());
+    let harness = Harness::build(dataset, config.clone());
     let model = harness.train_our_model(ConstraintMode::Unary);
 
     let take = PANEL_POINTS.min(harness.split.test.len());
@@ -66,7 +67,7 @@ fn main() {
         tsne_cfg.perplexity
     );
     for (i, (title, data, labels)) in panels.iter().enumerate() {
-        eprintln!("running t-SNE for panel {} …", i + 1);
+        cfx_obs::info!("tsne_panel_start", panel = i + 1);
         let emb = tsne(data, &tsne_cfg);
         let sep = knn_separability(&emb, labels, 10);
         println!("\npanel {}: {title}", i + 1);
@@ -120,4 +121,5 @@ fn main() {
         mean(&dens_inf),
         dens_inf.len()
     );
+    finish_telemetry(&config);
 }

@@ -12,7 +12,7 @@ use cfx_baselines::{
     BaselineContext, Cchvae, CchvaeConfig, Cem, CemConfig, CfMethod,
     DiceConfig, DiceRandom, Face, FaceConfig, Revise, ReviseConfig,
 };
-use cfx_bench::{parse_cli, Harness};
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli, Harness};
 use cfx_core::ConstraintMode;
 use cfx_data::DatasetId;
 use cfx_metrics::{manifold_distance, robustness, ynn};
@@ -21,8 +21,9 @@ use cfx_tensor::Tensor;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (dataset, config) = parse_cli(&args, DatasetId::Adult);
-    eprintln!("building harness for {} …", dataset.name());
-    let harness = Harness::build(dataset, config);
+    init_telemetry(&config);
+    cfx_obs::info!("building_harness", dataset = dataset.name());
+    let harness = Harness::build(dataset, config.clone());
     let x = harness.test_x();
     let train_x = harness.train_x();
     let train_pred = harness.blackbox.predict(&train_x);
@@ -82,4 +83,5 @@ fn main() {
          (lowest robustness); generative methods trade a little distance \
          for connected, robust counterfactuals."
     );
+    finish_telemetry(&config);
 }

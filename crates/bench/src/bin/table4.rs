@@ -14,7 +14,7 @@
 //! finished rows from disk and continues interrupted training
 //! bitwise-identically from the newest intact checkpoint.
 
-use cfx_bench::{parse_cli, Harness};
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli, Harness};
 use cfx_data::DatasetId;
 use cfx_metrics::{format_table, TableRow};
 use std::io::Write;
@@ -33,7 +33,7 @@ fn append_json(dataset: DatasetId, rows: &[TableRow]) {
         .append(true)
         .open(&path)
     else {
-        eprintln!("BENCH_JSON: cannot open {path}");
+        cfx_obs::warn!("bench_json_open_failed", path = path.as_str());
         return;
     };
     for r in rows {
@@ -65,6 +65,7 @@ fn main() {
     let all = args.iter().any(|a| a == "all");
     args.retain(|a| a != "all");
     let (dataset, config) = parse_cli(&args, DatasetId::Adult);
+    init_telemetry(&config);
 
     let datasets: Vec<DatasetId> =
         if all { DatasetId::ALL.to_vec() } else { vec![dataset] };
@@ -75,18 +76,21 @@ fn main() {
             DatasetId::KddCensus => "(b) KDD-Census Income dataset",
             DatasetId::LawSchool => "(c) Law School Dataset",
         };
-        eprintln!("building harness for {} …", ds.name());
+        cfx_obs::info!("building_harness", dataset = ds.name());
         let harness = Harness::build(ds, config.clone());
-        eprintln!(
-            "  {} cleaned rows, width {}, black-box val accuracy {:.1}%",
-            harness.data.len(),
-            harness.data.width(),
-            100.0 * harness.val_accuracy()
+        cfx_obs::info!(
+            "harness_ready",
+            dataset = ds.name(),
+            rows = harness.data.len(),
+            width = harness.data.width(),
+            val_accuracy_pct = 100.0 * harness.val_accuracy(),
         );
-        let rows = harness.run_table4(|line| eprintln!("  done: {line}"));
+        let rows =
+            harness.run_table4(|line| cfx_obs::info!("row_done", row = line));
         append_json(ds, &rows);
         println!("\nTABLE IV {sub}");
         print!("{}", format_table("", &rows));
         println!("* Unary Constraint model / ** Binary Constraint model");
     }
+    finish_telemetry(&config);
 }

@@ -12,7 +12,7 @@
 //! binary-constraint model) durable; `--resume` continues an interrupted
 //! run bitwise-identically from the newest intact checkpoint.
 
-use cfx_bench::{parse_cli, Harness};
+use cfx_bench::{finish_telemetry, init_telemetry, parse_cli, Harness};
 use cfx_core::{format_comparison, ConstraintMode};
 use cfx_data::DatasetId;
 
@@ -20,8 +20,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (_, config) = parse_cli(&args, DatasetId::Adult);
 
-    eprintln!("training the binary-constraint model on Adult …");
-    let harness = Harness::build(DatasetId::Adult, config);
+    init_telemetry(&config);
+    cfx_obs::info!("training_binary_constraint_model", dataset = "adult");
+    let harness = Harness::build(DatasetId::Adult, config.clone());
     let model = harness.train_our_model(ConstraintMode::Binary);
 
     let x = harness.test_x();
@@ -66,4 +67,5 @@ fn main() {
          marital single -> married, occupation professional -> white_collar,\n\
          race/gender unchanged (immutable)."
     );
+    finish_telemetry(&config);
 }

@@ -1,0 +1,159 @@
+//! Validates a `cfx-obs` JSONL trace file — the CI gate behind
+//! `--trace-out`.
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin trace_check -- trace.jsonl
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. every line parses as JSON (via the same zero-dependency parser
+//!    that wrote it);
+//! 2. every record carries `schema_version == 1`, a known `kind`
+//!    (`event`, `span_enter`, `span_exit`), and a non-empty `name`;
+//! 3. every `fit_epoch` event carries all four decomposed loss
+//!    components (`validity`, `proximity`, `feasibility`, `sparsity`)
+//!    plus `total` as finite numbers;
+//! 4. `fit_epoch` epochs are monotonically increasing within each
+//!    training run (grouped by enclosing span id, falling back to the
+//!    emitting thread).
+//!
+//! Prints a one-line summary and exits non-zero on the first class of
+//! failure found, so a CI job can simply run it after a traced bench.
+
+use cfx_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const LOSS_COMPONENTS: [&str; 5] =
+    ["total", "validity", "proximity", "feasibility", "sparsity"];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut records = 0usize;
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    let mut fit_epochs = 0usize;
+    let mut errors = 0usize;
+    // Training-run key -> last epoch seen (monotonicity check).
+    let mut last_epoch: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("line {lineno}: not valid JSON: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        records += 1;
+
+        match doc.get("schema_version").and_then(Value::as_u64) {
+            Some(v) if v == cfx_obs::SCHEMA_VERSION => {}
+            other => {
+                eprintln!(
+                    "line {lineno}: schema_version {other:?}, expected {}",
+                    cfx_obs::SCHEMA_VERSION
+                );
+                errors += 1;
+                continue;
+            }
+        }
+        let kind = doc.get("kind").and_then(Value::as_str).unwrap_or("");
+        match kind {
+            "event" => events += 1,
+            "span_enter" | "span_exit" => spans += 1,
+            other => {
+                eprintln!("line {lineno}: unknown kind {other:?}");
+                errors += 1;
+                continue;
+            }
+        }
+        let name = doc.get("name").and_then(Value::as_str).unwrap_or("");
+        if name.is_empty() {
+            eprintln!("line {lineno}: missing or empty name");
+            errors += 1;
+            continue;
+        }
+        if doc.get("mono_ns").and_then(Value::as_u64).is_none() {
+            eprintln!("line {lineno}: missing mono_ns");
+            errors += 1;
+            continue;
+        }
+
+        if kind == "event" && name == "fit_epoch" {
+            fit_epochs += 1;
+            let fields = doc.get("fields").cloned().unwrap_or(Value::Null);
+            for comp in LOSS_COMPONENTS {
+                match fields.get(comp).and_then(Value::as_f64) {
+                    Some(v) if v.is_finite() => {}
+                    _ => {
+                        eprintln!(
+                            "line {lineno}: fit_epoch missing finite \
+                             loss component {comp:?}"
+                        );
+                        errors += 1;
+                    }
+                }
+            }
+            let Some(epoch) = fields.get("epoch").and_then(Value::as_u64)
+            else {
+                eprintln!("line {lineno}: fit_epoch missing epoch");
+                errors += 1;
+                continue;
+            };
+            // Group by the enclosing fit span when present so two runs
+            // in one process don't trip the monotonicity check.
+            let run = match doc.get("span").and_then(Value::as_u64) {
+                Some(s) => format!("span:{s}"),
+                None => format!(
+                    "thread:{}",
+                    doc.get("thread").and_then(Value::as_u64).unwrap_or(0)
+                ),
+            };
+            match last_epoch.get(&run) {
+                Some(&prev) if epoch <= prev => {
+                    eprintln!(
+                        "line {lineno}: fit_epoch epoch {epoch} not \
+                         monotone (previous {prev}) in run {run}"
+                    );
+                    errors += 1;
+                }
+                _ => {
+                    last_epoch.insert(run, epoch);
+                }
+            }
+        }
+    }
+
+    println!(
+        "trace_check: {records} records ({events} events, {spans} span \
+         records, {fit_epochs} fit_epoch), {errors} errors"
+    );
+    if records == 0 {
+        eprintln!("trace_check: trace is empty");
+        return ExitCode::FAILURE;
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -65,6 +65,12 @@ pub struct HarnessConfig {
     /// there and completed table rows are persisted, so a killed run
     /// restarted with `resume` continues from the last durable state.
     pub checkpoint: CheckpointConfig,
+    /// `--trace-out PATH`: JSONL telemetry sink; also arms the op-level
+    /// tape profiler (see [`init_telemetry`]).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// `--prom-out PATH`: write a Prometheus text-format metrics
+    /// snapshot at end of run (see [`finish_telemetry`]).
+    pub prom_out: Option<std::path::PathBuf>,
 }
 
 impl Default for HarnessConfig {
@@ -75,6 +81,8 @@ impl Default for HarnessConfig {
             eval_cap: 500,
             blackbox_epochs: 12,
             checkpoint: CheckpointConfig::disabled(),
+            trace_out: None,
+            prom_out: None,
         }
     }
 }
@@ -104,6 +112,11 @@ impl Harness {
     /// Builds the pipeline for one dataset: generate, encode, split, train
     /// the black box on the train split.
     pub fn build(dataset: DatasetId, config: HarnessConfig) -> Harness {
+        let _span = cfx_obs::span!(
+            "harness_build",
+            dataset = dataset.name(),
+            seed = config.seed,
+        );
         let raw = dataset.generate(config.size.raw_count(dataset), config.seed);
         let data = EncodedDataset::from_raw(&raw);
         let split = Split::paper(data.len(), config.seed);
@@ -427,12 +440,24 @@ usage: <bin> [dataset] [options]
                          intact checkpoint instead of starting over;
                          corrupt files are quarantined (*.corrupt) and
                          the run falls back to the last good state
+  --trace-out PATH       append structured telemetry (spans, per-epoch
+                         losses, recovery events) as JSONL to PATH and
+                         arm the op-level tape profiler; an end-of-run
+                         top-N op profile is printed to stderr.
+                         CFX_TRACE=PATH is the env equivalent
+  --prom-out PATH        write a Prometheus text-format metrics snapshot
+                         (training gauges, explain tallies, pool + op
+                         stats) to PATH at end of run, atomically
   --help                 print this message
+
+Telemetry never perturbs results: outputs are bitwise identical with
+and without --trace-out/CFX_TRACE.
 ";
 
 /// Parses common CLI args: `[dataset] [--size quick|half|paper]
-/// [--seed N] [--eval N] [--checkpoint-dir DIR] [--resume]`. Returns
-/// `(dataset, config)`. `--help` prints [`CLI_USAGE`] and exits.
+/// [--seed N] [--eval N] [--checkpoint-dir DIR] [--resume]
+/// [--trace-out PATH] [--prom-out PATH]`. Returns `(dataset, config)`.
+/// `--help` prints [`CLI_USAGE`] and exits.
 pub fn parse_cli(
     args: &[String],
     default_dataset: DatasetId,
@@ -462,6 +487,14 @@ pub fn parse_cli(
                 ckpt_dir = Some(args[i].clone());
             }
             "--resume" => resume = true,
+            "--trace-out" => {
+                i += 1;
+                config.trace_out = Some(std::path::PathBuf::from(&args[i]));
+            }
+            "--prom-out" => {
+                i += 1;
+                config.prom_out = Some(std::path::PathBuf::from(&args[i]));
+            }
             "--help" | "-h" => {
                 print!("{CLI_USAGE}");
                 std::process::exit(0);
@@ -481,6 +514,46 @@ pub fn parse_cli(
         None => assert!(!resume, "--resume requires --checkpoint-dir"),
     }
     (dataset, config)
+}
+
+/// Wires up telemetry for a bench-bin run: honors `CFX_TRACE` (env),
+/// then `--trace-out` (opens the JSONL sink and arms the op-level tape
+/// profiler). Call once after [`parse_cli`], before building harnesses.
+pub fn init_telemetry(config: &HarnessConfig) {
+    if !cfx_obs::ENABLED {
+        return;
+    }
+    if let Err(e) = cfx_obs::init_from_env() {
+        panic!("CFX_TRACE: cannot open trace sink: {e}");
+    }
+    if let Some(path) = &config.trace_out {
+        cfx_obs::init_jsonl(path)
+            .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display()));
+        cfx_tensor::profile::set_enabled(true);
+    }
+}
+
+/// Finishes a bench-bin run: exports op/pool/thread stats as gauges,
+/// writes the `--prom-out` snapshot (atomically), prints the
+/// human-readable top-N op profile to stderr when the profiler was
+/// armed, and flushes + closes the JSONL sink.
+pub fn finish_telemetry(config: &HarnessConfig) {
+    if !cfx_obs::ENABLED {
+        return;
+    }
+    cfx_tensor::profile::export_metrics();
+    if let Some(path) = &config.prom_out {
+        cfx_obs::metrics::write_prometheus(path)
+            .unwrap_or_else(|e| panic!("--prom-out {}: {e}", path.display()));
+        cfx_obs::info!("prometheus_written", path = path.display().to_string());
+    }
+    if cfx_tensor::profile::enabled() {
+        let report = cfx_tensor::profile::report(10);
+        if !report.is_empty() {
+            cfx_obs::stderr_block(&report);
+        }
+    }
+    cfx_obs::close_jsonl();
 }
 
 #[cfg(test)]

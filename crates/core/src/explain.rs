@@ -145,6 +145,8 @@ impl FeasibleCfModel {
         x: &Tensor,
         recovery: &GenRecoveryConfig,
     ) -> ExplanationBatch {
+        let timer = cfx_obs::Timer::start();
+        let _span = cfx_obs::span!("explain_batch", rows = x.rows());
         let cf = self.counterfactuals(x);
         let input_classes = self.blackbox().predict(x);
         let cf_classes = self.blackbox().predict(&cf);
@@ -226,7 +228,34 @@ impl FeasibleCfModel {
         if !fallback.is_empty() {
             self.fallback_fill(x, &fallback, &mut examples);
         }
-        ExplanationBatch { examples }
+        let batch = ExplanationBatch { examples };
+        if cfx_obs::ENABLED {
+            let counts = batch.provenance_counts();
+            let rows = batch.examples.len();
+            let dur_ns = timer.elapsed_ns();
+            let ns_per_cf = dur_ns / rows.max(1) as u64;
+            cfx_obs::event!(
+                "explain_batch",
+                rows = rows,
+                first_shot = counts.first_shot,
+                resampled = counts.resampled,
+                fallback = counts.fallback,
+                dur_ns = dur_ns,
+                ns_per_cf = ns_per_cf,
+            );
+            use cfx_obs::metrics::{counter, histogram};
+            counter("cfx_explain_rows_total").inc(rows as u64);
+            counter("cfx_explain_first_shot_total").inc(counts.first_shot as u64);
+            counter("cfx_explain_resampled_total").inc(counts.resampled as u64);
+            counter("cfx_explain_fallback_total").inc(counts.fallback as u64);
+            // Per-counterfactual latency, bucketed 10µs .. 1s.
+            histogram(
+                "cfx_explain_cf_latency_ns",
+                &[1e4, 1e5, 1e6, 1e7, 1e8, 1e9],
+            )
+            .observe(ns_per_cf as f64);
+        }
+        batch
     }
 
     /// Overwrites `examples[r]` for each `r` in `rows` with the nearest

@@ -320,6 +320,8 @@ impl FeasibleCfModel {
         if cfg.epochs == 0 {
             return Ok(report);
         }
+        let _fit_span =
+            cfx_obs::span!("fit", epochs = cfg.epochs, rows = n, seed = cfg.seed);
         let mut lr = cfg.learning_rate;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17);
         let mut opt = Adam::with_lr(lr);
@@ -347,6 +349,12 @@ impl FeasibleCfModel {
                         &mut opt,
                         &mut rng,
                     )?;
+                    cfx_obs::event!(
+                        "fit_resumed",
+                        epoch = epoch,
+                        retries = report.retries,
+                        lr = lr,
+                    );
                 }
             }
         }
@@ -367,6 +375,7 @@ impl FeasibleCfModel {
             let anneal =
                 ((epoch as f32 + 1.0) / (cfg.epochs as f32 / 2.0)).min(1.0);
             let mut sums = [0.0f32; 6];
+            let mut grad_norm_sum = 0.0f32;
             let mut batches = 0usize;
             let mut fault = None;
             for chunk in order.chunks(cfg.batch_size) {
@@ -375,13 +384,14 @@ impl FeasibleCfModel {
                     self.train_batch(&xb, &mut tape, &mut opt, &mut rng, anneal);
                 xb.recycle();
                 match step {
-                    Ok(stats) => {
+                    Ok((stats, grad_norm)) => {
                         sums[0] += stats.total;
                         sums[1] += stats.validity;
                         sums[2] += stats.proximity;
                         sums[3] += stats.feasibility;
                         sums[4] += stats.sparsity;
                         sums[5] += stats.kl;
+                        grad_norm_sum += grad_norm;
                         batches += 1;
                     }
                     Err(f) => {
@@ -412,6 +422,15 @@ impl FeasibleCfModel {
                 self.vae.import_params(&best_snapshot);
                 report.retries += 1;
                 lr *= watchdog.lr_backoff;
+                cfx_obs::warn!(
+                    "watchdog_rollback",
+                    epoch = epoch,
+                    retry = report.retries,
+                    fault = format!("{f:?}"),
+                    lr = lr,
+                );
+                cfx_obs::metrics::counter("cfx_watchdog_rollbacks_total")
+                    .inc(1);
                 report.events.push(RecoveryEvent {
                     epoch,
                     retry: report.retries,
@@ -420,6 +439,11 @@ impl FeasibleCfModel {
                 });
                 if report.retries > watchdog.max_retries {
                     report.status = TrainStatus::Exhausted;
+                    cfx_obs::warn!(
+                        "watchdog_exhausted",
+                        epoch = epoch,
+                        retries = report.retries,
+                    );
                     return Ok(report);
                 }
                 // Fresh optimizer moments (the old ones averaged corrupt
@@ -452,6 +476,30 @@ impl FeasibleCfModel {
             }
 
             on_epoch(epoch, &stats);
+            cfx_obs::event!(
+                "fit_epoch",
+                epoch = epoch,
+                total = stats.total,
+                validity = stats.validity,
+                proximity = stats.proximity,
+                feasibility = stats.feasibility,
+                sparsity = stats.sparsity,
+                kl = stats.kl,
+                lr = lr,
+                grad_norm = grad_norm_sum / b,
+                batches = batches,
+            );
+            if cfx_obs::ENABLED {
+                use cfx_obs::metrics::{counter, gauge};
+                gauge("cfx_train_loss_total").set(stats.total as f64);
+                gauge("cfx_train_loss_validity").set(stats.validity as f64);
+                gauge("cfx_train_loss_proximity").set(stats.proximity as f64);
+                gauge("cfx_train_loss_feasibility")
+                    .set(stats.feasibility as f64);
+                gauge("cfx_train_loss_sparsity").set(stats.sparsity as f64);
+                gauge("cfx_train_lr").set(lr as f64);
+                counter("cfx_train_epochs_total").inc(1);
+            }
             report.history.push(stats);
             if stats.total < best_total {
                 best_total = stats.total;
@@ -482,6 +530,11 @@ impl FeasibleCfModel {
             }
             if budget_hit {
                 report.status = TrainStatus::Paused;
+                cfx_obs::event!(
+                    "fit_paused",
+                    epoch = epoch,
+                    retries = report.retries,
+                );
                 return Ok(report);
             }
         }
@@ -490,6 +543,15 @@ impl FeasibleCfModel {
         } else {
             TrainStatus::Completed
         };
+        cfx_obs::event!(
+            "fit_done",
+            epochs = report.history.len(),
+            retries = report.retries,
+            status = match report.status {
+                TrainStatus::Recovered => "recovered",
+                _ => "completed",
+            },
+        );
         Ok(report)
     }
 
@@ -645,7 +707,7 @@ impl FeasibleCfModel {
         opt: &mut Adam,
         rng: &mut StdRng,
         kl_anneal: f32,
-    ) -> Result<EpochStats, FaultDetected> {
+    ) -> Result<(EpochStats, f32), FaultDetected> {
         let n = xb.rows();
         // Desired class = opposite of the black box's current prediction.
         let preds = self.blackbox.predict(xb);
@@ -697,10 +759,10 @@ impl FeasibleCfModel {
         if !guard::all_finite(&tape.grads_of(&pv)) {
             return Err(FaultDetected::NonFiniteGrad);
         }
-        tape.clip_grads(&pv, 5.0);
+        let grad_norm = tape.clip_grads(&pv, 5.0);
         let grads = tape.grads_of(&pv);
         opt.step_refs(&mut self.vae, &grads);
-        Ok(stats)
+        Ok((stats, grad_norm))
     }
 
     /// Generates one counterfactual per row of `x`, deterministically

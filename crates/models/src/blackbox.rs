@@ -130,6 +130,12 @@ impl BlackBox {
         // pool, so steady-state steps train without fresh heap allocations.
         let mut tape = Tape::new();
         let mut pv = Vec::new();
+        let _span = cfx_obs::span!(
+            "blackbox_train",
+            epochs = config.epochs,
+            rows = n,
+            start_epoch = epoch,
+        );
         while epoch < config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
@@ -152,6 +158,12 @@ impl BlackBox {
             }
             let mean = total / batches.max(1) as f32;
             epoch_losses.push(mean);
+            cfx_obs::event!(
+                "blackbox_epoch",
+                epoch = epoch,
+                loss = mean,
+                batches = batches,
+            );
             epoch += 1;
             if let Some(mgr) = manager.as_mut() {
                 if epoch % every == 0 || epoch == config.epochs {

@@ -1,0 +1,290 @@
+//! Output sinks: the append-only JSONL event log, the formatted stderr
+//! subscriber, and the crash-safe atomic file writer used by the
+//! Prometheus snapshot exporter.
+//!
+//! One mutex guards the JSONL writer; every line is flushed as soon as
+//! it is written so a crashed process leaves a valid (possibly
+//! truncated-by-whole-lines) log behind. Cheap `AtomicBool`s gate the
+//! hot path so instrumented code pays one relaxed load when no sink is
+//! open.
+
+use crate::{json, span, FieldValue, ENABLED, SCHEMA_VERSION};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Severity of an emitted record. `Trace` goes to JSONL only;
+/// `Info`/`Warn` additionally print one formatted stderr line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// High-frequency telemetry (per-epoch, per-batch, per-op).
+    Trace,
+    /// Operator-facing progress notices.
+    Info,
+    /// Recoverable anomalies: rollbacks, quarantines, injected faults.
+    Warn,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+static JSONL: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+static JSONL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static STDERR_ACTIVE: AtomicBool = AtomicBool::new(true);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn clock_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-local monotonic origin (first call).
+/// Shared by all records so a trace file is internally orderable.
+pub fn mono_ns() -> u64 {
+    clock_origin().elapsed().as_nanos() as u64
+}
+
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// `true` iff a JSONL sink is open (always `false` when compiled out).
+#[inline]
+pub fn jsonl_active() -> bool {
+    ENABLED && JSONL_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// `true` iff the stderr subscriber is on.
+#[inline]
+pub fn stderr_active() -> bool {
+    ENABLED && STDERR_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// `true` iff `info!`/`warn!` have anywhere to go.
+#[inline]
+pub fn log_active() -> bool {
+    jsonl_active() || stderr_active()
+}
+
+/// Turns the formatted stderr subscriber on or off (on by default).
+pub fn set_stderr(on: bool) {
+    STDERR_ACTIVE.store(on, Ordering::Relaxed);
+}
+
+/// Opens (or switches to) an append-mode JSONL sink at `path`,
+/// creating parent directories. Anchors the monotonic clock if this is
+/// the first telemetry call.
+pub fn init_jsonl(path: &Path) -> io::Result<()> {
+    if !ENABLED {
+        return Ok(());
+    }
+    clock_origin();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    *JSONL.lock().unwrap() = Some(BufWriter::new(file));
+    JSONL_ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes, fsyncs and closes the JSONL sink (no-op if none is open).
+pub fn close_jsonl() {
+    let mut guard = JSONL.lock().unwrap();
+    JSONL_ACTIVE.store(false, Ordering::Relaxed);
+    if let Some(mut w) = guard.take() {
+        let _ = w.flush();
+        let _ = w.get_ref().sync_all();
+    }
+}
+
+/// Configures sinks from the `CFX_TRACE` environment variable:
+///
+/// * unset or empty — nothing happens, returns `Ok(false)`;
+/// * `1` or `stderr` — tracing requested without a file (the tape
+///   profiler arms itself off the same variable), returns `Ok(true)`;
+/// * anything else — treated as a JSONL output path, returns `Ok(true)`.
+pub fn init_from_env() -> io::Result<bool> {
+    if !ENABLED {
+        return Ok(false);
+    }
+    match std::env::var("CFX_TRACE") {
+        Ok(v) if !v.is_empty() => {
+            if v != "1" && v != "stderr" {
+                init_jsonl(Path::new(&v))?;
+            }
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Emits one structured record. Prefer the [`crate::event!`],
+/// [`crate::info!`] and [`crate::warn!`] macros, which gate field
+/// evaluation on an active sink.
+pub fn emit_event(name: &str, level: Level, fields: &[(&str, FieldValue)]) {
+    if !ENABLED {
+        return;
+    }
+    write_record("event", name, level, span::current_span(), None, None, fields);
+    if level != Level::Trace && stderr_active() {
+        let mut line = String::with_capacity(96);
+        line.push_str("cfx[");
+        line.push_str(level.as_str());
+        line.push_str("] ");
+        line.push_str(name);
+        for (key, value) in fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{v}"));
+                }
+                FieldValue::I64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{v}"));
+                }
+                FieldValue::F64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{v}"));
+                }
+                FieldValue::Bool(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{v}"));
+                }
+                FieldValue::Str(s) => {
+                    if s.contains([' ', '"', '\n']) {
+                        json::write_str(&mut line, s);
+                    } else {
+                        line.push_str(s);
+                    }
+                }
+            }
+        }
+        line.push('\n');
+        let _ = io::stderr().lock().write_all(line.as_bytes());
+    }
+}
+
+pub(crate) fn emit_span_enter(
+    id: u64,
+    parent: Option<u64>,
+    name: &str,
+    fields: &[(&str, FieldValue)],
+) {
+    write_record("span_enter", name, Level::Trace, Some(id), parent, None, fields);
+}
+
+pub(crate) fn emit_span_exit(id: u64, name: &str, dur_ns: u64) {
+    write_record("span_exit", name, Level::Trace, Some(id), None, Some(dur_ns), &[]);
+}
+
+fn write_record(
+    kind: &str,
+    name: &str,
+    level: Level,
+    span: Option<u64>,
+    parent: Option<u64>,
+    dur_ns: Option<u64>,
+    fields: &[(&str, FieldValue)],
+) {
+    use std::fmt::Write as _;
+    if !JSONL_ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut line = String::with_capacity(160);
+    let _ = write!(line, "{{\"schema_version\":{SCHEMA_VERSION},\"kind\":\"{kind}\",\"name\":");
+    json::write_str(&mut line, name);
+    let _ = write!(line, ",\"mono_ns\":{},\"thread\":{}", mono_ns(), thread_id());
+    if level != Level::Trace {
+        let _ = write!(line, ",\"level\":\"{}\"", level.as_str());
+    }
+    if let Some(id) = span {
+        let _ = write!(line, ",\"span\":{id}");
+    }
+    if let Some(id) = parent {
+        let _ = write!(line, ",\"parent\":{id}");
+    }
+    if let Some(ns) = dur_ns {
+        let _ = write!(line, ",\"dur_ns\":{ns}");
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        json::write_str(&mut line, key);
+        line.push(':');
+        match value {
+            FieldValue::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::F64(v) => json::write_f64(&mut line, *v),
+            FieldValue::Bool(v) => {
+                let _ = write!(line, "{v}");
+            }
+            FieldValue::Str(s) => json::write_str(&mut line, s),
+        }
+    }
+    line.push_str("}}\n");
+    let mut guard = JSONL.lock().unwrap();
+    if let Some(w) = guard.as_mut() {
+        // Per-line flush: a crash loses at most the current line, and
+        // concurrent emitters serialize on the mutex so lines never
+        // interleave.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Prints a preformatted multi-line block (e.g. the end-of-run profile
+/// report) to stderr, respecting the subscriber on/off switch.
+pub fn stderr_block(text: &str) {
+    if !stderr_active() {
+        return;
+    }
+    let _ = io::stderr().lock().write_all(text.as_bytes());
+}
+
+/// Crash-consistent whole-file write: temp sibling → fsync → rename →
+/// parent-dir fsync. Same discipline as `cfx_tensor::checkpoint`,
+/// reimplemented here because `cfx-obs` sits below every other crate.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => PathBuf::from(p),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&parent)?;
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = parent.join(format!(".{stem}.tmp-{}", std::process::id()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Ok(dir) = File::open(&parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}

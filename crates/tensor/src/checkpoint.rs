@@ -639,11 +639,20 @@ impl CheckpointManager {
         let bytes = ckpt.encode();
         let path = self.step_path(step);
         write_bytes_atomic(&path, &bytes)?;
-        if loss < self.best_loss {
+        let best = loss < self.best_loss;
+        if best {
             self.best_loss = loss;
             write_bytes_atomic(&self.best_path(), &bytes)?;
         }
         self.retain()?;
+        cfx_obs::event!(
+            "checkpoint_saved",
+            path = path.display().to_string(),
+            step = step,
+            loss = loss,
+            bytes = bytes.len() as u64,
+            best = best,
+        );
         Ok(path)
     }
 
@@ -657,10 +666,11 @@ impl CheckpointManager {
             match Checkpoint::read(&path) {
                 Ok(ckpt) => return Ok(Some((step, ckpt))),
                 Err(CfxError::Corrupt(detail)) => {
-                    eprintln!(
-                        "checkpoint {}: {detail}; quarantining and falling \
-                         back to the previous checkpoint",
-                        path.display()
+                    cfx_obs::warn!(
+                        "checkpoint_quarantined",
+                        path = path.display().to_string(),
+                        detail = detail,
+                        fallback = "previous_checkpoint",
                     );
                     quarantine(&path);
                 }
@@ -684,9 +694,11 @@ impl CheckpointManager {
                 Ok(Some((loss, ckpt)))
             }
             Err(CfxError::Corrupt(detail)) => {
-                eprintln!(
-                    "best checkpoint {}: {detail}; quarantining",
-                    path.display()
+                cfx_obs::warn!(
+                    "checkpoint_quarantined",
+                    path = path.display().to_string(),
+                    detail = detail,
+                    which = "best",
                 );
                 quarantine(&path);
                 Ok(None)
@@ -763,7 +775,9 @@ fn env_crash() -> Option<(String, u64)> {
 pub fn crash_point(stage: &str, index: u64) {
     if let Some((s, i)) = env_crash() {
         if s == stage && i == index {
-            eprintln!("CFX_CRASH: simulated kill at {stage}@{index}");
+            cfx_obs::warn!("simulated_crash", stage = stage, index = index);
+            // The stderr subscriber writes unbuffered and the JSONL
+            // sink flushes per line, so the notice lands before exit.
             std::process::exit(CRASH_EXIT_CODE);
         }
     }

@@ -110,6 +110,41 @@ enum Op {
     },
 }
 
+impl Op {
+    fn kind(&self) -> crate::profile::OpKind {
+        use crate::profile::OpKind as K;
+        match self {
+            Op::Leaf => K::Leaf,
+            Op::Matmul(..) => K::Matmul,
+            Op::Add(..) => K::Add,
+            Op::AddRow(..) => K::AddRow,
+            Op::Sub(..) => K::Sub,
+            Op::Mul(..) => K::Mul,
+            Op::Div(..) => K::Div,
+            Op::Neg(..) => K::Neg,
+            Op::Scale(..) => K::Scale,
+            Op::AddScalar(..) => K::AddScalar,
+            Op::Relu(..) => K::Relu,
+            Op::Sigmoid(..) => K::Sigmoid,
+            Op::Tanh(..) => K::Tanh,
+            Op::Softplus(..) => K::Softplus,
+            Op::Exp(..) => K::Exp,
+            Op::Abs(..) => K::Abs,
+            Op::Square(..) => K::Square,
+            Op::Dropout(..) => K::Dropout,
+            Op::ConcatCols(..) => K::ConcatCols,
+            Op::SliceCols(..) => K::SliceCols,
+            Op::Sum(..) => K::Sum,
+            Op::Mean(..) => K::Mean,
+            Op::BceWithLogits(..) => K::BceWithLogits,
+            Op::Hinge(..) => K::Hinge,
+            Op::SigmoidBce { .. } => K::SigmoidBce,
+            Op::Affine { relu: false, .. } => K::Affine,
+            Op::Affine { relu: true, .. } => K::AffineRelu,
+        }
+    }
+}
+
 /// Target operand of a fused [`Op::SigmoidBce`] node: an owned copy, or
 /// a reference to another tape node (avoiding any per-step copy).
 #[derive(Debug, Clone)]
@@ -173,16 +208,33 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
+    /// [`Tape::push`] plus forward-time accounting for the op profiler
+    /// ([`crate::profile`]). Each constructor starts its timer before
+    /// the forward compute; the timer is inert — the unit type — unless
+    /// the `obs` feature is on and tracing is armed, so this adds no
+    /// tape nodes and never perturbs op indices or values.
+    fn push_profiled(
+        &mut self,
+        t: crate::profile::OpTimer,
+        value: Tensor,
+        op: Op,
+    ) -> Var {
+        crate::profile::record_forward(op.kind(), t);
+        self.push(value, op)
+    }
+
     /// Registers a leaf (input or parameter). Gradients accumulate here.
     pub fn leaf(&mut self, value: Tensor) -> Var {
-        self.push(value, Op::Leaf)
+        let _t = crate::profile::op_start();
+        self.push_profiled(_t, value, Op::Leaf)
     }
 
     /// Registers a leaf holding a pooled copy of `value` — the
     /// zero-allocation sibling of [`Tape::leaf`] for parameters and
     /// conditioning inputs re-registered on every training step.
     pub fn leaf_copy(&mut self, value: &Tensor) -> Var {
-        self.push(value.clone_pooled(), Op::Leaf)
+        let _t = crate::profile::op_start();
+        self.push_profiled(_t, value.clone_pooled(), Op::Leaf)
     }
 
     /// Clears the tape, returning every buffer it owns — forward values,
@@ -193,6 +245,9 @@ impl Tape {
     /// reaches a steady state where every tensor the step materialises
     /// is a pool hit: zero heap allocations (see `pool::stats`).
     pub fn reset(&mut self) {
+        // Natural once-per-step point to publish this thread's op
+        // timings (no-op unless the profiler is armed).
+        crate::profile::flush_thread();
         for node in self.nodes.drain(..) {
             node.value.recycle();
             if let Some(g) = node.grad {
@@ -274,18 +329,21 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).matmul_pooled(self.value(b));
-        self.push(value, Op::Matmul(a, b))
+        self.push_profiled(_t, value, Op::Matmul(a, b))
     }
 
     /// Element-wise sum of two same-shaped nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).zip_pooled(self.value(b), |x, y| x + y);
-        self.push(value, Op::Add(a, b))
+        self.push_profiled(_t, value, Op::Add(a, b))
     }
 
     /// Adds a `(1, n)` row (e.g. a bias) to every row of `a`.
     pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let (rows, cols) = self.shape(a);
         assert_eq!(self.shape(b), (1, cols), "add_row expects a (1,n) rhs");
         let mut value = self.value(a).clone_pooled();
@@ -298,85 +356,98 @@ impl Tape {
                 *v += x;
             }
         }
-        self.push(value, Op::AddRow(a, b))
+        self.push_profiled(_t, value, Op::AddRow(a, b))
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).zip_pooled(self.value(b), |x, y| x - y);
-        self.push(value, Op::Sub(a, b))
+        self.push_profiled(_t, value, Op::Sub(a, b))
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).zip_pooled(self.value(b), |x, y| x * y);
-        self.push(value, Op::Mul(a, b))
+        self.push_profiled(_t, value, Op::Mul(a, b))
     }
 
     /// Element-wise quotient.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).zip_pooled(self.value(b), |x, y| x / y);
-        self.push(value, Op::Div(a, b))
+        self.push_profiled(_t, value, Op::Div(a, b))
     }
 
     /// Element-wise negation.
     pub fn neg(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(|x| -x);
-        self.push(value, Op::Neg(a))
+        self.push_profiled(_t, value, Op::Neg(a))
     }
 
     /// Multiplies every element by the constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(|x| c * x);
-        self.push(value, Op::Scale(a, c))
+        self.push_profiled(_t, value, Op::Scale(a, c))
     }
 
     /// Adds the constant `c` to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(|x| x + c);
-        self.push(value, Op::AddScalar(a))
+        self.push_profiled(_t, value, Op::AddScalar(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(|x| x.max(0.0));
-        self.push(value, Op::Relu(a))
+        self.push_profiled(_t, value, Op::Relu(a))
     }
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(stable_sigmoid);
-        self.push(value, Op::Sigmoid(a))
+        self.push_profiled(_t, value, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(f32::tanh);
-        self.push(value, Op::Tanh(a))
+        self.push_profiled(_t, value, Op::Tanh(a))
     }
 
     /// Numerically stable `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(stable_softplus);
-        self.push(value, Op::Softplus(a))
+        self.push_profiled(_t, value, Op::Softplus(a))
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(f32::exp);
-        self.push(value, Op::Exp(a))
+        self.push_profiled(_t, value, Op::Exp(a))
     }
 
     /// Element-wise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(f32::abs);
-        self.push(value, Op::Abs(a))
+        self.push_profiled(_t, value, Op::Abs(a))
     }
 
     /// Element-wise square.
     pub fn square(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).map_pooled(|x| x * x);
-        self.push(value, Op::Square(a))
+        self.push_profiled(_t, value, Op::Square(a))
     }
 
     /// Inverted dropout: zeroes each element with probability `1 - keep`
@@ -385,35 +456,40 @@ impl Tape {
     /// The caller draws the mask (so randomness stays outside the tape);
     /// pass a mask of ones to disable dropout at evaluation time.
     pub fn dropout(&mut self, a: Var, mask01: &Tensor, keep: f32) -> Var {
+        let _t = crate::profile::op_start();
         assert!(keep > 0.0 && keep <= 1.0, "keep must be in (0, 1]");
         assert_eq!(self.shape(a), mask01.shape(), "dropout mask shape");
         let scaled = mask01.map_pooled(|m| m / keep);
         let value = self.value(a).zip_pooled(&scaled, |x, m| x * m);
-        self.push(value, Op::Dropout(a, scaled))
+        self.push_profiled(_t, value, Op::Dropout(a, scaled))
     }
 
     /// Horizontal concatenation `[a | b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).concat_cols_pooled(self.value(b));
-        self.push(value, Op::ConcatCols(a, b))
+        self.push_profiled(_t, value, Op::ConcatCols(a, b))
     }
 
     /// Copies out columns `[start, start+width)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
+        let _t = crate::profile::op_start();
         let value = self.value(a).slice_cols_pooled(start, width);
-        self.push(value, Op::SliceCols(a, start, width))
+        self.push_profiled(_t, value, Op::SliceCols(a, start, width))
     }
 
     /// Scalar sum of all elements.
     pub fn sum(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = Tensor::scalar_pooled(self.value(a).sum());
-        self.push(value, Op::Sum(a))
+        self.push_profiled(_t, value, Op::Sum(a))
     }
 
     /// Scalar mean of all elements.
     pub fn mean(&mut self, a: Var) -> Var {
+        let _t = crate::profile::op_start();
         let value = Tensor::scalar_pooled(self.value(a).mean());
-        self.push(value, Op::Mean(a))
+        self.push_profiled(_t, value, Op::Mean(a))
     }
 
     /// Mean binary cross-entropy between logits `a` and 0/1 `targets`.
@@ -421,6 +497,7 @@ impl Tape {
     /// Computed in the stable logits form
     /// `max(z,0) - z·t + ln(1 + e^{-|z|})`; gradient is `(σ(z) - t)/n`.
     pub fn bce_with_logits(&mut self, a: Var, targets: &Tensor) -> Var {
+        let _t = crate::profile::op_start();
         assert_eq!(self.shape(a), targets.shape(), "bce target shape");
         let z = self.value(a);
         let n = z.len() as f32;
@@ -430,7 +507,7 @@ impl Tape {
             .zip(targets.as_slice())
             .map(|(&z, &t)| z.max(0.0) - z * t + stable_softplus(-z.abs()))
             .sum();
-        self.push(
+        self.push_profiled(_t, 
             Tensor::scalar_pooled(total / n),
             Op::BceWithLogits(a, targets.clone_pooled()),
         )
@@ -458,6 +535,7 @@ impl Tape {
     }
 
     fn sigmoid_bce_impl(&mut self, z: Var, targets: SbTargets) -> Var {
+        let _t = crate::profile::op_start();
         let probs = self.value(z).map_pooled(stable_sigmoid);
         let zv = self.value(z).as_slice();
         let tv = match &targets {
@@ -470,7 +548,7 @@ impl Tape {
             .zip(tv)
             .map(|(&z, &t)| z.max(0.0) - z * t + stable_softplus(-z.abs()))
             .sum();
-        self.push(
+        self.push_profiled(_t, 
             Tensor::scalar_pooled(total / n),
             Op::SigmoidBce { z, probs, targets },
         )
@@ -481,6 +559,7 @@ impl Tape {
     /// This is the validity term of the paper's Eq. (3): it pushes the
     /// black-box logit of the counterfactual toward the desired class.
     pub fn hinge(&mut self, a: Var, labels: &Tensor, margin: f32) -> Var {
+        let _t = crate::profile::op_start();
         assert_eq!(self.shape(a), labels.shape(), "hinge label shape");
         let z = self.value(a);
         let n = z.len() as f32;
@@ -490,7 +569,7 @@ impl Tape {
             .zip(labels.as_slice())
             .map(|(&z, &y)| (margin - y * z).max(0.0))
             .sum();
-        self.push(
+        self.push_profiled(_t, 
             Tensor::scalar_pooled(total / n),
             Op::Hinge(a, labels.clone_pooled(), margin),
         )
@@ -515,6 +594,7 @@ impl Tape {
     }
 
     fn affine_impl(&mut self, x: Var, w: Var, b: Var, relu: bool) -> Var {
+        let _t = crate::profile::op_start();
         let rows = self.shape(x).0;
         let n = self.shape(w).1;
         assert_eq!(self.shape(b), (1, n), "affine expects a (1,n) bias");
@@ -531,7 +611,7 @@ impl Tape {
         if relu {
             value.map_inplace(|x| x.max(0.0));
         }
-        self.push(value, Op::Affine { x, w, b, relu })
+        self.push_profiled(_t, value, Op::Affine { x, w, b, relu })
     }
 
     // ---- composite helpers ----------------------------------------------
@@ -616,6 +696,7 @@ impl Tape {
             let (before, rest) = self.nodes.split_at_mut(i);
             let node = &rest[0];
             let Some(g) = node.grad.as_ref() else { continue };
+            let _t = crate::profile::op_start();
             match &node.op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
@@ -786,6 +867,7 @@ impl Tape {
                     }
                 }
             }
+            crate::profile::record_backward(node.op.kind(), _t);
         }
 
         // Leaves that did not participate still answer `grad` with zeros,

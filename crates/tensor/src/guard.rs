@@ -124,6 +124,11 @@ pub(crate) fn tamper(mut value: Tensor) -> Tensor {
                 *v = fault.value();
             }
             st.fired = true;
+            cfx_obs::event!(
+                "fault_injected",
+                op_index = fault.op_index,
+                kind = if fault.value().is_nan() { "nan" } else { "inf" },
+            );
         }
         st.count += 1;
         STATE.with(|s| s.set(Some(st)));

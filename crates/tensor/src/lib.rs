@@ -33,6 +33,7 @@ pub mod init;
 pub mod nn;
 pub mod optim;
 pub mod pool;
+pub mod profile;
 pub mod runtime;
 pub mod serialize;
 pub mod tensor;

@@ -1,0 +1,417 @@
+//! Op-level tape profiler: wall-clock time and invocation counts per
+//! [`OpKind`], for both forward construction and the backward sweep.
+//!
+//! Armed by `CFX_TRACE` (any non-empty value) or [`set_enabled`];
+//! behind the default-on `obs` feature. Timing is recorded into
+//! thread-local slots (no synchronization on the hot path) which are
+//! flushed into a process-global table whenever a tape is reset — the
+//! natural once-per-training-step point — or a [`snapshot`] is taken.
+//!
+//! The profiler only *times* op construction; it never adds, removes or
+//! reorders tape nodes, so fault-injection op indices (`CFX_FAULT`) and
+//! all numeric results are unchanged whether it is armed or not. With
+//! the `obs` feature off, every function here is a no-op and
+//! [`OpTimer`] is the unit type, so instrumented call sites compile to
+//! nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+#[cfg(feature = "obs")]
+use std::cell::RefCell;
+#[cfg(feature = "obs")]
+use std::sync::Mutex;
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+/// Profiling category of a tape op. Fused ops get their own kinds
+/// (`Affine` vs `AffineRelu`) so fusion wins stay visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)] // the variants mirror `graph::Op` one-to-one
+pub enum OpKind {
+    Leaf = 0,
+    Matmul,
+    Add,
+    AddRow,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Scale,
+    AddScalar,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Softplus,
+    Exp,
+    Abs,
+    Square,
+    Dropout,
+    ConcatCols,
+    SliceCols,
+    Sum,
+    Mean,
+    BceWithLogits,
+    Hinge,
+    SigmoidBce,
+    Affine,
+    AffineRelu,
+}
+
+impl OpKind {
+    /// Number of distinct kinds (table size).
+    pub const COUNT: usize = 27;
+
+    /// Stable snake_case name, used in reports and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Leaf => "leaf",
+            OpKind::Matmul => "matmul",
+            OpKind::Add => "add",
+            OpKind::AddRow => "add_row",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Neg => "neg",
+            OpKind::Scale => "scale",
+            OpKind::AddScalar => "add_scalar",
+            OpKind::Relu => "relu",
+            OpKind::Sigmoid => "sigmoid",
+            OpKind::Tanh => "tanh",
+            OpKind::Softplus => "softplus",
+            OpKind::Exp => "exp",
+            OpKind::Abs => "abs",
+            OpKind::Square => "square",
+            OpKind::Dropout => "dropout",
+            OpKind::ConcatCols => "concat_cols",
+            OpKind::SliceCols => "slice_cols",
+            OpKind::Sum => "sum",
+            OpKind::Mean => "mean",
+            OpKind::BceWithLogits => "bce_with_logits",
+            OpKind::Hinge => "hinge",
+            OpKind::SigmoidBce => "sigmoid_bce",
+            OpKind::Affine => "affine",
+            OpKind::AffineRelu => "affine_relu",
+        }
+    }
+
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    fn from_index(i: usize) -> OpKind {
+        const ALL: [OpKind; OpKind::COUNT] = [
+            OpKind::Leaf,
+            OpKind::Matmul,
+            OpKind::Add,
+            OpKind::AddRow,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Neg,
+            OpKind::Scale,
+            OpKind::AddScalar,
+            OpKind::Relu,
+            OpKind::Sigmoid,
+            OpKind::Tanh,
+            OpKind::Softplus,
+            OpKind::Exp,
+            OpKind::Abs,
+            OpKind::Square,
+            OpKind::Dropout,
+            OpKind::ConcatCols,
+            OpKind::SliceCols,
+            OpKind::Sum,
+            OpKind::Mean,
+            OpKind::BceWithLogits,
+            OpKind::Hinge,
+            OpKind::SigmoidBce,
+            OpKind::Affine,
+            OpKind::AffineRelu,
+        ];
+        ALL[i]
+    }
+}
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Whether the profiler is currently armed. The first call reads
+/// `CFX_TRACE` (any non-empty value arms it); [`set_enabled`]
+/// overrides. Always `false` with the `obs` feature off.
+#[inline]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "obs") {
+        return false;
+    }
+    ENV_INIT.call_once(|| {
+        let armed = std::env::var("CFX_TRACE")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        if armed {
+            PROFILING.store(true, Ordering::Relaxed);
+        }
+    });
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the profiler programmatically (e.g. from the bench
+/// harness on `--trace-out`). A no-op with the `obs` feature off.
+pub fn set_enabled(on: bool) {
+    let _ = enabled(); // settle the env default first so it can't override
+    PROFILING.store(on && cfg!(feature = "obs"), Ordering::Relaxed);
+}
+
+/// A pending forward timing. [`Option<Instant>`] when compiled in, the
+/// unit type when the `obs` feature is off (so call sites type-check
+/// but carry nothing).
+#[cfg(feature = "obs")]
+pub type OpTimer = Option<Instant>;
+/// A pending forward timing (inert: `obs` feature off).
+#[cfg(not(feature = "obs"))]
+pub type OpTimer = ();
+
+/// Starts timing one op construction; `None`/inert when disarmed.
+#[inline]
+pub fn op_start() -> OpTimer {
+    #[cfg(feature = "obs")]
+    {
+        if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    fwd_calls: u64,
+    fwd_ns: u64,
+    bwd_calls: u64,
+    bwd_ns: u64,
+}
+
+#[cfg(feature = "obs")]
+thread_local! {
+    static LOCAL: RefCell<[Slot; OpKind::COUNT]> =
+        const { RefCell::new([Slot { fwd_calls: 0, fwd_ns: 0, bwd_calls: 0, bwd_ns: 0 }; OpKind::COUNT]) };
+}
+
+#[cfg(feature = "obs")]
+static GLOBAL: Mutex<[Slot; OpKind::COUNT]> =
+    Mutex::new([Slot { fwd_calls: 0, fwd_ns: 0, bwd_calls: 0, bwd_ns: 0 }; OpKind::COUNT]);
+
+/// Credits a finished forward compute to `kind`.
+#[inline]
+pub fn record_forward(kind: OpKind, t: OpTimer) {
+    #[cfg(feature = "obs")]
+    if let Some(t0) = t {
+        let ns = t0.elapsed().as_nanos() as u64;
+        LOCAL.with(|l| {
+            let mut slots = l.borrow_mut();
+            let slot = &mut slots[kind as usize];
+            slot.fwd_calls += 1;
+            slot.fwd_ns += ns;
+        });
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (kind, t);
+    }
+}
+
+/// Credits one backward-sweep iteration to `kind`.
+#[inline]
+pub fn record_backward(kind: OpKind, t: OpTimer) {
+    #[cfg(feature = "obs")]
+    if let Some(t0) = t {
+        let ns = t0.elapsed().as_nanos() as u64;
+        LOCAL.with(|l| {
+            let mut slots = l.borrow_mut();
+            let slot = &mut slots[kind as usize];
+            slot.bwd_calls += 1;
+            slot.bwd_ns += ns;
+        });
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (kind, t);
+    }
+}
+
+/// Merges this thread's slots into the global table. Called from
+/// `Tape::reset` (once per training step) and from [`snapshot`]; cheap
+/// enough to call freely, a no-op when disarmed.
+pub fn flush_thread() {
+    #[cfg(feature = "obs")]
+    {
+        if !enabled() {
+            return;
+        }
+        LOCAL.with(|l| {
+            let mut local = l.borrow_mut();
+            let has_data = local
+                .iter()
+                .any(|s| s.fwd_calls != 0 || s.bwd_calls != 0);
+            if !has_data {
+                return;
+            }
+            let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+            for (g, s) in global.iter_mut().zip(local.iter_mut()) {
+                g.fwd_calls += s.fwd_calls;
+                g.fwd_ns += s.fwd_ns;
+                g.bwd_calls += s.bwd_calls;
+                g.bwd_ns += s.bwd_ns;
+                *s = Slot::default();
+            }
+        });
+    }
+}
+
+/// Zeroes the global table and this thread's slots.
+pub fn reset() {
+    #[cfg(feature = "obs")]
+    {
+        LOCAL.with(|l| *l.borrow_mut() = [Slot::default(); OpKind::COUNT]);
+        let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        *global = [Slot::default(); OpKind::COUNT];
+    }
+}
+
+/// Aggregated timings for one op kind.
+#[derive(Debug, Clone, Copy)]
+pub struct OpProfile {
+    /// Which op.
+    pub kind: OpKind,
+    /// Forward constructions recorded.
+    pub fwd_calls: u64,
+    /// Nanoseconds spent in forward compute.
+    pub fwd_ns: u64,
+    /// Backward-sweep iterations recorded.
+    pub bwd_calls: u64,
+    /// Nanoseconds spent in backward rules.
+    pub bwd_ns: u64,
+}
+
+impl OpProfile {
+    /// Forward + backward self time.
+    pub fn total_ns(&self) -> u64 {
+        self.fwd_ns + self.bwd_ns
+    }
+}
+
+/// Flushes the calling thread and returns all op kinds with any
+/// recorded activity, sorted by total self time, descending. Empty
+/// with the `obs` feature off. Note worker threads flush on their own
+/// tape resets; a snapshot taken mid-step may lag them by one step.
+pub fn snapshot() -> Vec<OpProfile> {
+    #[cfg(feature = "obs")]
+    {
+        flush_thread();
+        let global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<OpProfile> = global
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.fwd_calls != 0 || s.bwd_calls != 0)
+            .map(|(i, s)| OpProfile {
+                kind: OpKind::from_index(i),
+                fwd_calls: s.fwd_calls,
+                fwd_ns: s.fwd_ns,
+                bwd_calls: s.bwd_calls,
+                bwd_ns: s.bwd_ns,
+            })
+            .collect();
+        out.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()));
+        out
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Renders a human-readable top-`top_n` table of ops by self time (the
+/// end-of-run report the bench bins print). Empty string when nothing
+/// was recorded.
+pub fn report(top_n: usize) -> String {
+    use std::fmt::Write as _;
+    let profiles = snapshot();
+    if profiles.is_empty() {
+        return String::new();
+    }
+    let grand_total: u64 = profiles.iter().map(|p| p.total_ns()).sum();
+    let shown = profiles.len().min(top_n);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tape profile (top {shown} of {} op kinds by self time)",
+        profiles.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>11} {:>11} {:>11} {:>6}",
+        "op", "calls", "fwd_ms", "bwd_ms", "total_ms", "%"
+    );
+    for p in profiles.iter().take(top_n) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>11.2} {:>11.2} {:>11.2} {:>6.1}",
+            p.kind.name(),
+            p.fwd_calls,
+            p.fwd_ns as f64 / 1e6,
+            p.bwd_ns as f64 / 1e6,
+            p.total_ns() as f64 / 1e6,
+            100.0 * p.total_ns() as f64 / grand_total.max(1) as f64,
+        );
+    }
+    out
+}
+
+/// Exports the profile table plus pool and threading stats as
+/// Prometheus gauges (`cfx_op_*`, `cfx_pool_*`, `cfx_threads`). A
+/// no-op with the `obs` feature off.
+pub fn export_metrics() {
+    #[cfg(feature = "obs")]
+    {
+        for p in snapshot() {
+            let name = p.kind.name();
+            cfx_obs::metrics::gauge(&format!("cfx_op_{name}_calls")).set(p.fwd_calls as f64);
+            cfx_obs::metrics::gauge(&format!("cfx_op_{name}_fwd_ns")).set(p.fwd_ns as f64);
+            cfx_obs::metrics::gauge(&format!("cfx_op_{name}_bwd_ns")).set(p.bwd_ns as f64);
+        }
+        let pool = crate::pool::stats();
+        cfx_obs::metrics::gauge("cfx_pool_hits").set(pool.hits as f64);
+        cfx_obs::metrics::gauge("cfx_pool_misses").set(pool.misses as f64);
+        cfx_obs::metrics::gauge("cfx_pool_live_bytes").set(pool.live_bytes as f64);
+        cfx_obs::metrics::gauge("cfx_pool_peak_bytes").set(pool.peak_bytes as f64);
+        cfx_obs::metrics::gauge("cfx_threads").set(crate::runtime::max_threads() as f64);
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_armed_only() {
+        // Serialize against other profiler users in this binary.
+        reset();
+        set_enabled(false);
+        record_forward(OpKind::Matmul, op_start());
+        assert!(snapshot().is_empty());
+
+        set_enabled(true);
+        record_forward(OpKind::Matmul, op_start());
+        record_backward(OpKind::Matmul, op_start());
+        record_forward(OpKind::Add, op_start());
+        let snap = snapshot();
+        set_enabled(false);
+        let mm = snap.iter().find(|p| p.kind == OpKind::Matmul).unwrap();
+        assert_eq!(mm.fwd_calls, 1);
+        assert_eq!(mm.bwd_calls, 1);
+        assert!(snap.iter().any(|p| p.kind == OpKind::Add));
+        let text = report(5);
+        assert!(text.contains("matmul"), "{text}");
+        reset();
+    }
+}

@@ -43,9 +43,10 @@ pub fn max_threads() -> usize {
             Ok(v) => match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => n,
                 _ => {
-                    eprintln!(
-                        "CFX_THREADS={v:?} is not a positive integer; \
-                         falling back to available parallelism"
+                    cfx_obs::warn!(
+                        "cfx_threads_invalid",
+                        value = v.as_str(),
+                        fallback = "available_parallelism",
                     );
                     available()
                 }

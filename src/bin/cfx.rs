@@ -98,6 +98,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // CFX_TRACE=<path> makes any cfx invocation emit a JSONL trace.
+    if let Err(e) = cfx_obs::init_from_env() {
+        eprintln!("error: CFX_TRACE: {e}");
+        return ExitCode::from(2);
+    }
     match command {
         "run" => cmd_run(&args),
         "discover" => cmd_discover(&args),
@@ -108,28 +113,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    cfx_obs::close_jsonl();
     ExitCode::SUCCESS
 }
 
 /// Shared setup: generate, encode, split, train black box + CF model.
 fn setup(args: &Args) -> (EncodedDataset, Split, FeasibleCfModel) {
-    eprintln!(
-        "generating {} ({} raw rows, seed {}) …",
-        args.dataset.name(),
-        args.n,
-        args.seed
+    cfx_obs::info!(
+        "generating_dataset",
+        dataset = args.dataset.name(),
+        raw_rows = args.n,
+        seed = args.seed,
     );
     let raw = args.dataset.generate(args.n, args.seed);
     let data = EncodedDataset::from_raw(&raw);
     let split = Split::paper(data.len(), args.seed);
     let (x_train, y_train) = data.subset(&split.train);
 
-    eprintln!("training black box …");
+    cfx_obs::info!("training_black_box");
     let bb_cfg = BlackBoxConfig { seed: args.seed, ..Default::default() };
     let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
     blackbox.train(&x_train, &y_train, &bb_cfg);
 
-    eprintln!("training {} counterfactual model …", args.mode.label());
+    cfx_obs::info!("training_cf_model", mode = args.mode.label());
     let config = FeasibleCfConfig::paper(args.dataset, args.mode)
         .with_seed(args.seed)
         .with_step_budget_of(args.dataset, x_train.rows());
