@@ -6,19 +6,27 @@ use cfx_tensor::init::{randn_tensor, uniform_tensor};
 use cfx_tensor::{
     pool, runtime, Activation, Adam, Mlp, Module, Optimizer, Tape, Tensor,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 /// Thread counts swept by the kernel benches: the serial baseline plus
-/// the parallel layer at 2 and 4 workers. On a single-core runner the
-/// threaded variants measure the (small) scheduling overhead rather than
-/// a speedup; the JSON baseline records whichever machine ran it.
+/// the parallel layer at 2 and 4 workers. The cost-aware dispatcher
+/// (`runtime::dispatch_rows`) only actually spawns when a call clears
+/// `CFX_PAR_THRESHOLD` FLOPs per worker *and* the machine has the
+/// cores, so on a single-core runner t2/t4 should match t1 rather than
+/// measure scheduling overhead — a t2/t4 entry slower than its t1
+/// counterpart in a re-recorded BENCH_tensor.json is a regression.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
+    // The thread sweep compares entries against each other, so medians
+    // need to be tight: more samples than the tape-level groups.
+    group.sample_size(50);
     let mut rng = StdRng::seed_from_u64(0);
     for &(m, k, n) in &[
         (64usize, 32usize, 32usize),
@@ -28,6 +36,9 @@ fn bench_matmul(c: &mut Criterion) {
     ] {
         let a = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
         let b = uniform_tensor(k, n, -1.0, 1.0, &mut rng);
+        group.throughput(Throughput::Flops(cfx_tensor::kernel::gemm_flops(
+            m, k, n,
+        )));
         for threads in THREAD_SWEEP {
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!(
@@ -49,6 +60,7 @@ fn bench_matmul(c: &mut Criterion) {
 /// equivalents, at the batch/width shapes `Tape::backward` actually sees.
 fn bench_fused_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("fused");
+    group.sample_size(40);
     let mut rng = StdRng::seed_from_u64(7);
     for &(m, k, n) in &[(2048usize, 30usize, 20usize), (512, 512, 512)] {
         // dA = g @ Bᵀ with g: (m, n), B: (k, n).
@@ -57,6 +69,9 @@ fn bench_fused_kernels(c: &mut Criterion) {
         // dB = Aᵀ @ g with A: (m, k).
         let a = uniform_tensor(m, k, -1.0, 1.0, &mut rng);
         let dims = format!("{m}x{k}x{n}");
+        group.throughput(Throughput::Flops(cfx_tensor::kernel::gemm_flops(
+            m, k, n,
+        )));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{dims}/bt_fused")),
             &(),
@@ -82,13 +97,26 @@ fn bench_fused_kernels(c: &mut Criterion) {
 }
 
 /// The shared pairwise-distance kernel at t-SNE / FACE-graph scale.
+///
+/// Bench assertion (checked whenever BENCH_tensor.json is re-recorded,
+/// deliberately *not* a CI gate — wall-clock comparisons on shared
+/// runners are flaky): the t2/t4 entries must never be slower than
+/// their t1 counterpart at these paper-scale shapes. The cost-aware
+/// dispatcher guarantees this structurally — it refuses to spawn when
+/// the work is below `CFX_PAR_THRESHOLD` per worker or when the machine
+/// has fewer cores than the requested thread count.
 fn bench_pairwise_sq_dists(c: &mut Criterion) {
     let mut group = c.benchmark_group("pairwise_sq_dists");
+    group.sample_size(40);
     let mut rng = StdRng::seed_from_u64(11);
     for &(n, d) in &[(500usize, 16usize), (1500, 32)] {
         let data: Vec<Vec<f32>> = (0..n)
             .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
             .collect();
+        // Sub, multiply, add per dimension over the unique pairs (the
+        // kernel mirrors the other triangle instead of recomputing it).
+        let flops = 3 * d as u64 * (n as u64 * (n as u64 - 1) / 2);
+        group.throughput(Throughput::Flops(flops));
         for threads in THREAD_SWEEP {
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("n{n}_d{d}/t{threads}")),

@@ -212,16 +212,21 @@ fn center(y: &mut [(f32, f32)]) {
 
 /// All pairwise squared Euclidean distances, row-major `n × n`.
 ///
-/// With one worker thread this fills the upper triangle and mirrors it
-/// (half the flops); with more, each worker computes whole rows. The two
-/// forms are bitwise identical because `(a−b)²` is exactly symmetric and
-/// the per-pair summation order over dimensions never changes.
+/// Workers fill the strict upper triangle only (each row computes its
+/// pairs `j > i`) and a cheap serial pass mirrors it afterwards, so the
+/// parallel path does the same half-count of distance computations as a
+/// serial triangle sweep — the old whole-row split recomputed every pair
+/// twice, which is why t2/t4 used to *lose* to t1 here. Thread count and
+/// the [`runtime::dispatch_rows`] serial/parallel decision never change
+/// the result: each pair is computed once, summing over dimensions in
+/// ascending order, and mirrored exactly.
 pub fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f32> {
     let n = data.len();
     let mut out = vec![0.0f32; n * n];
     if n == 0 {
         return out;
     }
+    let d = data[0].len();
     let sq_dist = |i: usize, j: usize| -> f32 {
         data[i]
             .iter()
@@ -229,25 +234,20 @@ pub fn pairwise_sq_dists(data: &[Vec<f32>]) -> Vec<f32> {
             .map(|(&a, &b)| (a - b) * (a - b))
             .sum()
     };
-    if runtime::current_threads() <= 1 {
-        for i in 0..n {
+    // Sub, multiply, add per dimension, n(n-1)/2 unique pairs.
+    let flops = 3 * d as u64 * (n as u64 * (n as u64 - 1) / 2);
+    runtime::dispatch_rows(&mut out, n, flops, |row0, chunk| {
+        for (r, row) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + r;
             for j in (i + 1)..n {
-                let d = sq_dist(i, j);
-                out[i * n + j] = d;
-                out[j * n + i] = d;
+                row[j] = sq_dist(i, j);
             }
         }
-    } else {
-        runtime::parallel_chunks_mut(&mut out, n, 8, |row0, chunk| {
-            for (r, row) in chunk.chunks_mut(n).enumerate() {
-                let i = row0 + r;
-                for (j, v) in row.iter_mut().enumerate() {
-                    if j != i {
-                        *v = sq_dist(i, j);
-                    }
-                }
-            }
-        });
+    });
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[j * n + i] = out[i * n + j];
+        }
     }
     out
 }

@@ -223,6 +223,19 @@ impl Tape {
         self.push(value, op)
     }
 
+    /// [`Tape::push_profiled`] for compute-bound ops that know their
+    /// FLOP count — lets the profiler report achieved GFLOP/s.
+    fn push_profiled_flops(
+        &mut self,
+        t: crate::profile::OpTimer,
+        value: Tensor,
+        op: Op,
+        flops: u64,
+    ) -> Var {
+        crate::profile::record_forward_flops(op.kind(), t, flops);
+        self.push(value, op)
+    }
+
     /// Registers a leaf (input or parameter). Gradients accumulate here.
     pub fn leaf(&mut self, value: Tensor) -> Var {
         let _t = crate::profile::op_start();
@@ -330,8 +343,11 @@ impl Tape {
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let _t = crate::profile::op_start();
+        let (m, k) = self.shape(a);
+        let n = self.shape(b).1;
         let value = self.value(a).matmul_pooled(self.value(b));
-        self.push_profiled(_t, value, Op::Matmul(a, b))
+        let flops = crate::kernel::gemm_flops(m, k, n);
+        self.push_profiled_flops(_t, value, Op::Matmul(a, b), flops)
     }
 
     /// Element-wise sum of two same-shaped nodes.
@@ -595,7 +611,7 @@ impl Tape {
 
     fn affine_impl(&mut self, x: Var, w: Var, b: Var, relu: bool) -> Var {
         let _t = crate::profile::op_start();
-        let rows = self.shape(x).0;
+        let (rows, inner) = self.shape(x);
         let n = self.shape(w).1;
         assert_eq!(self.shape(b), (1, n), "affine expects a (1,n) bias");
         let mut value = self.value(x).matmul_pooled(self.value(w));
@@ -611,7 +627,9 @@ impl Tape {
         if relu {
             value.map_inplace(|x| x.max(0.0));
         }
-        self.push_profiled(_t, value, Op::Affine { x, w, b, relu })
+        // The matmul dominates; bias add and relu are O(rows·n) extra.
+        let flops = crate::kernel::gemm_flops(rows, inner, n);
+        self.push_profiled_flops(_t, value, Op::Affine { x, w, b, relu }, flops)
     }
 
     // ---- composite helpers ----------------------------------------------
@@ -697,9 +715,15 @@ impl Tape {
             let node = &rest[0];
             let Some(g) = node.grad.as_ref() else { continue };
             let _t = crate::profile::op_start();
+            // GFLOP/s bookkeeping for the two matmul-backed ops; stays 0
+            // for everything else so the profiler shows "-".
+            let mut _bwd_flops = 0u64;
             match &node.op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
+                    let (m, k) = before[a.0].value.shape();
+                    let n = before[b.0].value.cols();
+                    _bwd_flops = 2 * crate::kernel::gemm_flops(m, k, n);
                     let da = g.matmul_bt_pooled(&before[b.0].value);
                     accumulate_owned(before, *a, da);
                     let db = before[a.0].value.matmul_at_pooled(g);
@@ -847,6 +871,9 @@ impl Tape {
                     // bias/input/weight gradients in the same order the
                     // reverse sweep over matmul → add_row → relu visits
                     // them, through the same fused kernels.
+                    let (rows, inner) = before[x.0].value.shape();
+                    let n = before[w.0].value.cols();
+                    _bwd_flops = 2 * crate::kernel::gemm_flops(rows, inner, n);
                     let dz_owned = relu.then(|| {
                         g.zip_pooled(&node.value, |g, o| {
                             if o > 0.0 {
@@ -867,7 +894,7 @@ impl Tape {
                     }
                 }
             }
-            crate::profile::record_backward(node.op.kind(), _t);
+            crate::profile::record_backward_flops(node.op.kind(), _t, _bwd_flops);
         }
 
         // Leaves that did not participate still answer `grad` with zeros,

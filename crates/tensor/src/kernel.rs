@@ -1,0 +1,366 @@
+//! Register-tiled GEMM microkernels.
+//!
+//! All three matmul orientations (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share one shape:
+//! pack a `KC × NR` panel of the right operand into a small stack tile
+//! (zero-padded to the block width so inner loops always see `&[f32; NR]`
+//! values), then accumulate an `MR × NR` register block over a group of
+//! output rows. The fixed-size array arithmetic autovectorizes on the
+//! baseline target — no intrinsics, no `unsafe`, no new dependencies.
+//!
+//! # Bitwise determinism
+//!
+//! Every output element accumulates in ascending-`k` order with a single
+//! running value: the register block is loaded *from* the output, updated
+//! in ascending panel order, and stored back, so the sequence of f32
+//! additions per element is exactly that of a serial `for p in 0..k`
+//! loop — independent of tile shape, panelling, and thread count. This is
+//! the invariant pinned by `tests/kernel_prop.rs` and
+//! `tests/parallel_prop.rs` at the workspace root.
+//!
+//! # Tile selection
+//!
+//! Two register blocks cover the workload (crossover measured, see the
+//! "Kernel architecture & cost model" section of DESIGN.md): `2×16` for
+//! wide outputs (`n ≥ WIDE_N`), where four 8-lane accumulator rows fit
+//! the SSE2 register budget without spilling, and `4×8` for narrow
+//! outputs, where a taller block amortizes tile packing better. Both
+//! produce identical bits for any shape, so the choice is pure policy.
+
+/// Panel depth over the shared `k` dimension. A `KC × NR_MAX` tile is
+/// 16 KiB — resident in L1 while a block of output rows streams over it.
+pub const KC: usize = 256;
+
+/// Widest supported register-block width; tiles are allocated at this
+/// width so the inner loop can always view whole `&[f32; NR]` rows.
+const NR_MAX: usize = 16;
+
+/// Output width at and above which the wide `2×16` block beats the
+/// narrow `4×8` block.
+const WIDE_N: usize = 64;
+
+/// FLOP count of an `m×k · k×n` product (a multiply and an add per term).
+/// This is what the kernels report to the cost-aware dispatcher and what
+/// the profiler divides wall time by for GFLOP/s.
+#[inline]
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// `A(m,k) · B(k,n)` over a block of output rows.
+///
+/// `out` holds rows `[row0, row0 + out.len() / n)` of the full product
+/// and must be pre-initialized (normally zeroed) by the caller; the
+/// kernel accumulates into it.
+pub fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    if n >= WIDE_N {
+        panel_nn::<2, 16>(a, b, out, row0, k, n);
+    } else {
+        panel_nn::<4, 8>(a, b, out, row0, k, n);
+    }
+}
+
+/// `Aᵀ · B` over a block of output rows, `a` stored as `(k, m_total)`.
+///
+/// Output row `i` reads column `row0 + i` of `a`, so the inner loop loads
+/// `MR` contiguous values per `k` step — no transposed copy needed.
+pub fn matmul_at_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    m_total: usize,
+    k: usize,
+    n: usize,
+) {
+    if n >= WIDE_N {
+        panel_tn::<2, 16>(a, b, out, row0, m_total, k, n);
+    } else {
+        panel_tn::<4, 8>(a, b, out, row0, m_total, k, n);
+    }
+}
+
+/// `A · Bᵀ` over a block of output rows, `b` stored as `(n, k)`.
+///
+/// The packing step transposes one `KC × NR` tile of `b` on the fly, so
+/// the arithmetic loop is identical to the plain-`matmul` kernel — this
+/// is what lets the fused path beat materialize-the-transpose.
+pub fn matmul_bt_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    if n >= WIDE_N {
+        panel_nt::<2, 16>(a, b, out, row0, k, n);
+    } else {
+        panel_nt::<4, 8>(a, b, out, row0, k, n);
+    }
+}
+
+fn panel_nn<const MR: usize, const NR: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = out.len() / n;
+    let mut tile = [0.0f32; KC * NR_MAX];
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        for j0 in (0..n).step_by(NR) {
+            let jb = NR.min(n - j0);
+            // tile[p * NR + j] = b[(p0 + p) * n + j0 + j], zero-padded
+            // past jb so the fixed-width inner loop reads defined values.
+            for p in 0..kc {
+                let src = (p0 + p) * n + j0;
+                let dst = &mut tile[p * NR..p * NR + NR];
+                dst[..jb].copy_from_slice(&b[src..src + jb]);
+                dst[jb..].fill(0.0);
+            }
+            let mut i0 = 0;
+            while i0 + MR <= rows {
+                let mut acc = [[0.0f32; NR]; MR];
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    acc[r][..jb].copy_from_slice(&out[o..o + jb]);
+                }
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    for r in 0..MR {
+                        let av = a[(row0 + i0 + r) * k + p0 + p];
+                        for j in 0..NR {
+                            acc[r][j] += av * bt[j];
+                        }
+                    }
+                }
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    out[o..o + jb].copy_from_slice(&acc[r][..jb]);
+                }
+                i0 += MR;
+            }
+            // Remainder rows, one register row at a time.
+            while i0 < rows {
+                let mut acc = [0.0f32; NR];
+                let o = i0 * n + j0;
+                acc[..jb].copy_from_slice(&out[o..o + jb]);
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    let av = a[(row0 + i0) * k + p0 + p];
+                    for j in 0..NR {
+                        acc[j] += av * bt[j];
+                    }
+                }
+                out[o..o + jb].copy_from_slice(&acc[..jb]);
+                i0 += 1;
+            }
+        }
+    }
+}
+
+fn panel_tn<const MR: usize, const NR: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    m_total: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = out.len() / n;
+    let mut tile = [0.0f32; KC * NR_MAX];
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        for j0 in (0..n).step_by(NR) {
+            let jb = NR.min(n - j0);
+            for p in 0..kc {
+                let src = (p0 + p) * n + j0;
+                let dst = &mut tile[p * NR..p * NR + NR];
+                dst[..jb].copy_from_slice(&b[src..src + jb]);
+                dst[jb..].fill(0.0);
+            }
+            let mut i0 = 0;
+            while i0 + MR <= rows {
+                let mut acc = [[0.0f32; NR]; MR];
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    acc[r][..jb].copy_from_slice(&out[o..o + jb]);
+                }
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    // A is (k, m_total): the MR values for this k step sit
+                    // next to each other in row p0 + p.
+                    let src = (p0 + p) * m_total + row0 + i0;
+                    let av: &[f32; MR] =
+                        a[src..src + MR].try_into().unwrap();
+                    for r in 0..MR {
+                        for j in 0..NR {
+                            acc[r][j] += av[r] * bt[j];
+                        }
+                    }
+                }
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    out[o..o + jb].copy_from_slice(&acc[r][..jb]);
+                }
+                i0 += MR;
+            }
+            while i0 < rows {
+                let mut acc = [0.0f32; NR];
+                let o = i0 * n + j0;
+                acc[..jb].copy_from_slice(&out[o..o + jb]);
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    let av = a[(p0 + p) * m_total + row0 + i0];
+                    for j in 0..NR {
+                        acc[j] += av * bt[j];
+                    }
+                }
+                out[o..o + jb].copy_from_slice(&acc[..jb]);
+                i0 += 1;
+            }
+        }
+    }
+}
+
+fn panel_nt<const MR: usize, const NR: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = out.len() / n;
+    let mut tile = [0.0f32; KC * NR_MAX];
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        for j0 in (0..n).step_by(NR) {
+            let jb = NR.min(n - j0);
+            // B is (n, k): transpose one KC × NR tile on the fly so the
+            // arithmetic below is identical to the plain-matmul kernel.
+            tile[..kc * NR].fill(0.0);
+            for j in 0..jb {
+                let src = (j0 + j) * k + p0;
+                for (p, &v) in b[src..src + kc].iter().enumerate() {
+                    tile[p * NR + j] = v;
+                }
+            }
+            let mut i0 = 0;
+            while i0 + MR <= rows {
+                let mut acc = [[0.0f32; NR]; MR];
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    acc[r][..jb].copy_from_slice(&out[o..o + jb]);
+                }
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    for r in 0..MR {
+                        let av = a[(row0 + i0 + r) * k + p0 + p];
+                        for j in 0..NR {
+                            acc[r][j] += av * bt[j];
+                        }
+                    }
+                }
+                for r in 0..MR {
+                    let o = (i0 + r) * n + j0;
+                    out[o..o + jb].copy_from_slice(&acc[r][..jb]);
+                }
+                i0 += MR;
+            }
+            while i0 < rows {
+                let mut acc = [0.0f32; NR];
+                let o = i0 * n + j0;
+                acc[..jb].copy_from_slice(&out[o..o + jb]);
+                for p in 0..kc {
+                    let bt: &[f32; NR] =
+                        tile[p * NR..p * NR + NR].try_into().unwrap();
+                    let av = a[(row0 + i0) * k + p0 + p];
+                    for j in 0..NR {
+                        acc[j] += av * bt[j];
+                    }
+                }
+                out[o..o + jb].copy_from_slice(&acc[..jb]);
+                i0 += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * scale).sin()).collect()
+    }
+
+    fn ref_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn both_tile_shapes_match_scalar_reference_bitwise() {
+        // Shapes straddling MR/NR/KC boundaries: remainder rows, ragged
+        // column tails, and k crossing the KC panel edge.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (9, 300, 17),
+            (64, 33, 70),
+            (3, 257, 65),
+        ] {
+            let a = fill(m * k, 0.37);
+            let b = fill(k * n, 0.21);
+            let want = ref_nn(&a, &b, m, k, n);
+            let mut wide = vec![0.0f32; m * n];
+            panel_nn::<2, 16>(&a, &b, &mut wide, 0, k, n);
+            assert_eq!(wide, want, "2x16 {m}x{k}x{n}");
+            let mut narrow = vec![0.0f32; m * n];
+            panel_nn::<4, 8>(&a, &b, &mut narrow, 0, k, n);
+            assert_eq!(narrow, want, "4x8 {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn row_blocks_compose_to_the_full_product() {
+        // Running the kernel on two disjoint row blocks must equal one
+        // full-range call — the property the dispatcher relies on.
+        let (m, k, n) = (11usize, 70usize, 19usize);
+        let a = fill(m * k, 0.53);
+        let b = fill(k * n, 0.29);
+        let mut whole = vec![0.0f32; m * n];
+        matmul_rows(&a, &b, &mut whole, 0, k, n);
+        let mut split = vec![0.0f32; m * n];
+        let (lo, hi) = split.split_at_mut(4 * n);
+        matmul_rows(&a, &b, lo, 0, k, n);
+        matmul_rows(&a, &b, hi, 4, k, n);
+        assert_eq!(split, whole);
+    }
+}

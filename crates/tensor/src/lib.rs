@@ -30,6 +30,7 @@ pub mod error;
 pub mod graph;
 pub mod guard;
 pub mod init;
+pub mod kernel;
 pub mod nn;
 pub mod optim;
 pub mod pool;

@@ -187,23 +187,36 @@ pub fn op_start() -> OpTimer {
 struct Slot {
     fwd_calls: u64,
     fwd_ns: u64,
+    fwd_flops: u64,
     bwd_calls: u64,
     bwd_ns: u64,
+    bwd_flops: u64,
 }
+
+#[cfg(feature = "obs")]
+const ZERO_SLOT: Slot =
+    Slot { fwd_calls: 0, fwd_ns: 0, fwd_flops: 0, bwd_calls: 0, bwd_ns: 0, bwd_flops: 0 };
 
 #[cfg(feature = "obs")]
 thread_local! {
     static LOCAL: RefCell<[Slot; OpKind::COUNT]> =
-        const { RefCell::new([Slot { fwd_calls: 0, fwd_ns: 0, bwd_calls: 0, bwd_ns: 0 }; OpKind::COUNT]) };
+        const { RefCell::new([ZERO_SLOT; OpKind::COUNT]) };
 }
 
 #[cfg(feature = "obs")]
 static GLOBAL: Mutex<[Slot; OpKind::COUNT]> =
-    Mutex::new([Slot { fwd_calls: 0, fwd_ns: 0, bwd_calls: 0, bwd_ns: 0 }; OpKind::COUNT]);
+    Mutex::new([ZERO_SLOT; OpKind::COUNT]);
 
 /// Credits a finished forward compute to `kind`.
 #[inline]
 pub fn record_forward(kind: OpKind, t: OpTimer) {
+    record_forward_flops(kind, t, 0);
+}
+
+/// Like [`record_forward`], also crediting a FLOP count so the report
+/// and metrics can show achieved GFLOP/s for compute-bound kernels.
+#[inline]
+pub fn record_forward_flops(kind: OpKind, t: OpTimer, flops: u64) {
     #[cfg(feature = "obs")]
     if let Some(t0) = t {
         let ns = t0.elapsed().as_nanos() as u64;
@@ -212,17 +225,24 @@ pub fn record_forward(kind: OpKind, t: OpTimer) {
             let slot = &mut slots[kind as usize];
             slot.fwd_calls += 1;
             slot.fwd_ns += ns;
+            slot.fwd_flops += flops;
         });
     }
     #[cfg(not(feature = "obs"))]
     {
-        let _ = (kind, t);
+        let _ = (kind, t, flops);
     }
 }
 
 /// Credits one backward-sweep iteration to `kind`.
 #[inline]
 pub fn record_backward(kind: OpKind, t: OpTimer) {
+    record_backward_flops(kind, t, 0);
+}
+
+/// Like [`record_backward`], also crediting a FLOP count.
+#[inline]
+pub fn record_backward_flops(kind: OpKind, t: OpTimer, flops: u64) {
     #[cfg(feature = "obs")]
     if let Some(t0) = t {
         let ns = t0.elapsed().as_nanos() as u64;
@@ -231,11 +251,12 @@ pub fn record_backward(kind: OpKind, t: OpTimer) {
             let slot = &mut slots[kind as usize];
             slot.bwd_calls += 1;
             slot.bwd_ns += ns;
+            slot.bwd_flops += flops;
         });
     }
     #[cfg(not(feature = "obs"))]
     {
-        let _ = (kind, t);
+        let _ = (kind, t, flops);
     }
 }
 
@@ -260,8 +281,10 @@ pub fn flush_thread() {
             for (g, s) in global.iter_mut().zip(local.iter_mut()) {
                 g.fwd_calls += s.fwd_calls;
                 g.fwd_ns += s.fwd_ns;
+                g.fwd_flops += s.fwd_flops;
                 g.bwd_calls += s.bwd_calls;
                 g.bwd_ns += s.bwd_ns;
+                g.bwd_flops += s.bwd_flops;
                 *s = Slot::default();
             }
         });
@@ -287,16 +310,35 @@ pub struct OpProfile {
     pub fwd_calls: u64,
     /// Nanoseconds spent in forward compute.
     pub fwd_ns: u64,
+    /// FLOPs credited to forward compute (0 for un-annotated ops).
+    pub fwd_flops: u64,
     /// Backward-sweep iterations recorded.
     pub bwd_calls: u64,
     /// Nanoseconds spent in backward rules.
     pub bwd_ns: u64,
+    /// FLOPs credited to backward rules (0 for un-annotated ops).
+    pub bwd_flops: u64,
 }
 
 impl OpProfile {
     /// Forward + backward self time.
     pub fn total_ns(&self) -> u64 {
         self.fwd_ns + self.bwd_ns
+    }
+
+    /// Forward + backward credited FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.fwd_flops + self.bwd_flops
+    }
+
+    /// Achieved GFLOP/s over forward + backward self time, or `None`
+    /// when the op carries no FLOP annotation (element-wise ops).
+    pub fn gflops(&self) -> Option<f64> {
+        if self.total_flops() == 0 || self.total_ns() == 0 {
+            return None;
+        }
+        // flops / ns ≡ GFLOP/s.
+        Some(self.total_flops() as f64 / self.total_ns() as f64)
     }
 }
 
@@ -317,8 +359,10 @@ pub fn snapshot() -> Vec<OpProfile> {
                 kind: OpKind::from_index(i),
                 fwd_calls: s.fwd_calls,
                 fwd_ns: s.fwd_ns,
+                fwd_flops: s.fwd_flops,
                 bwd_calls: s.bwd_calls,
                 bwd_ns: s.bwd_ns,
+                bwd_flops: s.bwd_flops,
             })
             .collect();
         out.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()));
@@ -349,13 +393,17 @@ pub fn report(top_n: usize) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<16} {:>12} {:>11} {:>11} {:>11} {:>6}",
-        "op", "calls", "fwd_ms", "bwd_ms", "total_ms", "%"
+        "{:<16} {:>12} {:>11} {:>11} {:>11} {:>6} {:>8}",
+        "op", "calls", "fwd_ms", "bwd_ms", "total_ms", "%", "gflops"
     );
     for p in profiles.iter().take(top_n) {
+        let gflops = match p.gflops() {
+            Some(g) => format!("{g:>8.2}"),
+            None => format!("{:>8}", "-"),
+        };
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>11.2} {:>11.2} {:>11.2} {:>6.1}",
+            "{:<16} {:>12} {:>11.2} {:>11.2} {:>11.2} {:>6.1} {gflops}",
             p.kind.name(),
             p.fwd_calls,
             p.fwd_ns as f64 / 1e6,
@@ -367,9 +415,10 @@ pub fn report(top_n: usize) -> String {
     out
 }
 
-/// Exports the profile table plus pool and threading stats as
-/// Prometheus gauges (`cfx_op_*`, `cfx_pool_*`, `cfx_threads`). A
-/// no-op with the `obs` feature off.
+/// Exports the profile table plus pool, threading, and kernel-dispatch
+/// stats as Prometheus metrics (`cfx_op_*`, `cfx_pool_*`, `cfx_threads`,
+/// `cfx_dispatch_{serial,parallel}_total`). A no-op with the `obs`
+/// feature off.
 pub fn export_metrics() {
     #[cfg(feature = "obs")]
     {
@@ -378,7 +427,18 @@ pub fn export_metrics() {
             cfx_obs::metrics::gauge(&format!("cfx_op_{name}_calls")).set(p.fwd_calls as f64);
             cfx_obs::metrics::gauge(&format!("cfx_op_{name}_fwd_ns")).set(p.fwd_ns as f64);
             cfx_obs::metrics::gauge(&format!("cfx_op_{name}_bwd_ns")).set(p.bwd_ns as f64);
+            if let Some(g) = p.gflops() {
+                cfx_obs::metrics::gauge(&format!("cfx_op_{name}_gflops")).set(g);
+            }
         }
+        // The dispatcher counts decisions in plain process-wide atomics
+        // (the hot path must not take the metrics-registry lock); sync
+        // the exported counters up to the live totals here.
+        let (serial, parallel) = crate::runtime::dispatch_counts();
+        let c = cfx_obs::metrics::counter("cfx_dispatch_serial_total");
+        c.inc(serial.saturating_sub(c.get()));
+        let c = cfx_obs::metrics::counter("cfx_dispatch_parallel_total");
+        c.inc(parallel.saturating_sub(c.get()));
         let pool = crate::pool::stats();
         cfx_obs::metrics::gauge("cfx_pool_hits").set(pool.hits as f64);
         cfx_obs::metrics::gauge("cfx_pool_misses").set(pool.misses as f64);
@@ -401,17 +461,21 @@ mod tests {
         assert!(snapshot().is_empty());
 
         set_enabled(true);
-        record_forward(OpKind::Matmul, op_start());
-        record_backward(OpKind::Matmul, op_start());
+        record_forward_flops(OpKind::Matmul, op_start(), 1_000_000);
+        record_backward_flops(OpKind::Matmul, op_start(), 500_000);
         record_forward(OpKind::Add, op_start());
         let snap = snapshot();
         set_enabled(false);
         let mm = snap.iter().find(|p| p.kind == OpKind::Matmul).unwrap();
         assert_eq!(mm.fwd_calls, 1);
         assert_eq!(mm.bwd_calls, 1);
-        assert!(snap.iter().any(|p| p.kind == OpKind::Add));
+        assert_eq!(mm.total_flops(), 1_500_000);
+        assert!(mm.gflops().unwrap() > 0.0);
+        let add = snap.iter().find(|p| p.kind == OpKind::Add).unwrap();
+        assert_eq!(add.gflops(), None, "un-annotated ops show no rate");
         let text = report(5);
         assert!(text.contains("matmul"), "{text}");
+        assert!(text.contains("gflops"), "{text}");
         reset();
     }
 }

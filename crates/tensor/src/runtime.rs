@@ -22,13 +22,29 @@
 //! (property-tested in `tests/parallel_prop.rs` at the workspace root).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 static MAX_THREADS: OnceLock<usize> = OnceLock::new();
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// FLOPs a kernel call must offer **per worker** before the dispatcher
+/// spawns threads for it. At the ~20 GFLOP/s the register-tiled
+/// microkernels sustain on one core, this is ≈200 µs of work per
+/// worker — an order of magnitude above scoped-thread spawn+join cost,
+/// so parallelism only kicks in where it can actually win.
+pub const DEFAULT_PAR_THRESHOLD: u64 = 4_000_000;
+
+static PAR_THRESHOLD: OnceLock<u64> = OnceLock::new();
+static HW_THREADS: OnceLock<usize> = OnceLock::new();
+static DISPATCH_SERIAL: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_PARALLEL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THRESHOLD_OVERRIDE: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// The process-wide worker cap: `CFX_THREADS` if set to a positive number,
@@ -58,6 +74,108 @@ pub fn max_threads() -> usize {
 
 fn available() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The machine's actual core count (cached `available_parallelism`),
+/// independent of `CFX_THREADS`. The cost-aware dispatcher never spawns
+/// more workers than this: oversubscribing a compute-bound kernel can
+/// only add scheduling overhead, never speed.
+pub fn hw_threads() -> usize {
+    *HW_THREADS.get_or_init(available)
+}
+
+/// The FLOP threshold the cost-aware dispatcher uses on this thread:
+/// the innermost [`with_par_threshold`] override, `CFX_PAR_THRESHOLD`
+/// if set to a number, else [`DEFAULT_PAR_THRESHOLD`].
+///
+/// A threshold of `0` means "always parallel": the dispatcher spawns
+/// [`current_threads`] workers regardless of work size or core count.
+/// That is never a performance win — it exists so tests can force the
+/// parallel split paths on machines where the dispatcher would
+/// otherwise (correctly) stay serial.
+pub fn par_threshold() -> u64 {
+    if let Some(t) = THRESHOLD_OVERRIDE.with(|o| o.get()) {
+        return t;
+    }
+    *PAR_THRESHOLD.get_or_init(|| {
+        match std::env::var("CFX_PAR_THRESHOLD") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(t) => t,
+                Err(_) => {
+                    cfx_obs::warn!(
+                        "cfx_par_threshold_invalid",
+                        value = v.as_str(),
+                        fallback = DEFAULT_PAR_THRESHOLD,
+                    );
+                    DEFAULT_PAR_THRESHOLD
+                }
+            },
+            Err(_) => DEFAULT_PAR_THRESHOLD,
+        }
+    })
+}
+
+/// Runs `f` with this thread's dispatch threshold pinned to `t`
+/// (thread-local, restored afterwards even on panic — the same
+/// discipline as [`with_threads`]). `0` forces the parallel path.
+pub fn with_par_threshold<T>(t: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THRESHOLD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore =
+        Restore(THRESHOLD_OVERRIDE.with(|o| o.replace(Some(t))));
+    f()
+}
+
+/// `(serial, parallel)` decision counts made by [`dispatch_rows`] since
+/// process start. Exported as the `cfx_dispatch_{serial,parallel}_total`
+/// metrics by `profile::export_metrics`.
+pub fn dispatch_counts() -> (u64, u64) {
+    (
+        DISPATCH_SERIAL.load(Ordering::Relaxed),
+        DISPATCH_PARALLEL.load(Ordering::Relaxed),
+    )
+}
+
+/// Cost-aware splitting of `data` into per-thread runs of whole
+/// `unit`-sized blocks: the kernel's entry point for "maybe parallel".
+///
+/// `flops` is the caller's estimate of total floating-point work. The
+/// dispatcher stays serial (calls `f(0, data)` inline) unless the call
+/// offers at least [`par_threshold`] FLOPs *per worker*, and it never
+/// uses more workers than [`hw_threads`] — `CFX_THREADS=4` on a 1-core
+/// box runs serial rather than measuring scheduling overhead. Above the
+/// threshold, rows are handed out in contiguous cache-friendly blocks
+/// via [`parallel_chunks_mut`], sized so every worker clears the
+/// threshold.
+///
+/// Like every helper here, the split never changes accumulation order
+/// within a unit, so results are bitwise identical to the serial path.
+pub fn dispatch_rows<T, F>(data: &mut [T], unit: usize, flops: u64, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threshold = par_threshold();
+    let threads = if threshold == 0 {
+        current_threads()
+    } else {
+        let budget = (flops / threshold) as usize;
+        current_threads().min(hw_threads()).min(budget)
+    };
+    let units = if unit > 0 { data.len() / unit } else { 0 };
+    if threads <= 1 || units <= 1 {
+        DISPATCH_SERIAL.fetch_add(1, Ordering::Relaxed);
+        f(0, data);
+        return;
+    }
+    DISPATCH_PARALLEL.fetch_add(1, Ordering::Relaxed);
+    with_threads(threads.min(units), || {
+        parallel_chunks_mut(data, unit, 1, f)
+    });
 }
 
 /// The worker count parallel helpers use on this thread right now:

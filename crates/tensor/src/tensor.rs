@@ -10,16 +10,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::runtime;
-
-/// How many rows of the left operand each matmul task processes at least;
-/// below this, threading overhead dominates the multiply itself.
-const MIN_ROWS_PER_THREAD: usize = 16;
-
-/// Panel width over the shared `k` dimension. One panel of the right
-/// operand (`KC × n` for n ≤ 512) stays resident in L1/L2 while a block of
-/// output rows streams over it.
-const KC: usize = 64;
+use crate::{kernel, runtime};
 
 static TRANSPOSE_COUNT: AtomicU64 = AtomicU64::new(0);
 
@@ -295,15 +286,14 @@ impl Tensor {
 
     /// `self @ other` — matrix product.
     ///
-    /// Output rows are split across worker threads (see
-    /// [`crate::runtime`]) and each thread runs a `k`-panelled ikj loop:
-    /// the inner loop streams contiguously over the output row and the
-    /// right operand row (auto-vectorizable), while panels of `other`
-    /// stay cache-resident across a block of output rows.
+    /// Runs the register-tiled microkernel in [`crate::kernel`]; the
+    /// cost-aware dispatcher ([`runtime::dispatch_rows`]) splits output
+    /// rows across worker threads only when the call offers enough FLOPs
+    /// per worker to amortize spawning (`CFX_PAR_THRESHOLD`).
     ///
     /// Accumulation into every output element happens in ascending-`k`
-    /// order regardless of thread count or panelling, so results are
-    /// bitwise identical to a serial triple loop.
+    /// order regardless of thread count, tiling, or panelling, so results
+    /// are bitwise identical to a serial triple loop.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -329,24 +319,18 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         debug_assert_eq!(out.len(), m * n);
-        runtime::parallel_chunks_mut(
+        if m == 0 || n == 0 {
+            // Empty output: nothing to compute, `out` is already empty.
+            return Tensor { rows: m, cols: n, data: out };
+        }
+        // k == 0 falls through: the kernel's panel loop is empty and the
+        // pre-zeroed buffer is the correct all-zero product.
+        runtime::dispatch_rows(
             &mut out,
-            n.max(1),
-            MIN_ROWS_PER_THREAD,
+            n,
+            kernel::gemm_flops(m, k, n),
             |row0, chunk| {
-                for p0 in (0..k).step_by(KC) {
-                    let p1 = (p0 + KC).min(k);
-                    for (r, o_row) in chunk.chunks_mut(n.max(1)).enumerate() {
-                        let i = row0 + r;
-                        let a_row = &self.data[i * k + p0..i * k + p1];
-                        for (p, &a) in (p0..p1).zip(a_row) {
-                            let b_row = &other.data[p * n..(p + 1) * n];
-                            for (o, &b) in o_row.iter_mut().zip(b_row) {
-                                *o += a * b;
-                            }
-                        }
-                    }
-                }
+                kernel::matmul_rows(&self.data, &other.data, chunk, row0, k, n);
             },
         );
         Tensor { rows: m, cols: n, data: out }
@@ -384,21 +368,23 @@ impl Tensor {
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
         debug_assert_eq!(out.len(), m * n);
-        runtime::parallel_chunks_mut(
+        if m == 0 || n == 0 {
+            return Tensor { rows: m, cols: n, data: out };
+        }
+        runtime::dispatch_rows(
             &mut out,
-            n.max(1),
-            MIN_ROWS_PER_THREAD,
+            n,
+            kernel::gemm_flops(m, k, n),
             |row0, chunk| {
-                for p in 0..k {
-                    let a_row = &self.data[p * m..(p + 1) * m];
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (r, o_row) in chunk.chunks_mut(n.max(1)).enumerate() {
-                        let a = a_row[row0 + r];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
-                }
+                kernel::matmul_at_rows(
+                    &self.data,
+                    &other.data,
+                    chunk,
+                    row0,
+                    m,
+                    k,
+                    n,
+                );
             },
         );
         Tensor { rows: m, cols: n, data: out }
@@ -435,49 +421,22 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         debug_assert_eq!(out.len(), m * n);
-        runtime::parallel_chunks_mut(
+        if m == 0 || n == 0 {
+            return Tensor { rows: m, cols: n, data: out };
+        }
+        runtime::dispatch_rows(
             &mut out,
-            n.max(1),
-            MIN_ROWS_PER_THREAD,
+            n,
+            kernel::gemm_flops(m, k, n),
             |row0, chunk| {
-                // Pack KC×NB tiles of bᵀ into a stack buffer, then run the
-                // same unit-stride axpy as `matmul`. A naive per-element
-                // dot would serialize on one FP-add chain and defeat SIMD;
-                // packing restores vector loads without materializing a
-                // transposed tensor. Each output element still accumulates
-                // in ascending-k order (k-tiles ascending, then in-tile),
-                // so results stay bitwise equal to `matmul(bᵀ)`.
-                const NB: usize = 16;
-                let rows = chunk.len() / n.max(1);
-                let mut tile = [0.0f32; KC * NB];
-                for p0 in (0..k).step_by(KC) {
-                    let pb = KC.min(k - p0);
-                    for j0 in (0..n).step_by(NB) {
-                        let jb = NB.min(n - j0);
-                        for jj in 0..jb {
-                            let b_row =
-                                &other.data[(j0 + jj) * k + p0..][..pb];
-                            for (pp, &v) in b_row.iter().enumerate() {
-                                tile[pp * jb + jj] = v;
-                            }
-                        }
-                        for r in 0..rows {
-                            let i = row0 + r;
-                            let a_row = &self.data[i * k + p0..][..pb];
-                            let o_start = r * n + j0;
-                            for (pp, &a) in a_row.iter().enumerate() {
-                                let t = &tile[pp * jb..pp * jb + jb];
-                                for (o, &b) in chunk
-                                    [o_start..o_start + jb]
-                                    .iter_mut()
-                                    .zip(t)
-                                {
-                                    *o += a * b;
-                                }
-                            }
-                        }
-                    }
-                }
+                kernel::matmul_bt_rows(
+                    &self.data,
+                    &other.data,
+                    chunk,
+                    row0,
+                    k,
+                    n,
+                );
             },
         );
         Tensor { rows: m, cols: n, data: out }
@@ -760,6 +719,29 @@ mod tests {
         let b = Tensor::zeros(5, 0);
         // k = 0: all-zero output of the right shape.
         assert_eq!(a.matmul_bt(&b).as_slice(), &[0.0f32; 10]);
+    }
+
+    #[test]
+    fn zero_row_and_zero_col_operands_are_exact() {
+        // 0-row left operand: empty output of the right shape.
+        let c = Tensor::zeros(0, 5).matmul(&Tensor::ones(5, 4));
+        assert_eq!(c.shape(), (0, 4));
+        assert!(c.is_empty());
+        // 0-col right operand: empty output, no kernel call needed.
+        let c = Tensor::ones(3, 5).matmul(&Tensor::zeros(5, 0));
+        assert_eq!(c.shape(), (3, 0));
+        assert!(c.is_empty());
+        // k = 0 (inner dimension empty): all-zero full-size output.
+        let c = Tensor::zeros(3, 0).matmul(&Tensor::zeros(0, 4));
+        assert_eq!(c.shape(), (3, 4));
+        assert_eq!(c.as_slice(), &[0.0f32; 12]);
+        // Fused variants hit the same early returns.
+        assert!(Tensor::zeros(4, 0).matmul_at(&Tensor::ones(4, 3)).is_empty());
+        assert!(Tensor::ones(2, 4).matmul_bt(&Tensor::zeros(0, 4)).is_empty());
+        assert_eq!(
+            Tensor::zeros(2, 0).matmul_bt(&Tensor::zeros(5, 0)).as_slice(),
+            &[0.0f32; 10]
+        );
     }
 
     #[test]

@@ -35,6 +35,22 @@ struct BenchResult {
     min_ns: f64,
     median_ns: f64,
     mean_ns: f64,
+    /// Work per iteration when the group declared a throughput, so the
+    /// JSON line can carry an achieved rate next to the raw time.
+    flops: Option<u64>,
+}
+
+/// Per-iteration work declaration (mirrors `criterion::Throughput`,
+/// plus a `Flops` variant for compute-bound kernels — the shim reports
+/// it as achieved GFLOP/s alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Floating-point operations per iteration.
+    Flops(u64),
+    /// Elements processed per iteration (accepted, not reported).
+    Elements(u64),
+    /// Bytes processed per iteration (accepted, not reported).
+    Bytes(u64),
 }
 
 /// The benchmark runner/registry (mirrors `criterion::Criterion`).
@@ -98,7 +114,12 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { c: self, prefix: name.into(), sample_size }
+        BenchmarkGroup {
+            c: self,
+            prefix: name.into(),
+            sample_size,
+            throughput: None,
+        }
     }
 
     /// Benchmarks a closure under the given id.
@@ -107,11 +128,16 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let name = id.into().0;
-        self.run(name, &mut f);
+        self.run(name, None, &mut f);
         self
     }
 
-    fn run(&mut self, name: String, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run(
+        &mut self,
+        name: String,
+        flops: Option<u64>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -145,8 +171,13 @@ impl Criterion {
         let min = samples_ns[0];
         let median = samples_ns[samples_ns.len() / 2];
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let thrpt = match flops {
+            // flops / ns ≡ GFLOP/s.
+            Some(fl) => format!("  thrpt: {:.2} GFLOP/s", fl as f64 / median),
+            None => String::new(),
+        };
         println!(
-            "{name:<48} time: [{} {} {}]  ({} samples × {} iters)",
+            "{name:<48} time: [{} {} {}]  ({} samples × {} iters){thrpt}",
             fmt_ns(min),
             fmt_ns(median),
             fmt_ns(mean),
@@ -160,6 +191,7 @@ impl Criterion {
             min_ns: min,
             median_ns: median,
             mean_ns: mean,
+            flops,
         });
     }
 
@@ -179,10 +211,17 @@ impl Criterion {
             return;
         };
         for r in &self.results {
+            let gflops = match r.flops {
+                Some(fl) => {
+                    format!(",\"gflops\":{:.3}", fl as f64 / r.median_ns)
+                }
+                None => String::new(),
+            };
             let _ = writeln!(
                 file,
                 "{{\"name\":{:?},\"min_ns\":{:.1},\"median_ns\":{:.1},\
-                 \"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                 \"mean_ns\":{:.1}{gflops},\"samples\":{},\
+                 \"iters_per_sample\":{}}}",
                 r.name, r.min_ns, r.median_ns, r.mean_ns, r.samples,
                 r.iters_per_sample,
             );
@@ -208,6 +247,7 @@ pub struct BenchmarkGroup<'c> {
     c: &'c mut Criterion,
     prefix: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -218,15 +258,28 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares per-iteration work for benchmarks registered after this
+    /// call (criterion semantics: sticky until set again). Only
+    /// [`Throughput::Flops`] affects output — the result line and JSON
+    /// gain an achieved-GFLOP/s figure derived from the median time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Benchmarks a closure under `prefix/id`.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let name = format!("{}/{}", self.prefix, id.into().0);
+        let flops = match self.throughput {
+            Some(Throughput::Flops(fl)) => Some(fl),
+            _ => None,
+        };
         let saved = self.c.sample_size;
         self.c.sample_size = self.sample_size;
-        self.c.run(name, &mut f);
+        self.c.run(name, flops, &mut f);
         self.c.sample_size = saved;
         self
     }
@@ -351,5 +404,19 @@ mod tests {
         g.finish();
         assert_eq!(c.results[0].name, "grp/42");
         assert_eq!(c.results[0].samples, 3);
+        assert_eq!(c.results[0].flops, None);
+    }
+
+    #[test]
+    fn throughput_flops_sticks_to_later_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("k");
+        g.sample_size(3);
+        g.throughput(Throughput::Flops(1_000));
+        g.bench_function("a", |b| b.iter(|| (0..50u64).sum::<u64>()));
+        g.bench_function("b", |b| b.iter(|| (0..50u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.results[0].flops, Some(1_000));
+        assert_eq!(c.results[1].flops, Some(1_000));
     }
 }
