@@ -1,0 +1,391 @@
+//! Load generator for the `cfx-serve` daemon: spawns the server
+//! in-process on a free port, drives it over real TCP at 1, 8 and 64
+//! concurrent keep-alive clients, and records per-level p50/p99 request
+//! latency and counterfactual throughput into `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p cfx-bench --bin serve_load -- [options]
+//! ```
+//!
+//! Shed responses (`429`) are counted, not retried — the point of the
+//! bench is to show bounded-queue behavior under pressure, so the shed
+//! rate at 64 clients is itself a result. The run ends with a graceful
+//! drain; the drain report is included in the JSON.
+
+use cfx_core::{ExplainConfig, FeasibleCfConfig, FeasibleCfModel, GenRecoveryConfig};
+use cfx_data::{DatasetId, EncodedDataset, Split};
+use cfx_models::{BlackBox, BlackBoxConfig};
+use cfx_serve::{Servable, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: serve_load [options]
+
+  --clients A,B,C        concurrency levels to sweep (default 1,8,64)
+  --requests N           requests per client per level (default 25)
+  --rows N               rows per /explain request (default 1)
+  --queue-cap N          server queue capacity (default 64)
+  --deadline-ms N        per-request deadline (default 2000)
+  --n N                  raw training instances for the boot model
+                         (default 3000)
+  --seed N               RNG seed (default 42)
+  --out PATH             output JSON path (default BENCH_serve.json)
+  --help                 print this message
+
+Latency is measured per request over real TCP (loopback), keep-alive.
+429/503 shed responses count toward shed, not latency.
+";
+
+struct Opts {
+    clients: Vec<usize>,
+    requests: usize,
+    rows: usize,
+    queue_cap: usize,
+    deadline_ms: u64,
+    n: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        clients: vec![1, 8, 64],
+        requests: 25,
+        rows: 1,
+        queue_cap: 64,
+        deadline_ms: 2_000,
+        n: 3_000,
+        seed: 42,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                o.clients = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("bad --clients"))
+                    .collect();
+            }
+            "--requests" => {
+                i += 1;
+                o.requests = args[i].parse().expect("bad --requests");
+            }
+            "--rows" => {
+                i += 1;
+                o.rows = args[i].parse().expect("bad --rows");
+            }
+            "--queue-cap" => {
+                i += 1;
+                o.queue_cap = args[i].parse().expect("bad --queue-cap");
+            }
+            "--deadline-ms" => {
+                i += 1;
+                o.deadline_ms = args[i].parse().expect("bad --deadline-ms");
+            }
+            "--n" => {
+                i += 1;
+                o.n = args[i].parse().expect("bad --n");
+            }
+            "--seed" => {
+                i += 1;
+                o.seed = args[i].parse().expect("bad --seed");
+            }
+            "--out" => {
+                i += 1;
+                o.out = args[i].clone();
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Trains a small boot model (quick sizes — the bench measures serving,
+/// not training).
+fn boot_model(n: usize, seed: u64) -> Servable {
+    let raw = DatasetId::Adult.generate(n, seed);
+    let data = EncodedDataset::from_raw(&raw);
+    let split = Split::paper(data.len(), seed);
+    let (x_train, y_train) = data.subset(&split.train);
+    let bb_cfg = BlackBoxConfig { epochs: 8, seed, ..Default::default() };
+    let mut blackbox = BlackBox::new(data.width(), &bb_cfg);
+    blackbox.train(&x_train, &y_train, &bb_cfg);
+    let config = FeasibleCfConfig::paper(
+        DatasetId::Adult,
+        cfx_core::ConstraintMode::Unary,
+    )
+    .with_seed(seed)
+    .with_epochs(4)
+    .with_batch_size(256);
+    let constraints = FeasibleCfModel::paper_constraints(
+        DatasetId::Adult,
+        &data,
+        cfx_core::ConstraintMode::Unary,
+        config.c1,
+        config.c2,
+    )
+    .expect("paper constraints");
+    let mut model =
+        FeasibleCfModel::new(&data, blackbox, constraints, config);
+    model.fit(&x_train);
+    Servable {
+        model,
+        data,
+        explain: ExplainConfig::default(),
+        recovery: GenRecoveryConfig::default(),
+        version: 0,
+        source: "bench-boot".into(),
+    }
+}
+
+/// Reads one full HTTP response (status line + headers + Content-Length
+/// body) off the stream; returns (status, body).
+fn read_response(stream: &mut TcpStream) -> Result<(u16, Vec<u8>), String> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) =
+            buf.windows(4).position(|w| w == b"\r\n\r\n")
+        {
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| "non-utf8 head".to_string())?;
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad status line")?;
+            let len: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .ok_or("missing content-length")?;
+            let body_start = head_end + 4;
+            while buf.len() < body_start + len {
+                let n = stream
+                    .read(&mut chunk)
+                    .map_err(|e| format!("read body: {e}"))?;
+                if n == 0 {
+                    return Err("EOF mid-body".into());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            return Ok((status, buf[body_start..body_start + len].to_vec()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read head: {e}"))?;
+        if n == 0 {
+            return Err("EOF before head".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One client's tallies for a level.
+#[derive(Default)]
+struct ClientStats {
+    latencies: Vec<Duration>,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    cfs: u64,
+}
+
+/// Runs one client: `requests` POST /explain calls over one keep-alive
+/// connection (reconnecting if the server closed it).
+fn run_client(
+    addr: std::net::SocketAddr,
+    body: Arc<String>,
+    requests: usize,
+    rows: usize,
+    deadline_ms: u64,
+) -> ClientStats {
+    let mut stats = ClientStats::default();
+    let mut conn: Option<TcpStream> = None;
+    let request = format!(
+        "POST /explain HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    for _ in 0..requests {
+        let stream = match conn.take() {
+            Some(s) => s,
+            None => match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(
+                        deadline_ms + 35_000,
+                    )));
+                    s
+                }
+                Err(_) => {
+                    stats.errors += 1;
+                    continue;
+                }
+            },
+        };
+        let mut stream = stream;
+        let t0 = Instant::now();
+        if stream.write_all(request.as_bytes()).is_err() {
+            stats.errors += 1;
+            continue;
+        }
+        match read_response(&mut stream) {
+            Ok((200, _)) => {
+                stats.latencies.push(t0.elapsed());
+                stats.ok += 1;
+                stats.cfs += rows as u64;
+                conn = Some(stream);
+            }
+            Ok((429, _)) | Ok((503, _)) => {
+                stats.shed += 1;
+                conn = Some(stream);
+            }
+            Ok(_) => {
+                stats.errors += 1;
+                conn = Some(stream);
+            }
+            Err(_) => {
+                stats.errors += 1;
+            }
+        }
+    }
+    stats
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&args);
+    let _ = cfx_obs::init_from_env();
+
+    eprintln!("training boot model (n={}, seed={})...", opts.n, opts.seed);
+    let boot = boot_model(opts.n, opts.seed);
+    let width = boot.data.width();
+    // One denied-looking row, replicated: request bytes are identical
+    // across clients so the server-side work per request is uniform.
+    let row: Vec<f32> = boot.data.x.row_slice(0).to_vec();
+    let mut body = String::from("{\"rows\":[");
+    for i in 0..opts.rows {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            cfx_obs::json::write_f64(&mut body, *v as f64);
+        }
+        body.push(']');
+    }
+    body.push_str(&format!("],\"deadline_ms\":{}}}", opts.deadline_ms));
+    let body = Arc::new(body);
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_cap: opts.queue_cap,
+        default_deadline_ms: opts.deadline_ms,
+        ..Default::default()
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = cfx_serve::spawn(cfg, boot, Arc::clone(&shutdown))
+        .expect("spawn server");
+    let addr = handle.addr();
+    eprintln!("serving on {addr} (width={width})");
+
+    let mut levels_json = Vec::new();
+    for &clients in &opts.clients {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let body = Arc::clone(&body);
+                std::thread::spawn(move || {
+                    run_client(
+                        addr,
+                        body,
+                        opts.requests,
+                        opts.rows,
+                        opts.deadline_ms,
+                    )
+                })
+            })
+            .collect();
+        let mut all = ClientStats::default();
+        for h in handles {
+            let s = h.join().expect("client thread");
+            all.latencies.extend(s.latencies);
+            all.ok += s.ok;
+            all.shed += s.shed;
+            all.errors += s.errors;
+            all.cfs += s.cfs;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        all.latencies.sort();
+        let p50 = percentile(&all.latencies, 0.50);
+        let p99 = percentile(&all.latencies, 0.99);
+        let cfs_per_sec = if wall > 0.0 { all.cfs as f64 / wall } else { 0.0 };
+        eprintln!(
+            "clients={clients:>3}  ok={:>5}  shed={:>4}  errors={:>3}  \
+             p50={p50:>8.2}ms  p99={p99:>8.2}ms  cfs/sec={cfs_per_sec:>8.1}",
+            all.ok, all.shed, all.errors
+        );
+        levels_json.push(format!(
+            "{{\"clients\":{clients},\"requests_per_client\":{},\"ok\":{},\
+             \"shed\":{},\"errors\":{},\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
+             \"cfs_per_sec\":{cfs_per_sec:.3},\"wall_s\":{wall:.3}}}",
+            opts.requests, all.ok, all.shed, all.errors
+        ));
+    }
+
+    handle.shutdown();
+    let report = handle.join();
+    eprintln!(
+        "drained: accepted={} served={} shed={} timeouts={} malformed={}",
+        report.accepted,
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.malformed
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve_load\",\"rows_per_request\":{},\"queue_cap\":{},\
+         \"deadline_ms\":{},\"levels\":[{}],\"drain\":{{\"accepted\":{},\
+         \"served\":{},\"shed\":{},\"timeouts\":{},\"malformed\":{}}}}}\n",
+        opts.rows,
+        opts.queue_cap,
+        opts.deadline_ms,
+        levels_json.join(","),
+        report.accepted,
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.malformed
+    );
+    std::fs::write(&opts.out, &json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", opts.out));
+    println!("wrote {}", opts.out);
+    cfx_obs::close_jsonl();
+}

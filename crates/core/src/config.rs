@@ -239,6 +239,36 @@ impl GenRecoveryConfig {
     }
 }
 
+/// Generation-side memory/latency knobs for
+/// [`FeasibleCfModel`](crate::FeasibleCfModel), separate from the
+/// training hyper-parameters of [`FeasibleCfConfig`].
+///
+/// The serving daemon tunes these under memory pressure; the defaults
+/// reproduce the historical hard-coded behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainConfig {
+    /// Cap on the FACE-style nearest-neighbor fallback pool subsampled
+    /// from the training rows at model construction. Larger pools give
+    /// better fallback counterfactuals but cost O(pool²) distance work
+    /// and O(pool × width) resident memory per model. The default (512)
+    /// is the value that was previously hard-coded.
+    pub fallback_pool_cap: usize,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        ExplainConfig { fallback_pool_cap: 512 }
+    }
+}
+
+impl ExplainConfig {
+    /// Builder-style fallback-pool-cap override.
+    pub fn with_fallback_pool_cap(mut self, cap: usize) -> Self {
+        self.fallback_pool_cap = cap;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,10 +6,11 @@ use crate::config::GenRecoveryConfig;
 use crate::model::FeasibleCfModel;
 use cfx_data::{csv::format_value, Encoding, Schema, Value};
 use cfx_manifold::pairwise_sq_dists;
-use cfx_tensor::Tensor;
+use cfx_tensor::{CfxError, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 /// How a counterfactual was obtained (the graceful-degradation ladder of
 /// `explain_batch`).
@@ -145,6 +146,47 @@ impl FeasibleCfModel {
         x: &Tensor,
         recovery: &GenRecoveryConfig,
     ) -> ExplanationBatch {
+        self.explain_rungs(x, recovery, None)
+            .expect("explain without a deadline cannot time out")
+    }
+
+    /// Deadline-bounded [`explain_batch_with`](Self::explain_batch_with):
+    /// the degradation ladder is cut short once `deadline` is spent
+    /// instead of silently burning time the caller no longer has.
+    ///
+    /// - A zero budget, or a first decode that alone exceeds the budget,
+    ///   returns [`CfxError::Timeout`] — the caller (e.g. the serving
+    ///   daemon's `504` path) learns *that* and *by how much* it missed.
+    /// - Once the budget runs out mid-ladder, remaining resample rungs
+    ///   are skipped and still-broken rows jump straight to the cheap
+    ///   nearest-neighbor fallback, so every returned batch is complete
+    ///   and finite. The cut is observable (`cfx_explain_deadline_cut_total`).
+    ///
+    /// With the same inputs and a budget large enough that nothing is
+    /// cut, the result is bitwise identical to
+    /// [`explain_batch_with`](Self::explain_batch_with).
+    pub fn explain_batch_deadline(
+        &self,
+        x: &Tensor,
+        recovery: &GenRecoveryConfig,
+        deadline: Duration,
+    ) -> Result<ExplanationBatch, CfxError> {
+        self.explain_rungs(x, recovery, Some(deadline))
+    }
+
+    fn explain_rungs(
+        &self,
+        x: &Tensor,
+        recovery: &GenRecoveryConfig,
+        budget: Option<Duration>,
+    ) -> Result<ExplanationBatch, CfxError> {
+        let start = Instant::now();
+        let over = |b: &Duration| start.elapsed() >= *b;
+        if let Some(b) = &budget {
+            if b.is_zero() {
+                return Err(CfxError::timeout("explain_batch admission", 0));
+            }
+        }
         let timer = cfx_obs::Timer::start();
         let _span = cfx_obs::span!("explain_batch", rows = x.rows());
         let cf = self.counterfactuals(x);
@@ -170,6 +212,18 @@ impl FeasibleCfModel {
             })
             .collect();
 
+        // A first decode that alone blew the budget: the caller's client
+        // is already gone; surface the miss as a typed error instead of
+        // continuing to spend compute on an unwanted answer.
+        if let Some(b) = &budget {
+            if over(b) {
+                return Err(CfxError::timeout(
+                    "explain_batch first shot",
+                    b.as_millis() as u64,
+                ));
+            }
+        }
+
         let needs_help = |e: &Counterfactual| {
             !e.cf.iter().all(|v| v.is_finite()) || !(e.valid && e.feasible)
         };
@@ -179,6 +233,21 @@ impl FeasibleCfModel {
         // Rung 2: latent resampling on the still-failing rows only.
         for attempt in 1..=recovery.resample_attempts {
             if pending.is_empty() {
+                break;
+            }
+            // Budget spent mid-ladder: skip the remaining (expensive)
+            // resample rungs and let still-broken rows take the cheap
+            // nearest-neighbor fallback below. Observable, not silent.
+            if budget.as_ref().is_some_and(over) {
+                if cfx_obs::ENABLED {
+                    cfx_obs::event!(
+                        "explain_deadline_cut",
+                        attempt = attempt,
+                        pending = pending.len(),
+                    );
+                    cfx_obs::metrics::counter("cfx_explain_deadline_cut_total")
+                        .inc(1);
+                }
                 break;
             }
             let xb = x.gather_rows_pooled(&pending);
@@ -255,7 +324,7 @@ impl FeasibleCfModel {
             )
             .observe(ns_per_cf as f64);
         }
-        batch
+        Ok(batch)
     }
 
     /// Overwrites `examples[r]` for each `r` in `rows` with the nearest

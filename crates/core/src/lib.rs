@@ -53,8 +53,8 @@ pub use cfx_tensor::checkpoint::{
 };
 pub use cfx_tensor::CfxError;
 pub use config::{
-    CfLossWeights, ConstraintMode, FeasibleCfConfig, GenRecoveryConfig,
-    WatchdogConfig,
+    CfLossWeights, ConstraintMode, ExplainConfig, FeasibleCfConfig,
+    GenRecoveryConfig, WatchdogConfig,
 };
 pub use constraints::{feasibility_rate, Constraint, FeatureView};
 pub use discovery::{discover_binary_constraints, DiscoveryConfig, ScoredConstraint};
@@ -68,5 +68,5 @@ pub use mask::ImmutableMask;
 pub use path::{LatentPath, PathStep};
 pub use model::{
     EpochStats, FaultDetected, FeasibleCfModel, RecoveryEvent, TrainReport,
-    TrainStatus,
+    TrainStatus, SERVABLE_FORMAT,
 };

@@ -1,7 +1,7 @@
 //! The paper's counterfactual generator: a conditional VAE trained with
 //! the four-part loss, against a frozen black-box classifier (Fig. 4).
 
-use crate::config::{ConstraintMode, FeasibleCfConfig, WatchdogConfig};
+use crate::config::{ConstraintMode, ExplainConfig, FeasibleCfConfig, WatchdogConfig};
 use crate::constraints::Constraint;
 use crate::loss::cf_loss;
 use crate::mask::ImmutableMask;
@@ -125,17 +125,19 @@ pub(crate) struct FallbackPool {
     pub classes: Vec<u8>,
 }
 
-/// Pool size cap: large enough that both classes are represented on every
-/// benchmark, small enough that the O(pool²) distance matrix stays cheap.
-const FALLBACK_POOL_CAP: usize = 512;
-
 impl FallbackPool {
-    fn build(data: &EncodedDataset, blackbox: &BlackBox) -> Self {
+    /// Subsamples at most `cap` training rows (evenly strided, so both
+    /// classes stay represented) and records their black-box classes.
+    /// `cap` comes from [`ExplainConfig::fallback_pool_cap`]; the default
+    /// keeps the pool large enough that both classes appear on every
+    /// benchmark and small enough that the O(pool²) distance matrix
+    /// stays cheap.
+    fn build(data: &EncodedDataset, blackbox: &BlackBox, cap: usize) -> Self {
         let n = data.len();
-        if n == 0 {
+        if n == 0 || cap == 0 {
             return FallbackPool { rows: Vec::new(), classes: Vec::new() };
         }
-        let stride = n.div_ceil(FALLBACK_POOL_CAP).max(1);
+        let stride = n.div_ceil(cap).max(1);
         let idx: Vec<usize> = (0..n).step_by(stride).collect();
         let (px, _) = data.subset(&idx);
         let classes = blackbox.predict(&px);
@@ -168,6 +170,25 @@ impl FeasibleCfModel {
         constraints: Vec<Constraint>,
         config: FeasibleCfConfig,
     ) -> Self {
+        Self::new_with_explain(
+            data,
+            blackbox,
+            constraints,
+            config,
+            &ExplainConfig::default(),
+        )
+    }
+
+    /// Like [`new`](Self::new) with explicit generation-side knobs —
+    /// currently the FACE fallback-pool cap, which a memory-pressured
+    /// server tunes down (see [`ExplainConfig`]).
+    pub fn new_with_explain(
+        data: &EncodedDataset,
+        blackbox: BlackBox,
+        constraints: Vec<Constraint>,
+        config: FeasibleCfConfig,
+        explain: &ExplainConfig,
+    ) -> Self {
         assert_eq!(
             blackbox.input_dim(),
             data.width(),
@@ -197,8 +218,22 @@ impl FeasibleCfModel {
         } else {
             ImmutableMask::all_mutable(data.width())
         };
-        let fallback_pool = FallbackPool::build(data, &blackbox);
+        let fallback_pool =
+            FallbackPool::build(data, &blackbox, explain.fallback_pool_cap);
         FeasibleCfModel { vae, blackbox, constraints, mask, config, fallback_pool }
+    }
+
+    /// Rebuilds the nearest-neighbor fallback pool from `data` at a new
+    /// cap — used after importing weights (the pool's classes depend on
+    /// the black box) and by servers shrinking resident memory.
+    pub fn rebuild_fallback_pool(&mut self, data: &EncodedDataset, explain: &ExplainConfig) {
+        self.fallback_pool =
+            FallbackPool::build(data, &self.blackbox, explain.fallback_pool_cap);
+    }
+
+    /// Rows currently held by the fallback pool (for memory accounting).
+    pub fn fallback_pool_len(&self) -> usize {
+        self.fallback_pool.rows.len()
     }
 
     /// Builds the paper's constraints for a dataset/mode pair (§IV-E):
@@ -843,7 +878,54 @@ impl FeasibleCfModel {
     pub fn config(&self) -> &FeasibleCfConfig {
         &self.config
     }
+
+    /// Writes everything a serving process needs to reconstruct this
+    /// trained model — generator and classifier weights plus a format
+    /// marker and the encoded width — into `ckpt` under `serve.*`
+    /// sections. The scaffold (constraints, mask, config) is rebuilt by
+    /// the loader from the dataset spec; only learned state travels in
+    /// the file.
+    pub fn export_servable(&self, ckpt: &mut Checkpoint) {
+        ckpt.put_str("serve.format", SERVABLE_FORMAT);
+        ckpt.put_u64s("serve.width", &[self.blackbox.input_dim() as u64]);
+        self.vae.export_to(ckpt, "serve.vae");
+        self.blackbox.export_to(ckpt, "serve.bb");
+    }
+
+    /// Restores the learned state written by
+    /// [`export_servable`](Self::export_servable) into this scaffold
+    /// model and rebuilds the fallback pool (its classes depend on the
+    /// imported classifier). A missing marker, a width mismatch or any
+    /// shape mismatch is a [`CfxError::Corrupt`] and leaves no silently
+    /// half-loaded model: the importer validates before touching weights.
+    pub fn import_servable(
+        &mut self,
+        data: &EncodedDataset,
+        explain: &ExplainConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<(), CfxError> {
+        let format = ckpt.str_section("serve.format")?;
+        if format != SERVABLE_FORMAT {
+            return Err(CfxError::corrupt(format!(
+                "servable format {format:?}, expected {SERVABLE_FORMAT:?}"
+            )));
+        }
+        let width = ckpt.u64s("serve.width")?;
+        if width != [self.blackbox.input_dim() as u64] {
+            return Err(CfxError::corrupt(format!(
+                "servable width {width:?} does not match model width {}",
+                self.blackbox.input_dim()
+            )));
+        }
+        self.vae.import_from(ckpt, "serve.vae")?;
+        self.blackbox.import_from(ckpt, "serve.bb")?;
+        self.rebuild_fallback_pool(data, explain);
+        Ok(())
+    }
 }
+
+/// Format marker of [`FeasibleCfModel::export_servable`] checkpoints.
+pub const SERVABLE_FORMAT: &str = "cfx-servable-v1";
 
 /// Builds a length-`n` epoch order drawing alternately from the two
 /// prediction groups (shuffled, minority oversampled by cycling). Falls

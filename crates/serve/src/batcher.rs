@@ -1,0 +1,186 @@
+//! Deadline-based micro-batching into `explain_batch`.
+//!
+//! One batcher thread owns all model compute (the kernels underneath
+//! parallelize via `cfx_tensor::runtime`, so a single consumer already
+//! saturates the cores while keeping results deterministic). It blocks
+//! on the bounded queue, then gathers more jobs until either the batch
+//! row budget is met or the flush deadline — `min(linger, earliest
+//! request deadline)` — arrives. Jobs whose deadline has already passed
+//! in the queue are answered with a typed [`CfxError::Timeout`] without
+//! spending compute on an answer nobody is waiting for.
+//!
+//! Each job is explained as its own `explain_batch` call (in arrival
+//! order) rather than concatenated with its batch-mates: the resampling
+//! rung draws noise positionally, so concatenation would make a
+//! request's bytes depend on which strangers shared its batch. Batching
+//! here amortizes queue wake-ups and model-snapshot grabs while keeping
+//! the serving invariant that a request's response depends only on its
+//! own rows — that invariant is what makes drained-under-load runs
+//! byte-identical to unloaded runs.
+
+use crate::queue::BoundedQueue;
+use crate::registry::{ModelRegistry, Servable};
+use cfx_core::Provenance;
+use cfx_obs::json::write_f64;
+use cfx_tensor::{CfxError, Tensor};
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One admitted `/explain` request waiting for compute.
+pub struct ExplainJob {
+    /// Decoded feature rows (already width-validated at admission).
+    pub rows: Vec<Vec<f32>>,
+    /// Absolute deadline for the reply.
+    pub deadline: Instant,
+    /// The deadline budget as requested, for error reporting.
+    pub deadline_ms: u64,
+    /// Where the pre-rendered JSON body (or typed error) goes.
+    pub reply: mpsc::Sender<Result<String, CfxError>>,
+}
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Row budget per flush.
+    pub max_batch_rows: usize,
+    /// How long to linger for batch-mates after the first job.
+    pub linger: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch_rows: 256,
+            linger: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Consumes the queue until it is closed *and* empty (the drain
+/// contract), answering every job exactly once.
+pub fn run(
+    queue: &BoundedQueue<ExplainJob>,
+    registry: &ModelRegistry,
+    cfg: &BatcherConfig,
+) {
+    while let Some(first) = queue.pop_wait() {
+        let mut batch = vec![first];
+        let mut rows = batch[0].rows.len();
+        let flush_by = Instant::now() + cfg.linger;
+        let flush_by = flush_by.min(batch[0].deadline);
+        while rows < cfg.max_batch_rows {
+            match queue.pop_until(flush_by) {
+                Some(job) => {
+                    rows += job.rows.len();
+                    batch.push(job);
+                }
+                None => break,
+            }
+        }
+        // The push side only raises this gauge; settle it here so a
+        // drain snapshot reports the true (empty) backlog.
+        if cfx_obs::ENABLED {
+            cfx_obs::metrics::gauge("cfx_serve_queue_depth")
+                .set(queue.len() as f64);
+        }
+        // Reload opportunity at every batch boundary: a new checkpoint
+        // is at most one batch away from serving.
+        let _ = registry.poll();
+        let servable = registry.current();
+        if cfx_obs::ENABLED {
+            use cfx_obs::metrics::{counter, histogram};
+            counter("cfx_serve_batches_total").inc(1);
+            histogram("cfx_serve_batch_rows", &[1.0, 4.0, 16.0, 64.0, 256.0])
+                .observe(rows as f64);
+        }
+        for job in batch {
+            let result = explain_job(&servable, &job);
+            // A dead receiver (client gone) is fine; the send result
+            // only tells us whether anyone is still listening.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+/// Runs one job against the current snapshot, enforcing its deadline.
+fn explain_job(servable: &Servable, job: &ExplainJob) -> Result<String, CfxError> {
+    let now = Instant::now();
+    if now >= job.deadline {
+        // Expired while queued: shed the compute, type the miss.
+        if cfx_obs::ENABLED {
+            cfx_obs::metrics::counter("cfx_serve_expired_total").inc(1);
+        }
+        return Err(CfxError::timeout("queued explain", job.deadline_ms));
+    }
+    let x = Tensor::from_rows(&job.rows);
+    let batch = servable.model.explain_batch_deadline(
+        &x,
+        &servable.recovery,
+        job.deadline - now,
+    )?;
+    Ok(render_body(servable, &batch.examples))
+}
+
+/// Renders the `/explain` response body. Deterministic: floats go
+/// through the fixed `write_f64` formatter and no timing or
+/// load-dependent fields appear, so the same input rows against the
+/// same model version always produce byte-identical bodies.
+fn render_body(
+    servable: &Servable,
+    examples: &[cfx_core::Counterfactual],
+) -> String {
+    let mut out = String::with_capacity(64 + examples.len() * 128);
+    let _ = write!(
+        out,
+        "{{\"model_version\":{},\"model_source\":",
+        servable.version
+    );
+    cfx_obs::json::write_str(&mut out, &servable.source);
+    let _ = write!(out, ",\"count\":{},\"results\":[", examples.len());
+    for (i, e) in examples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cf\":[");
+        for (j, v) in e.cf.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_f64(&mut out, *v as f64);
+        }
+        let _ = write!(
+            out,
+            "],\"input_class\":{},\"desired_class\":{},\"cf_class\":{},\"valid\":{},\"feasible\":{},\"provenance\":\"{}\"}}",
+            e.input_class,
+            e.desired_class,
+            e.cf_class,
+            e.valid,
+            e.feasible,
+            provenance_tag(e.provenance),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn provenance_tag(p: Provenance) -> String {
+    match p {
+        Provenance::FirstShot => "first_shot".to_string(),
+        Provenance::Resampled(n) => format!("resampled:{n}"),
+        Provenance::Fallback => "fallback".to_string(),
+    }
+}
+
+/// Spawns the batcher on its own thread.
+pub fn spawn(
+    queue: Arc<BoundedQueue<ExplainJob>>,
+    registry: Arc<ModelRegistry>,
+    cfg: BatcherConfig,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("cfx-serve-batcher".into())
+        .spawn(move || run(&queue, &registry, &cfg))
+        .expect("spawn batcher thread")
+}

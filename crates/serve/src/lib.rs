@@ -1,0 +1,46 @@
+//! cfx-serve: a fault-tolerant amortized counterfactual serving daemon.
+//!
+//! The amortized promise of the paper's framework — train once, answer
+//! `explain` queries in milliseconds — only pays off if something can
+//! actually hold the model resident and answer queries. This crate is
+//! that something: a zero-dependency HTTP/1.1 daemon built on
+//! `std::net`, with the robustness contract stated up front:
+//!
+//! * **Bounded everything.** A fixed-capacity request queue sits
+//!   between connection threads and the single compute thread; when it
+//!   fills, requests are shed with `429` + `Retry-After` instead of
+//!   buffered. Memory use is independent of offered load.
+//! * **Deadlines end-to-end.** Every request carries a deadline
+//!   (client-supplied or defaulted) that is enforced in the queue, in
+//!   the micro-batcher, and inside `explain_batch` itself via
+//!   [`cfx_core::FeasibleCfModel::explain_batch_deadline`]; misses are
+//!   typed [`cfx_tensor::CfxError::Timeout`] → `504`/`408`.
+//! * **Graceful drain.** SIGTERM stops admissions, completes every
+//!   accepted request, writes a final Prometheus snapshot, and exits 0.
+//! * **Deterministic responses.** Requests are explained individually
+//!   (micro-batching amortizes wake-ups, never mixes RNG streams), so
+//!   a response's bytes depend only on its own rows and the model
+//!   version — under load, under drain, under chaos.
+//! * **Deterministic chaos.** `CFX_SERVE_FAULT=slow-client|malformed|`
+//!   `kill@<n>` arms reproducible network faults for drills.
+//!
+//! Routes: `POST /explain`, `GET /healthz`, `GET /metrics`.
+
+#![forbid(clippy::unwrap_used)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod fault;
+pub mod http;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatcherConfig, ExplainJob};
+pub use fault::{FaultClock, ServeFault};
+pub use http::{Limits, ParseError};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{ModelRegistry, Servable};
+pub use server::{
+    install_signal_handlers, spawn, DrainReport, ServeConfig, ServerHandle,
+};

@@ -1,0 +1,163 @@
+//! Hot-loading model registry.
+//!
+//! The daemon serves from an [`Servable`] snapshot behind an `Arc`:
+//! request batches grab the current snapshot, so a reload never stalls
+//! or torments in-flight work. [`ModelRegistry::poll`] watches a
+//! directory for `*.cfxckpt` files written by
+//! [`FeasibleCfModel::export_servable`]; the newest file (by mtime,
+//! then name) is imported into a clone of the scaffold and swapped in
+//! atomically. A file that fails verification — bad CRC, wrong width,
+//! truncation — is quarantined (`*.corrupt`, the `cfx_tensor::checkpoint`
+//! convention) and the registry keeps serving the last good model:
+//! corrupt state is never loaded and never crashes the daemon.
+
+use cfx_core::{
+    ExplainConfig, FeasibleCfModel, GenRecoveryConfig,
+};
+use cfx_data::EncodedDataset;
+use cfx_tensor::checkpoint::{self, Checkpoint};
+use cfx_tensor::CfxError;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// Everything a batch needs to answer `/explain`: the trained model
+/// plus the generation-side knobs, versioned for observability.
+pub struct Servable {
+    /// The trained model (generator + classifier + constraints + mask).
+    pub model: FeasibleCfModel,
+    /// Dataset the scaffold was built from (pool rebuilds on import).
+    pub data: EncodedDataset,
+    /// Generation-side knobs (fallback-pool cap).
+    pub explain: ExplainConfig,
+    /// Degradation-ladder budgets used per request.
+    pub recovery: GenRecoveryConfig,
+    /// Monotone version: 0 for the boot model, +1 per hot reload.
+    pub version: u64,
+    /// Where the weights came from (`"boot"` or a checkpoint file name).
+    pub source: String,
+}
+
+/// Registry state: the current snapshot plus reload bookkeeping.
+pub struct ModelRegistry {
+    current: Mutex<Arc<Servable>>,
+    dir: Option<PathBuf>,
+    loaded: Mutex<Option<(SystemTime, PathBuf)>>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry serving `boot`, optionally hot-loading from
+    /// `dir`.
+    pub fn new(boot: Servable, dir: Option<PathBuf>) -> Self {
+        ModelRegistry {
+            current: Mutex::new(Arc::new(boot)),
+            dir,
+            loaded: Mutex::new(None),
+        }
+    }
+
+    /// The snapshot to serve the next batch from.
+    pub fn current(&self) -> Arc<Servable> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// Scans the watch directory and hot-loads the newest checkpoint if
+    /// it differs from the last one loaded. Called at batch boundaries,
+    /// so a reload is at most one batch away from taking effect.
+    ///
+    /// Returns `Ok(true)` when a new model was swapped in. Corrupt
+    /// candidates are quarantined and reported via the
+    /// `cfx_serve_model_quarantined_total` counter; the last good model
+    /// keeps serving either way.
+    pub fn poll(&self) -> Result<bool, CfxError> {
+        let Some(dir) = &self.dir else { return Ok(false) };
+        let Some((mtime, path)) = newest_checkpoint(dir) else {
+            return Ok(false);
+        };
+        {
+            let loaded = self.loaded.lock().unwrap();
+            if loaded.as_ref() == Some(&(mtime, path.clone())) {
+                return Ok(false);
+            }
+        }
+        match self.try_load(&path) {
+            Ok(()) => {
+                *self.loaded.lock().unwrap() = Some((mtime, path.clone()));
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_model_reloads_total").inc(1);
+                    cfx_obs::info!(
+                        "serve_model_reloaded",
+                        path = path.display().to_string(),
+                    );
+                }
+                Ok(true)
+            }
+            Err(CfxError::Io(e)) => {
+                // Transient I/O (e.g. the file vanished between scan and
+                // read): not corrupt, retry on the next poll.
+                if cfx_obs::ENABLED {
+                    cfx_obs::warn!("serve_model_read_failed", error = e.clone());
+                }
+                Ok(false)
+            }
+            Err(e) => {
+                // Verification failure: quarantine so the next scan does
+                // not retry the same bad file, keep serving the old model.
+                checkpoint::quarantine(&path);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_model_quarantined_total")
+                        .inc(1);
+                    cfx_obs::warn!(
+                        "serve_model_quarantined",
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn try_load(&self, path: &Path) -> Result<(), CfxError> {
+        let ckpt = Checkpoint::read(path)?;
+        let cur = self.current();
+        // Import into a clone: the served snapshot is immutable, and a
+        // failed import leaves nothing half-loaded.
+        let mut model = cur.model.clone();
+        model.import_servable(&cur.data, &cur.explain, &ckpt)?;
+        let next = Servable {
+            model,
+            data: cur.data.clone(),
+            explain: cur.explain,
+            recovery: cur.recovery,
+            version: cur.version + 1,
+            source: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+        };
+        *self.current.lock().unwrap() = Arc::new(next);
+        Ok(())
+    }
+}
+
+/// Newest `*.cfxckpt` in `dir` by (mtime, name); `None` when the
+/// directory is missing or holds no candidates.
+fn newest_checkpoint(dir: &Path) -> Option<(SystemTime, PathBuf)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<(SystemTime, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(checkpoint::EXTENSION)
+        {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        let candidate = (mtime, path);
+        if best.as_ref().is_none_or(|b| candidate > *b) {
+            best = Some(candidate);
+        }
+    }
+    best
+}

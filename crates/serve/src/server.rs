@@ -1,0 +1,798 @@
+//! The serving daemon: accept loop, connection handling, admission
+//! control, and graceful drain.
+//!
+//! Thread model: one accept loop (non-blocking + short poll so it can
+//! observe the shutdown flag), one thread per accepted connection
+//! (connections beyond `max_conns` are answered `429` and closed —
+//! shed, not buffered), and one batcher thread that owns all model
+//! compute. Connection threads only parse, validate, enqueue and wait;
+//! the bounded queue between them and the batcher is the backpressure
+//! point, so memory use is bounded by
+//! `max_conns * max_body + queue_cap * rows` no matter the offered
+//! load.
+//!
+//! Drain (SIGTERM/SIGINT or [`ServerHandle::shutdown`]): the accept
+//! loop stops and the listener closes (the port is released
+//! immediately), every accepted connection finishes its in-flight
+//! request (responses during drain carry `Connection: close`; idle
+//! keep-alive connections are bounded by the read timeout), then the
+//! queue closes, the batcher drains whatever was admitted, a final
+//! Prometheus snapshot is written, and the caller gets a
+//! [`DrainReport`]. Nothing accepted is ever dropped.
+
+use crate::batcher::{self, BatcherConfig, ExplainJob};
+use crate::fault::{FaultClock, ServeFault};
+use crate::http::{self, Limits, Method, Parse, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{ModelRegistry, Servable};
+use cfx_tensor::CfxError;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. Defaults are sized for a single-host CI run;
+/// the `cfx serve` subcommand exposes the load-bearing knobs as flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Bounded request-queue capacity (the backpressure point).
+    pub queue_cap: usize,
+    /// Max concurrent connections before shedding at accept.
+    pub max_conns: usize,
+    /// Micro-batcher row budget per flush.
+    pub max_batch_rows: usize,
+    /// Micro-batcher linger in milliseconds.
+    pub linger_ms: u64,
+    /// Deadline applied when a request does not name one.
+    pub default_deadline_ms: u64,
+    /// Cap on client-requested deadlines.
+    pub max_deadline_ms: u64,
+    /// Socket read timeout (also bounds idle keep-alive during drain).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout (slow readers cannot wedge a thread).
+    pub write_timeout_ms: u64,
+    /// `Retry-After` hint (milliseconds) attached to shed responses.
+    pub retry_after_ms: u64,
+    /// Max rows per `/explain` request.
+    pub max_rows_per_request: usize,
+    /// HTTP head/body size limits.
+    pub limits: Limits,
+    /// Directory watched for hot-loadable model checkpoints.
+    pub model_dir: Option<PathBuf>,
+    /// Final Prometheus snapshot written at drain.
+    pub prom_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_cap: 64,
+            max_conns: 128,
+            max_batch_rows: 256,
+            linger_ms: 2,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            retry_after_ms: 50,
+            max_rows_per_request: 256,
+            limits: Limits::default(),
+            model_dir: None,
+            prom_out: None,
+        }
+    }
+}
+
+/// Terminal tallies of one server run, for drain assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests answered 200.
+    pub served: u64,
+    /// Requests shed with 429 (queue full or connection cap).
+    pub shed: u64,
+    /// Requests that missed a deadline (504/408).
+    pub timeouts: u64,
+    /// Requests answered with a typed non-shed 4xx/5xx.
+    pub malformed: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Arc<BoundedQueue<ExplainJob>>,
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    clock: FaultClock,
+    fault: Option<ServeFault>,
+    active_conns: AtomicUsize,
+    served: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: address, shutdown trigger, and the join handle
+/// that yields the drain report.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<DrainReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers a graceful drain (same path as SIGTERM).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the drain to finish.
+    pub fn join(self) -> DrainReport {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// Pre-registers every serve metric so scrapes (and the final drain
+/// snapshot) carry the full family even before traffic arrives.
+fn register_metrics() {
+    if !cfx_obs::ENABLED {
+        return;
+    }
+    use cfx_obs::metrics::{counter, gauge};
+    counter("cfx_serve_requests_total").inc(0);
+    counter("cfx_serve_shed_total").inc(0);
+    counter("cfx_serve_timeouts_total").inc(0);
+    counter("cfx_serve_malformed_total").inc(0);
+    counter("cfx_serve_batches_total").inc(0);
+    counter("cfx_serve_expired_total").inc(0);
+    counter("cfx_serve_model_reloads_total").inc(0);
+    counter("cfx_serve_model_quarantined_total").inc(0);
+    gauge("cfx_serve_queue_depth").set(0.0);
+    gauge("cfx_serve_active_connections").set(0.0);
+    gauge("cfx_serve_draining").set(0.0);
+}
+
+/// Installs SIGTERM/SIGINT handlers that set `flag`. Hand-rolled FFI
+/// against the libc `signal` that `std` already links — no new
+/// dependency. The handler body only stores to an atomic, which is
+/// async-signal-safe. No-op on non-unix targets.
+pub fn install_signal_handlers(flag: &Arc<AtomicBool>) {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    let _ = FLAG.set(Arc::clone(flag));
+    #[cfg(unix)]
+    {
+        unsafe extern "C" fn on_signal(_sig: i32) {
+            if let Some(f) = FLAG.get() {
+                f.store(true, Ordering::SeqCst);
+            }
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Binds and spawns the daemon. The returned handle exposes the bound
+/// address immediately; the server runs until `shutdown` (or a signal
+/// wired to the same flag via [`install_signal_handlers`]) triggers
+/// the drain.
+pub fn spawn(
+    cfg: ServeConfig,
+    boot: Servable,
+    shutdown: Arc<AtomicBool>,
+) -> Result<ServerHandle, CfxError> {
+    let fault = ServeFault::from_env()?;
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| CfxError::io(format!("bind {}: {e}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CfxError::io(format!("local_addr: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CfxError::io(format!("set_nonblocking: {e}")))?;
+    register_metrics();
+    let shared = Arc::new(Shared {
+        queue: Arc::new(BoundedQueue::new(cfg.queue_cap)),
+        registry: Arc::new(ModelRegistry::new(boot, cfg.model_dir.clone())),
+        shutdown: Arc::clone(&shutdown),
+        clock: FaultClock::default(),
+        fault,
+        active_conns: AtomicUsize::new(0),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        malformed: AtomicU64::new(0),
+        cfg,
+    });
+    let join = std::thread::Builder::new()
+        .name("cfx-serve-accept".into())
+        .spawn(move || run(listener, shared))
+        .map_err(|e| CfxError::io(format!("spawn accept thread: {e}")))?;
+    Ok(ServerHandle { addr, shutdown, join })
+}
+
+fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
+    cfx_obs::info!(
+        "serve_listening",
+        addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+        queue_cap = shared.cfg.queue_cap,
+    );
+    let batcher = batcher::spawn(
+        Arc::clone(&shared.queue),
+        Arc::clone(&shared.registry),
+        BatcherConfig {
+            max_batch_rows: shared.cfg.max_batch_rows,
+            linger: Duration::from_millis(shared.cfg.linger_ms),
+        },
+    );
+
+    let mut accepted: u64 = 0;
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accepted += 1;
+                let conn_index = shared.clock.next_conn();
+                let active =
+                    shared.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::gauge("cfx_serve_active_connections")
+                        .set(active as f64);
+                }
+                let over_cap = active > shared.cfg.max_conns;
+                let sh = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name(format!("cfx-serve-conn-{conn_index}"))
+                    .spawn(move || {
+                        if over_cap {
+                            // Over the connection bound: shed at the
+                            // door with the same typed 429 the queue
+                            // uses, instead of letting threads pile up.
+                            shed_connection(&sh, stream);
+                        } else {
+                            handle_connection(&sh, stream, conn_index);
+                        }
+                        let left =
+                            sh.active_conns.fetch_sub(1, Ordering::SeqCst) - 1;
+                        if cfx_obs::ENABLED {
+                            cfx_obs::metrics::gauge(
+                                "cfx_serve_active_connections",
+                            )
+                            .set(left as f64);
+                        }
+                    })
+                    .expect("spawn connection thread");
+                conn_threads.push(h);
+                // Reap finished threads so the vec stays bounded under
+                // sustained load.
+                conn_threads.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Idle: poll the registry so reloads land even with no
+                // traffic, then nap briefly and re-check shutdown.
+                let _ = shared.registry.poll();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                cfx_obs::warn!("serve_accept_error", error = e.to_string());
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+
+    // ---- drain ---------------------------------------------------------
+    if cfx_obs::ENABLED {
+        cfx_obs::metrics::gauge("cfx_serve_draining").set(1.0);
+    }
+    cfx_obs::info!("serve_draining", accepted = accepted);
+    drop(listener); // the port closes before in-flight work finishes
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    // Every producer is done: close the queue, then the batcher exits
+    // once it has answered everything that was admitted.
+    shared.queue.close();
+    let _ = batcher.join();
+
+    let report = DrainReport {
+        accepted,
+        served: shared.served.load(Ordering::SeqCst),
+        shed: shared.shed.load(Ordering::SeqCst),
+        timeouts: shared.timeouts.load(Ordering::SeqCst),
+        malformed: shared.malformed.load(Ordering::SeqCst),
+    };
+    if let Some(path) = &shared.cfg.prom_out {
+        if let Err(e) = cfx_obs::metrics::write_prometheus(path) {
+            cfx_obs::warn!(
+                "serve_prom_out_failed",
+                path = path.display().to_string(),
+                error = e.to_string(),
+            );
+        }
+    }
+    cfx_obs::info!(
+        "serve_drained",
+        accepted = report.accepted,
+        served = report.served,
+        shed = report.shed,
+        timeouts = report.timeouts,
+        malformed = report.malformed,
+    );
+    report
+}
+
+/// Answers one connection with a connection-cap 429 and closes it.
+fn shed_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.shed.fetch_add(1, Ordering::SeqCst);
+    if cfx_obs::ENABLED {
+        cfx_obs::metrics::counter("cfx_serve_shed_total").inc(1);
+    }
+    let body = error_body(
+        "overloaded",
+        "connection limit reached",
+        Some(shared.cfg.retry_after_ms),
+    );
+    let retry = retry_after_header(shared.cfg.retry_after_ms);
+    let resp =
+        http::render_response(429, "application/json", &[retry], body.as_bytes(), false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.cfg.write_timeout_ms,
+    )));
+    let _ = stream.write_all(&resp);
+}
+
+/// `Retry-After` is specified in whole seconds; round the millisecond
+/// hint up so "soon" never becomes "now".
+fn retry_after_header(retry_after_ms: u64) -> (&'static str, String) {
+    (
+        "Retry-After",
+        retry_after_ms.div_ceil(1000).max(1).to_string(),
+    )
+}
+
+/// Renders the uniform JSON error body:
+/// `{"error":{"kind":...,"message":...}}` plus an optional
+/// `retry_after_ms` field for shed responses.
+fn error_body(kind: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut out = String::with_capacity(64 + message.len());
+    out.push_str("{\"error\":{\"kind\":");
+    cfx_obs::json::write_str(&mut out, kind);
+    out.push_str(",\"message\":");
+    cfx_obs::json::write_str(&mut out, message);
+    if let Some(ms) = retry_after_ms {
+        out.push_str(",\"retry_after_ms\":");
+        out.push_str(&ms.to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Maps a typed [`CfxError`] from the explain path to
+/// `(status, kind, retry_after_ms)`.
+fn map_cfx_error(e: &CfxError) -> (u16, &'static str, Option<u64>) {
+    match e {
+        CfxError::Timeout { .. } => (504, "timeout", None),
+        CfxError::Overloaded { retry_after_ms } => {
+            (429, "overloaded", Some(*retry_after_ms))
+        }
+        CfxError::Data(_) => (422, "bad_input", None),
+        _ => (500, "internal", None),
+    }
+}
+
+/// One accepted connection: read → parse → route → respond, keep-alive
+/// until the client closes, a timeout fires, or the drain begins.
+fn handle_connection(shared: &Shared, mut stream: TcpStream, conn_index: u64) {
+    let read_timeout = Duration::from_millis(shared.cfg.read_timeout_ms);
+    let write_timeout = Duration::from_millis(shared.cfg.write_timeout_ms);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // Deadlines for the first request anchor at accept time, *before*
+    // any injected stall: a slow-client fault consumes the request's
+    // own budget, so the timeout path fires deterministically.
+    let mut anchor = Instant::now();
+    if shared.clock.stalls(shared.fault, conn_index) {
+        std::thread::sleep(read_timeout);
+    }
+    let corrupt = shared.clock.corrupts(shared.fault, conn_index);
+    let mut corrupted_once = false;
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Parse whatever is already buffered before reading more — a
+        // pipelined follow-up request may be complete already.
+        match http::parse_request(&buf, &shared.cfg.limits) {
+            Ok(Parse::Done(req, consumed)) => {
+                buf.drain(..consumed);
+                let keep = req.keep_alive() && !shared.draining();
+                let wrote = respond(shared, &mut stream, &req, keep, anchor);
+                let served = shared.clock.record_served();
+                if shared.clock.should_kill(shared.fault, served) {
+                    // Crash drill: die exactly like CFX_CRASH does, so
+                    // restart tooling sees the familiar exit code.
+                    cfx_obs::warn!("serve_kill_fault", served = served);
+                    std::process::exit(cfx_tensor::checkpoint::CRASH_EXIT_CODE);
+                }
+                if !keep || !wrote {
+                    return;
+                }
+                anchor = Instant::now();
+                continue;
+            }
+            Ok(Parse::Partial) => {}
+            Err(e) => {
+                shared.malformed.fetch_add(1, Ordering::SeqCst);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_malformed_total")
+                        .inc(1);
+                    cfx_obs::event!(
+                        "serve_malformed",
+                        kind = e.kind(),
+                        conn = conn_index,
+                    );
+                }
+                let body = error_body(e.kind(), &e.to_string(), None);
+                let resp = http::render_response(
+                    e.status(),
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                let _ = stream.write_all(&resp);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Mid-frame EOF gets no reply (nobody is there to
+                // read it); a clean idle close is just the end of
+                // keep-alive.
+                return;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if corrupt && !corrupted_once && !buf.is_empty() {
+                    // Deterministic malformed-fault: flip the top bit
+                    // of the first head byte, once per connection.
+                    buf[0] ^= 0x80;
+                    corrupted_once = true;
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut =>
+            {
+                if buf.is_empty() {
+                    // Idle keep-alive past the read budget: close
+                    // quietly (this is also what bounds idle
+                    // connections during drain).
+                    return;
+                }
+                // Mid-frame stall: the client started a request and
+                // went quiet — answer 408 with a retry hint and close.
+                shared.timeouts.fetch_add(1, Ordering::SeqCst);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_timeouts_total")
+                        .inc(1);
+                }
+                let body = error_body(
+                    "timeout",
+                    "request head/body not received within the read timeout",
+                    Some(shared.cfg.retry_after_ms),
+                );
+                let retry = retry_after_header(shared.cfg.retry_after_ms);
+                let resp = http::render_response(
+                    408,
+                    "application/json",
+                    &[retry],
+                    body.as_bytes(),
+                    false,
+                );
+                let _ = stream.write_all(&resp);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed request and writes the response. Returns `false`
+/// when the connection should close (write failure).
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &Request,
+    keep_alive: bool,
+    anchor: Instant,
+) -> bool {
+    let resp = match (req.method, req.path()) {
+        (Method::Get, "/healthz") => handle_healthz(shared, keep_alive),
+        (Method::Get, "/metrics") => handle_metrics(keep_alive),
+        (Method::Post, "/explain") => {
+            handle_explain(shared, req, keep_alive, anchor)
+        }
+        (_, path) => {
+            shared.malformed.fetch_add(1, Ordering::SeqCst);
+            if cfx_obs::ENABLED {
+                cfx_obs::metrics::counter("cfx_serve_malformed_total").inc(1);
+            }
+            let body =
+                error_body("not_found", &format!("no route for {path}"), None);
+            http::render_response(
+                404,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+    };
+    stream.write_all(&resp).is_ok()
+}
+
+fn handle_healthz(shared: &Shared, keep_alive: bool) -> Vec<u8> {
+    let snapshot = shared.registry.current();
+    let depth = shared.queue.len();
+    let mut body = String::with_capacity(128);
+    body.push_str(if shared.draining() {
+        "{\"status\":\"draining\""
+    } else {
+        "{\"status\":\"ok\""
+    });
+    let _ = std::fmt::Write::write_fmt(
+        &mut body,
+        format_args!(
+            ",\"queue_depth\":{depth},\"queue_cap\":{},\"width\":{},\"model_version\":{},\"model_source\":",
+            shared.queue.cap(),
+            snapshot.data.width(),
+            snapshot.version,
+        ),
+    );
+    cfx_obs::json::write_str(&mut body, &snapshot.source);
+    body.push('}');
+    http::render_response(200, "application/json", &[], body.as_bytes(), keep_alive)
+}
+
+fn handle_metrics(keep_alive: bool) -> Vec<u8> {
+    let body = if cfx_obs::ENABLED {
+        cfx_obs::metrics::prometheus_snapshot()
+    } else {
+        "# telemetry disabled (built without the obs feature)\n".to_string()
+    };
+    http::render_response(
+        200,
+        "text/plain; version=0.0.4",
+        &[],
+        body.as_bytes(),
+        keep_alive,
+    )
+}
+
+/// Decoded `/explain` request body.
+struct ExplainRequest {
+    rows: Vec<Vec<f32>>,
+    deadline_ms: Option<u64>,
+}
+
+/// Parses `{"rows":[[...],...],"deadline_ms":250}` (deadline optional).
+fn parse_explain_body(
+    body: &[u8],
+    width: usize,
+    max_rows: usize,
+) -> Result<ExplainRequest, String> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value =
+        cfx_obs::json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let rows_value = value
+        .get("rows")
+        .ok_or_else(|| "missing required field \"rows\"".to_string())?;
+    let cfx_obs::json::Value::Arr(raw_rows) = rows_value else {
+        return Err("\"rows\" must be an array of feature rows".into());
+    };
+    if raw_rows.is_empty() {
+        return Err("\"rows\" must not be empty".into());
+    }
+    if raw_rows.len() > max_rows {
+        return Err(format!(
+            "too many rows: {} > per-request cap {max_rows}",
+            raw_rows.len()
+        ));
+    }
+    let mut rows = Vec::with_capacity(raw_rows.len());
+    for (i, raw) in raw_rows.iter().enumerate() {
+        let cfx_obs::json::Value::Arr(cells) = raw else {
+            return Err(format!("rows[{i}] is not an array"));
+        };
+        if cells.len() != width {
+            return Err(format!(
+                "rows[{i}] has {} features, model expects {width}",
+                cells.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(width);
+        for (j, cell) in cells.iter().enumerate() {
+            let v = cell
+                .as_f64()
+                .ok_or_else(|| format!("rows[{i}][{j}] is not a number"))?;
+            if !v.is_finite() {
+                return Err(format!("rows[{i}][{j}] is not finite"));
+            }
+            row.push(v as f32);
+        }
+        rows.push(row);
+    }
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().filter(|&ms| ms >= 1).ok_or_else(|| {
+            "\"deadline_ms\" must be a positive integer".to_string()
+        })?),
+    };
+    Ok(ExplainRequest { rows, deadline_ms })
+}
+
+fn handle_explain(
+    shared: &Shared,
+    req: &Request,
+    keep_alive: bool,
+    anchor: Instant,
+) -> Vec<u8> {
+    if cfx_obs::ENABLED {
+        cfx_obs::metrics::counter("cfx_serve_requests_total").inc(1);
+    }
+    let width = shared.registry.current().data.width();
+    let parsed = match parse_explain_body(
+        &req.body,
+        width,
+        shared.cfg.max_rows_per_request,
+    ) {
+        Ok(p) => p,
+        Err(msg) => {
+            shared.malformed.fetch_add(1, Ordering::SeqCst);
+            if cfx_obs::ENABLED {
+                cfx_obs::metrics::counter("cfx_serve_malformed_total").inc(1);
+            }
+            let body = error_body("bad_input", &msg, None);
+            return http::render_response(
+                422,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+    };
+    let deadline_ms = parsed
+        .deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms)
+        .min(shared.cfg.max_deadline_ms);
+    let deadline = anchor + Duration::from_millis(deadline_ms);
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = ExplainJob {
+        rows: parsed.rows,
+        deadline,
+        deadline_ms,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            if cfx_obs::ENABLED {
+                cfx_obs::metrics::gauge("cfx_serve_queue_depth")
+                    .set(depth as f64);
+            }
+        }
+        Err(PushError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            if cfx_obs::ENABLED {
+                cfx_obs::metrics::counter("cfx_serve_shed_total").inc(1);
+            }
+            let e = CfxError::overloaded(shared.cfg.retry_after_ms);
+            let body = error_body(
+                "overloaded",
+                &e.to_string(),
+                Some(shared.cfg.retry_after_ms),
+            );
+            let retry = retry_after_header(shared.cfg.retry_after_ms);
+            return http::render_response(
+                429,
+                "application/json",
+                &[retry],
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            let body = error_body(
+                "draining",
+                "server is draining and no longer admits work",
+                Some(shared.cfg.retry_after_ms),
+            );
+            let retry = retry_after_header(shared.cfg.retry_after_ms);
+            return http::render_response(
+                503,
+                "application/json",
+                &[retry],
+                body.as_bytes(),
+                false,
+            );
+        }
+    }
+
+    // The batcher answers every admitted job exactly once (deadline
+    // misses included), so this wait only needs a backstop well past
+    // the request deadline to survive a batcher panic.
+    let backstop = Duration::from_millis(deadline_ms)
+        + Duration::from_millis(shared.cfg.linger_ms)
+        + Duration::from_secs(30);
+    match reply_rx.recv_timeout(backstop) {
+        Ok(Ok(body)) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            http::render_response(200, "application/json", &[], body.as_bytes(), keep_alive)
+        }
+        Ok(Err(e)) => {
+            let (status, kind, retry_after) = map_cfx_error(&e);
+            if status == 504 {
+                shared.timeouts.fetch_add(1, Ordering::SeqCst);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_timeouts_total")
+                        .inc(1);
+                }
+            } else {
+                shared.malformed.fetch_add(1, Ordering::SeqCst);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_serve_malformed_total")
+                        .inc(1);
+                }
+            }
+            let body = error_body(kind, &e.to_string(), retry_after);
+            let extra: Vec<(&str, String)> = retry_after
+                .map(|ms| vec![retry_after_header(ms)])
+                .unwrap_or_default();
+            http::render_response(
+                status,
+                "application/json",
+                &extra,
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        Err(_) => {
+            // Batcher gone (panic or disconnect): answer 500 so the
+            // client is never left hanging.
+            shared.malformed.fetch_add(1, Ordering::SeqCst);
+            let body =
+                error_body("internal", "explain worker unavailable", None);
+            http::render_response(500, "application/json", &[], body.as_bytes(), false)
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the hand-rolled HTTP/1.1 parser: on *any* input —
+//! garbage bytes, truncated frames, oversized heads and bodies, corrupt
+//! `Content-Length` values — `parse_request` must return `Partial`, a
+//! complete request, or a typed `ParseError`. It must never panic, and
+//! every prefix of a frame that parses as `Partial` must eventually
+//! parse once the rest arrives (no input makes the reader hang on a
+//! frame that is already complete).
+
+use cfx_serve::http::{parse_request, Limits, Parse, ParseError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_limits() -> Limits {
+    Limits { max_head_bytes: 512, max_body_bytes: 256 }
+}
+
+/// A syntactically valid request frame with randomized target, header
+/// junk-but-legal values, and body.
+fn valid_frame(rng: &mut StdRng) -> Vec<u8> {
+    let target_len = rng.gen_range(1usize..20);
+    let target: String = (0..target_len)
+        .map(|_| {
+            let c = rng.gen_range(0u8..36);
+            if c < 26 { (b'a' + c) as char } else { (b'0' + c - 26) as char }
+        })
+        .collect();
+    let body_len = rng.gen_range(0usize..64);
+    let body: Vec<u8> = (0..body_len).map(|_| rng.gen()).collect();
+    let post = rng.gen_bool(0.5);
+    let mut frame = if post {
+        format!("POST /{target} HTTP/1.1\r\nContent-Length: {body_len}\r\n")
+    } else {
+        format!("GET /{target} HTTP/1.1\r\n")
+    }
+    .into_bytes();
+    if rng.gen_bool(0.3) {
+        frame.extend_from_slice(b"Connection: close\r\n");
+    }
+    if rng.gen_bool(0.3) {
+        frame.extend_from_slice(b"X-Junk: 0123 456\r\n");
+    }
+    frame.extend_from_slice(b"\r\n");
+    if post {
+        frame.extend_from_slice(&body);
+    }
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary byte soup never panics or hangs: the parser always
+    /// returns one of its three typed outcomes, and `Partial` is only
+    /// ever reported while the buffer is below the head cap.
+    #[test]
+    fn garbage_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limits = small_limits();
+        let len = rng.gen_range(0usize..1024);
+        let buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        match parse_request(&buf, &limits) {
+            Ok(Parse::Partial) => prop_assert!(
+                buf.len() < limits.max_head_bytes,
+                "an unterminated head at the cap must be HeadTooLarge, got Partial at {} bytes",
+                buf.len()
+            ),
+            Ok(Parse::Done(_, consumed)) => {
+                prop_assert!(consumed <= buf.len());
+            }
+            Err(e) => {
+                // Every error is mapped to a definite 4xx/5xx status.
+                let s = e.status();
+                prop_assert!((400..600).contains(&s), "status {s} out of range");
+            }
+        }
+    }
+
+    /// Every prefix of a valid frame is `Partial` or an error — never a
+    /// spurious `Done` — and the full frame always parses, consuming
+    /// exactly its own bytes even with trailing pipelined data behind it.
+    #[test]
+    fn truncated_frames_complete_once_bytes_arrive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limits = small_limits();
+        let frame = valid_frame(&mut rng);
+        for cut in 0..frame.len() {
+            match parse_request(&frame[..cut], &limits) {
+                Ok(Parse::Partial) => {}
+                Ok(Parse::Done(_, consumed)) => {
+                    // A shorter GET frame can legitimately complete early
+                    // only if the cut still contains its full terminator.
+                    prop_assert!(consumed <= cut);
+                }
+                Err(e) => prop_assert!(
+                    false,
+                    "prefix of a valid frame must not error: cut={cut} err={e}"
+                ),
+            }
+        }
+        let mut with_trailing = frame.clone();
+        with_trailing.extend_from_slice(b"GET /next HTTP/1.1\r\n\r\n");
+        match parse_request(&with_trailing, &limits).expect("full frame parses") {
+            Parse::Done(_, consumed) => prop_assert_eq!(consumed, frame.len()),
+            Parse::Partial => prop_assert!(false, "complete frame reported Partial"),
+        }
+    }
+
+    /// Corrupting any single byte of a valid frame's head never panics
+    /// and never makes the parser claim more bytes than it was given.
+    #[test]
+    fn single_byte_corruption_is_safe(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limits = small_limits();
+        let frame = valid_frame(&mut rng);
+        let pos = rng.gen_range(0..frame.len());
+        let mut corrupt = frame.clone();
+        corrupt[pos] ^= 1u8 << rng.gen_range(0u32..8);
+        match parse_request(&corrupt, &limits) {
+            Ok(Parse::Done(_, consumed)) => prop_assert!(consumed <= corrupt.len()),
+            Ok(Parse::Partial) => {}
+            Err(e) => prop_assert!((400..600).contains(&e.status())),
+        }
+    }
+
+    /// Declared bodies over the cap are rejected as `BodyTooLarge` the
+    /// moment the head completes, before any body byte is buffered, and
+    /// unterminated heads at the cap are rejected as `HeadTooLarge`.
+    #[test]
+    fn oversized_declarations_are_shed_early(extra in 1usize..10_000) {
+        let limits = small_limits();
+        let declared = limits.max_body_bytes + extra;
+        let head =
+            format!("POST /x HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        match parse_request(head.as_bytes(), &limits) {
+            Err(ParseError::BodyTooLarge { declared: d, max }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(max, limits.max_body_bytes);
+            }
+            other => prop_assert!(false, "want BodyTooLarge, got {other:?}"),
+        }
+        let endless = vec![b'h'; limits.max_head_bytes + extra];
+        match parse_request(&endless, &limits) {
+            Err(ParseError::HeadTooLarge(cap)) => {
+                prop_assert_eq!(cap, limits.max_head_bytes)
+            }
+            other => prop_assert!(false, "want HeadTooLarge, got {other:?}"),
+        }
+    }
+}

@@ -44,6 +44,24 @@ pub enum CfxError {
     /// An I/O operation on a persisted artifact failed. Kept as a string
     /// (not `std::io::Error`) so the enum stays `Clone + PartialEq`.
     Io(String),
+    /// A deadline expired before the work finished. Carries what was
+    /// being attempted and the budget that ran out, so callers (and the
+    /// serving layer's `504` responses) can report the miss precisely
+    /// instead of letting degradation fall through silently.
+    Timeout {
+        /// What was being attempted when the deadline passed.
+        what: String,
+        /// The deadline budget that ran out, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A bounded queue or admission limit rejected new work — explicit
+    /// load shedding, never unbounded growth. `retry_after_ms` is the
+    /// hint a client should wait before retrying (the serving layer maps
+    /// this to a `429` with a `Retry-After` header).
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl CfxError {
@@ -71,6 +89,16 @@ impl CfxError {
     pub fn io(msg: impl Into<String>) -> Self {
         CfxError::Io(msg.into())
     }
+
+    /// Shorthand constructor for [`CfxError::Timeout`].
+    pub fn timeout(what: impl Into<String>, deadline_ms: u64) -> Self {
+        CfxError::Timeout { what: what.into(), deadline_ms }
+    }
+
+    /// Shorthand constructor for [`CfxError::Overloaded`].
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        CfxError::Overloaded { retry_after_ms }
+    }
 }
 
 impl fmt::Display for CfxError {
@@ -88,6 +116,13 @@ impl fmt::Display for CfxError {
             ),
             CfxError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             CfxError::Io(msg) => write!(f, "io error: {msg}"),
+            CfxError::Timeout { what, deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms expired during {what}")
+            }
+            CfxError::Overloaded { retry_after_ms } => write!(
+                f,
+                "overloaded: request shed, retry after {retry_after_ms} ms"
+            ),
         }
     }
 }
@@ -109,6 +144,11 @@ mod tests {
             .contains("epoch loss"));
         let e = CfxError::RetryExhausted { what: "fit".into(), retries: 3 };
         assert!(e.to_string().contains("3 retries"));
+        let t = CfxError::timeout("explain_batch", 250);
+        assert!(t.to_string().contains("250 ms"));
+        assert!(t.to_string().contains("explain_batch"));
+        let o = CfxError::overloaded(50);
+        assert!(o.to_string().contains("retry after 50 ms"));
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!     print a diverse counterfactual set for one denied instance
 //! cfx data <adult|kdd|law> [--n N] [--seed S]
 //!     dump the generated benchmark as CSV to stdout
+//! cfx serve <adult|kdd|law> [--addr A] [--queue-cap Q] [--deadline-ms D]
+//!           [--model-dir DIR] [--prom-out FILE] [--n N] [--seed S]
+//!     train a boot model and serve POST /explain, GET /healthz and
+//!     GET /metrics until SIGTERM/SIGINT triggers a graceful drain.
+//!     CFX_SERVE_FAULT=slow-client|malformed|kill@<n> arms deterministic
+//!     chaos for drills.
 //! ```
 
 use cfx::core::{
@@ -27,6 +33,11 @@ struct Args {
     seed: u64,
     explain: usize,
     k: usize,
+    addr: String,
+    queue_cap: usize,
+    deadline_ms: u64,
+    model_dir: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
@@ -37,6 +48,11 @@ fn parse(args: &[String]) -> Result<Args, String> {
         seed: 42,
         explain: 100,
         k: 4,
+        addr: "127.0.0.1:7878".into(),
+        queue_cap: 64,
+        deadline_ms: 2_000,
+        model_dir: None,
+        prom_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +91,35 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 out.k =
                     args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --k")?;
             }
+            "--addr" => {
+                i += 1;
+                out.addr =
+                    args.get(i).cloned().ok_or("bad --addr")?;
+            }
+            "--queue-cap" => {
+                i += 1;
+                out.queue_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --queue-cap")?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                out.deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --deadline-ms")?;
+            }
+            "--model-dir" => {
+                i += 1;
+                out.model_dir =
+                    Some(args.get(i).cloned().ok_or("bad --model-dir")?);
+            }
+            "--prom-out" => {
+                i += 1;
+                out.prom_out =
+                    Some(args.get(i).cloned().ok_or("bad --prom-out")?);
+            }
             name => {
                 out.dataset = DatasetId::parse(name)
                     .ok_or_else(|| format!("unknown dataset {name:?}"))?;
@@ -88,7 +133,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
-        eprintln!("usage: cfx <run|discover|diverse|data> <dataset> [flags]");
+        eprintln!("usage: cfx <run|discover|diverse|data|serve> <dataset> [flags]");
         return ExitCode::from(2);
     };
     let args = match parse(&argv[1..]) {
@@ -108,6 +153,12 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(&args),
         "diverse" => cmd_diverse(&args),
         "data" => cmd_data(&args),
+        "serve" => {
+            if let Err(e) = cmd_serve(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        }
         other => {
             eprintln!("unknown command {other:?}");
             return ExitCode::from(2);
@@ -226,4 +277,48 @@ fn cmd_diverse(args: &Args) {
 fn cmd_data(args: &Args) {
     let raw = args.dataset.generate(args.n, args.seed);
     print!("{}", raw_to_csv(&raw));
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use cfx::core::{ExplainConfig, GenRecoveryConfig};
+    use cfx::serve::{self, Servable, ServeConfig};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let (data, _split, model) = setup(args);
+    let boot = Servable {
+        model,
+        data,
+        explain: ExplainConfig::default(),
+        recovery: GenRecoveryConfig::default(),
+        version: 0,
+        source: "boot".into(),
+    };
+    let cfg = ServeConfig {
+        addr: args.addr.clone(),
+        queue_cap: args.queue_cap,
+        default_deadline_ms: args.deadline_ms,
+        model_dir: args.model_dir.clone().map(Into::into),
+        prom_out: args.prom_out.clone().map(Into::into),
+        ..Default::default()
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    serve::install_signal_handlers(&shutdown);
+    let handle =
+        serve::spawn(cfg, boot, shutdown).map_err(|e| e.to_string())?;
+    // Load scripts parse this line to learn the bound port (port 0
+    // resolves to a free one), so print and flush it before blocking.
+    println!("cfx-serve listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = handle.join();
+    println!(
+        "cfx-serve drained: accepted={} served={} shed={} timeouts={} malformed={}",
+        report.accepted,
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.malformed
+    );
+    Ok(())
 }

@@ -12,6 +12,7 @@
 //! * [`baselines`] — Mahajan, REVISE, C-CHVAE, CEM, DiCE, FACE (`cfx-baselines`)
 //! * [`manifold`] — t-SNE, PCA, KDE for the density analysis (`cfx-manifold`)
 //! * [`metrics`] — the §IV-D evaluation metrics (`cfx-metrics`)
+//! * [`serve`] — fault-tolerant amortized serving daemon (`cfx-serve`)
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and the
 //! [`guide`] module for a long-form tour.
@@ -24,4 +25,5 @@ pub use cfx_data as data;
 pub use cfx_manifold as manifold;
 pub use cfx_metrics as metrics;
 pub use cfx_models as models;
+pub use cfx_serve as serve;
 pub use cfx_tensor as tensor;
