@@ -146,7 +146,7 @@ impl FeasibleCfModel {
         x: &Tensor,
         recovery: &GenRecoveryConfig,
     ) -> ExplanationBatch {
-        self.explain_rungs(x, recovery, None)
+        self.explain_rungs(x, recovery, None, 0)
             .expect("explain without a deadline cannot time out")
     }
 
@@ -171,7 +171,30 @@ impl FeasibleCfModel {
         recovery: &GenRecoveryConfig,
         deadline: Duration,
     ) -> Result<ExplanationBatch, CfxError> {
-        self.explain_rungs(x, recovery, Some(deadline))
+        self.explain_rungs(x, recovery, Some(deadline), 0)
+    }
+
+    /// [`explain_batch_deadline`](Self::explain_batch_deadline) on a
+    /// named RNG stream: `stream` is folded into the seed of every
+    /// recovery-resampling attempt, so callers that partition work —
+    /// the serving daemon's worker pool derives `stream` from the
+    /// request rows' content fingerprint — get resampling noise that is
+    /// (a) decorrelated across distinct streams and (b) a pure function
+    /// of the stream id, never of which thread, worker, or batch the
+    /// job landed in. `stream == 0` is the historical stream:
+    /// bitwise-identical to
+    /// [`explain_batch_deadline`](Self::explain_batch_deadline).
+    ///
+    /// The deterministic first-shot decode ignores the stream entirely;
+    /// only the rung-2 perturbation noise is stream-keyed.
+    pub fn explain_batch_deadline_stream(
+        &self,
+        x: &Tensor,
+        recovery: &GenRecoveryConfig,
+        deadline: Duration,
+        stream: u64,
+    ) -> Result<ExplanationBatch, CfxError> {
+        self.explain_rungs(x, recovery, Some(deadline), stream)
     }
 
     fn explain_rungs(
@@ -179,6 +202,7 @@ impl FeasibleCfModel {
         x: &Tensor,
         recovery: &GenRecoveryConfig,
         budget: Option<Duration>,
+        stream: u64,
     ) -> Result<ExplanationBatch, CfxError> {
         let start = Instant::now();
         let over = |b: &Duration| start.elapsed() >= *b;
@@ -251,8 +275,10 @@ impl FeasibleCfModel {
                 break;
             }
             let xb = x.gather_rows_pooled(&pending);
+            // Stream 0 must reproduce the historical seeds exactly, so
+            // the stream id enters by plain XOR (identity at 0).
             let mut rng = StdRng::seed_from_u64(
-                self.config().seed ^ 0x5EED ^ attempt as u64,
+                self.config().seed ^ 0x5EED ^ attempt as u64 ^ stream,
             );
             let cf_try = self.counterfactuals_with_noise(
                 &xb,

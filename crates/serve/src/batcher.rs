@@ -1,23 +1,34 @@
-//! Deadline-based micro-batching into `explain_batch`.
+//! The explain worker pool: deadline-based micro-batching into
+//! `explain_batch`, across N deterministically-sharded workers.
 //!
-//! One batcher thread owns all model compute (the kernels underneath
-//! parallelize via `cfx_tensor::runtime`, so a single consumer already
-//! saturates the cores while keeping results deterministic). It blocks
-//! on the bounded queue, then gathers more jobs until either the batch
-//! row budget is met or the flush deadline — `min(linger, earliest
-//! request deadline)` — arrives. Jobs whose deadline has already passed
-//! in the queue are answered with a typed [`CfxError::Timeout`] without
-//! spending compute on an answer nobody is waiting for.
+//! PR 7 ran one batcher thread, which serializes the serving hot path:
+//! under 64 clients the queue, not the model, sets the latency floor.
+//! The pool removes that funnel. Each worker owns one bounded queue
+//! (jobs are routed to `shard = fnv1a(row_bits) % N` at admission, see
+//! [`crate::shard`]), its own `Arc<Servable>` snapshot grabs, and —
+//! because tensor-pool buffers are thread-local (PR 3) — its own warm
+//! allocation pool. Workers share nothing but the registry and the
+//! response cache, both designed for concurrent readers.
 //!
-//! Each job is explained as its own `explain_batch` call (in arrival
-//! order) rather than concatenated with its batch-mates: the resampling
-//! rung draws noise positionally, so concatenation would make a
-//! request's bytes depend on which strangers shared its batch. Batching
-//! here amortizes queue wake-ups and model-snapshot grabs while keeping
-//! the serving invariant that a request's response depends only on its
-//! own rows — that invariant is what makes drained-under-load runs
-//! byte-identical to unloaded runs.
+//! **Responses are byte-identical at every worker count.** Two rules
+//! make that hold:
+//!
+//! 1. Each job is explained as its own `explain_batch` call (in
+//!    arrival order within its worker), never concatenated with
+//!    batch-mates — the resampling rung draws noise positionally, so
+//!    concatenation would make a request's bytes depend on strangers.
+//! 2. The recovery-resampling RNG stream is derived from the job's
+//!    **row fingerprint** (the same value that picked the worker), not
+//!    from the worker index: re-routing a job by changing
+//!    `CFX_SERVE_WORKERS` cannot move it onto a different stream.
+//!
+//! Within one worker, batching amortizes queue wake-ups and snapshot
+//! grabs exactly as before: gather ≤ `max_batch_rows` until
+//! `min(linger, earliest deadline)`, answer expired jobs with a typed
+//! [`CfxError::Timeout`] without spending compute, and answer every
+//! admitted job exactly once (the drain contract).
 
+use crate::cache::{CacheKey, ResponseCache};
 use crate::queue::BoundedQueue;
 use crate::registry::{ModelRegistry, Servable};
 use cfx_core::Provenance;
@@ -32,6 +43,9 @@ use std::time::{Duration, Instant};
 pub struct ExplainJob {
     /// Decoded feature rows (already width-validated at admission).
     pub rows: Vec<Vec<f32>>,
+    /// Content fingerprint of `rows` ([`crate::shard::row_fingerprint`]):
+    /// the shard selector, the RNG stream, and the cache-key hash.
+    pub fingerprint: u64,
     /// Absolute deadline for the reply.
     pub deadline: Instant,
     /// The deadline budget as requested, for error reporting.
@@ -40,7 +54,7 @@ pub struct ExplainJob {
     pub reply: mpsc::Sender<Result<String, CfxError>>,
 }
 
-/// Batching knobs.
+/// Batching knobs (per worker).
 #[derive(Debug, Clone, Copy)]
 pub struct BatcherConfig {
     /// Row budget per flush.
@@ -58,13 +72,23 @@ impl Default for BatcherConfig {
     }
 }
 
-/// Consumes the queue until it is closed *and* empty (the drain
+/// One worker's identity and shared-resource handles.
+pub struct WorkerCtx {
+    /// Stable worker index (`0..workers`); also the shard it serves.
+    pub index: usize,
+    /// The shared response cache, if caching is enabled.
+    pub cache: Option<Arc<ResponseCache>>,
+}
+
+/// Consumes `queue` until it is closed *and* empty (the drain
 /// contract), answering every job exactly once.
 pub fn run(
     queue: &BoundedQueue<ExplainJob>,
     registry: &ModelRegistry,
     cfg: &BatcherConfig,
+    ctx: &WorkerCtx,
 ) {
+    let jobs_metric = format!("cfx_serve_worker_jobs_total:w{}", ctx.index);
     while let Some(first) = queue.pop_wait() {
         let mut batch = vec![first];
         let mut rows = batch[0].rows.len();
@@ -79,24 +103,36 @@ pub fn run(
                 None => break,
             }
         }
-        // The push side only raises this gauge; settle it here so a
-        // drain snapshot reports the true (empty) backlog.
-        if cfx_obs::ENABLED {
-            cfx_obs::metrics::gauge("cfx_serve_queue_depth")
-                .set(queue.len() as f64);
-        }
         // Reload opportunity at every batch boundary: a new checkpoint
-        // is at most one batch away from serving.
+        // is at most one batch away from serving on every worker (the
+        // registry serializes the actual load internally).
         let _ = registry.poll();
         let servable = registry.current();
         if cfx_obs::ENABLED {
             use cfx_obs::metrics::{counter, histogram};
             counter("cfx_serve_batches_total").inc(1);
+            counter("cfx_serve_worker_jobs_total").inc(batch.len() as u64);
+            counter(&jobs_metric).inc(batch.len() as u64);
             histogram("cfx_serve_batch_rows", &[1.0, 4.0, 16.0, 64.0, 256.0])
                 .observe(rows as f64);
         }
         for job in batch {
             let result = explain_job(&servable, &job);
+            if let (Some(cache), Ok(body)) = (&ctx.cache, &result) {
+                // The worker inserts (not the connection thread): only
+                // here is the (body, model version) pairing known
+                // race-free, so a swap mid-request can never cache a
+                // new-version key against an old-version body.
+                cache.insert(
+                    CacheKey::new(
+                        &job.rows,
+                        job.fingerprint,
+                        servable.version,
+                        servable.explain_fingerprint(),
+                    ),
+                    body.clone(),
+                );
+            }
             // A dead receiver (client gone) is fine; the send result
             // only tells us whether anyone is still listening.
             let _ = job.reply.send(result);
@@ -115,10 +151,11 @@ fn explain_job(servable: &Servable, job: &ExplainJob) -> Result<String, CfxError
         return Err(CfxError::timeout("queued explain", job.deadline_ms));
     }
     let x = Tensor::from_rows(&job.rows);
-    let batch = servable.model.explain_batch_deadline(
+    let batch = servable.model.explain_batch_deadline_stream(
         &x,
         &servable.recovery,
         job.deadline - now,
+        job.fingerprint,
     )?;
     Ok(render_body(servable, &batch.examples))
 }
@@ -173,14 +210,38 @@ fn provenance_tag(p: Provenance) -> String {
     }
 }
 
-/// Spawns the batcher on its own thread.
+/// Spawns a single worker (index 0, no cache) on its own thread — the
+/// PR-7 shape, kept for tests and embedders that drive one queue
+/// directly.
 pub fn spawn(
     queue: Arc<BoundedQueue<ExplainJob>>,
     registry: Arc<ModelRegistry>,
     cfg: BatcherConfig,
 ) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("cfx-serve-batcher".into())
-        .spawn(move || run(&queue, &registry, &cfg))
-        .expect("spawn batcher thread")
+    spawn_pool(vec![queue], registry, cfg, None)
+        .pop()
+        .expect("one queue yields one worker")
+}
+
+/// Spawns one worker per queue. Worker `i` exclusively consumes
+/// `queues[i]`; the dispatcher must route jobs with
+/// [`crate::shard::shard`]`(fingerprint, queues.len())`.
+pub fn spawn_pool(
+    queues: Vec<Arc<BoundedQueue<ExplainJob>>>,
+    registry: Arc<ModelRegistry>,
+    cfg: BatcherConfig,
+    cache: Option<Arc<ResponseCache>>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    queues
+        .into_iter()
+        .enumerate()
+        .map(|(index, queue)| {
+            let registry = Arc::clone(&registry);
+            let ctx = WorkerCtx { index, cache: cache.clone() };
+            std::thread::Builder::new()
+                .name(format!("cfx-serve-worker-{index}"))
+                .spawn(move || run(&queue, &registry, &cfg, &ctx))
+                .expect("spawn explain worker thread")
+        })
+        .collect()
 }

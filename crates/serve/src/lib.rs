@@ -6,10 +6,17 @@
 //! that something: a zero-dependency HTTP/1.1 daemon built on
 //! `std::net`, with the robustness contract stated up front:
 //!
-//! * **Bounded everything.** A fixed-capacity request queue sits
-//!   between connection threads and the single compute thread; when it
-//!   fills, requests are shed with `429` + `Retry-After` instead of
-//!   buffered. Memory use is independent of offered load.
+//! * **Bounded everything.** Fixed-capacity request queues sit between
+//!   connection threads and the explain worker pool; when a shard
+//!   fills, requests are shed with `429` + a backlog-scaled
+//!   `Retry-After` instead of buffered. Memory use is independent of
+//!   offered load.
+//! * **Horizontal scaling within a node.** `CFX_SERVE_WORKERS=N`
+//!   (or `cfx serve --workers N`) runs N explain workers; jobs are
+//!   routed worker-sticky by a deterministic content hash
+//!   ([`shard`]), so scaling never changes response bytes. A sharded
+//!   LRU response cache ([`cache`]) answers repeated rows without
+//!   touching a queue.
 //! * **Deadlines end-to-end.** Every request carries a deadline
 //!   (client-supplied or defaulted) that is enforced in the queue, in
 //!   the micro-batcher, and inside `explain_batch` itself via
@@ -30,13 +37,16 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod cache;
 pub mod fault;
 pub mod http;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod shard;
 
-pub use batcher::{BatcherConfig, ExplainJob};
+pub use batcher::{BatcherConfig, ExplainJob, WorkerCtx};
+pub use cache::{CacheKey, CacheStats, ResponseCache};
 pub use fault::{FaultClock, ServeFault};
 pub use http::{Limits, ParseError};
 pub use queue::{BoundedQueue, PushError};
@@ -44,3 +54,4 @@ pub use registry::{ModelRegistry, Servable};
 pub use server::{
     install_signal_handlers, spawn, DrainReport, ServeConfig, ServerHandle,
 };
+pub use shard::{fnv1a64, row_fingerprint, shard};

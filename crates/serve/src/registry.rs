@@ -11,6 +11,8 @@
 //! convention) and the registry keeps serving the last good model:
 //! corrupt state is never loaded and never crashes the daemon.
 
+use crate::cache::ResponseCache;
+use crate::shard::fnv1a64;
 use cfx_core::{
     ExplainConfig, FeasibleCfModel, GenRecoveryConfig,
 };
@@ -38,11 +40,41 @@ pub struct Servable {
     pub source: String,
 }
 
+impl Servable {
+    /// Stable fingerprint of every explain-side knob that shapes
+    /// response bytes *besides* the weights: the training seed (which
+    /// keys the recovery RNG), the resampling budget and noise scale,
+    /// and the fallback-pool cap. One ingredient of the response-cache
+    /// key ([`crate::cache`]): two servables with the same version but
+    /// different knobs must never share cached bodies.
+    pub fn explain_fingerprint(&self) -> u64 {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&self.model.config().seed.to_le_bytes());
+        bytes[8..16].copy_from_slice(
+            &(self.explain.fallback_pool_cap as u64).to_le_bytes(),
+        );
+        bytes[16..24].copy_from_slice(
+            &(self.recovery.resample_attempts as u64).to_le_bytes(),
+        );
+        bytes[24..28]
+            .copy_from_slice(&self.recovery.noise_scale.to_bits().to_le_bytes());
+        fnv1a64(&bytes)
+    }
+}
+
 /// Registry state: the current snapshot plus reload bookkeeping.
 pub struct ModelRegistry {
     current: Mutex<Arc<Servable>>,
     dir: Option<PathBuf>,
     loaded: Mutex<Option<(SystemTime, PathBuf)>>,
+    /// Response cache purged atomically with every swap (the version
+    /// key already makes stale hits impossible; the purge reclaims the
+    /// memory immediately instead of waiting for LRU churn).
+    cache: Mutex<Option<Arc<ResponseCache>>>,
+    /// Serializes scan→load→record so concurrent pollers (N workers +
+    /// the idle accept loop) cannot double-import one checkpoint and
+    /// bump the version twice.
+    polling: Mutex<()>,
 }
 
 impl ModelRegistry {
@@ -53,7 +85,14 @@ impl ModelRegistry {
             current: Mutex::new(Arc::new(boot)),
             dir,
             loaded: Mutex::new(None),
+            cache: Mutex::new(None),
+            polling: Mutex::new(()),
         }
+    }
+
+    /// Registers the response cache to invalidate on every hot swap.
+    pub fn attach_cache(&self, cache: Arc<ResponseCache>) {
+        *self.cache.lock().unwrap() = Some(cache);
     }
 
     /// The snapshot to serve the next batch from.
@@ -71,6 +110,10 @@ impl ModelRegistry {
     /// keeps serving either way.
     pub fn poll(&self) -> Result<bool, CfxError> {
         let Some(dir) = &self.dir else { return Ok(false) };
+        // Another poller mid-scan covers this tick; skip, don't queue.
+        let Ok(_polling) = self.polling.try_lock() else {
+            return Ok(false);
+        };
         let Some((mtime, path)) = newest_checkpoint(dir) else {
             return Ok(false);
         };
@@ -137,6 +180,9 @@ impl ModelRegistry {
                 .unwrap_or_else(|| path.display().to_string()),
         };
         *self.current.lock().unwrap() = Arc::new(next);
+        if let Some(cache) = self.cache.lock().unwrap().as_ref() {
+            cache.invalidate_all();
+        }
         Ok(())
     }
 }

@@ -4,12 +4,17 @@
 //! Thread model: one accept loop (non-blocking + short poll so it can
 //! observe the shutdown flag), one thread per accepted connection
 //! (connections beyond `max_conns` are answered `429` and closed —
-//! shed, not buffered), and one batcher thread that owns all model
-//! compute. Connection threads only parse, validate, enqueue and wait;
-//! the bounded queue between them and the batcher is the backpressure
-//! point, so memory use is bounded by
-//! `max_conns * max_body + queue_cap * rows` no matter the offered
-//! load.
+//! shed, not buffered), and a pool of `workers` explain threads that
+//! own all model compute. Each worker consumes its own bounded queue;
+//! admission routes a request to `shard(row_fingerprint, workers)` so
+//! a given row always lands on the same worker (see [`crate::shard`]
+//! for why that keeps responses byte-identical at every worker count).
+//! A sharded LRU response cache ([`crate::cache`]) sits in front of
+//! the pool and answers repeats without queueing. Connection threads
+//! only parse, validate, enqueue and wait; the bounded queues between
+//! them and the pool are the backpressure point, so memory use is
+//! bounded by `max_conns * max_body + queue_cap * rows + cache_cap *
+//! body` no matter the offered load.
 //!
 //! Drain (SIGTERM/SIGINT or [`ServerHandle::shutdown`]): the accept
 //! loop stops and the listener closes (the port is released
@@ -21,10 +26,12 @@
 //! [`DrainReport`]. Nothing accepted is ever dropped.
 
 use crate::batcher::{self, BatcherConfig, ExplainJob};
+use crate::cache::{CacheKey, ResponseCache};
 use crate::fault::{FaultClock, ServeFault};
 use crate::http::{self, Limits, Method, Parse, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelRegistry, Servable};
+use crate::shard;
 use cfx_tensor::CfxError;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,8 +46,19 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
     pub addr: String,
-    /// Bounded request-queue capacity (the backpressure point).
+    /// Explain worker count. Jobs are routed worker-sticky by a
+    /// deterministic content hash of the request rows
+    /// (`shard = fnv1a(row_bits) % workers`), so responses are
+    /// byte-identical at every worker count. Defaults to
+    /// `CFX_SERVE_WORKERS` (else 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity (the backpressure point), split
+    /// evenly across the per-worker queues.
     pub queue_cap: usize,
+    /// Response-cache bound in entries, keyed on encoded row bits +
+    /// model version + explain-config fingerprint; 0 disables caching.
+    /// Defaults to `CFX_SERVE_CACHE_CAP` (else 1024).
+    pub cache_cap: usize,
     /// Max concurrent connections before shedding at accept.
     pub max_conns: usize,
     /// Micro-batcher row budget per flush.
@@ -67,11 +85,23 @@ pub struct ServeConfig {
     pub prom_out: Option<PathBuf>,
 }
 
+/// Reads a `usize` knob from the environment, falling back to
+/// `default` on absence or garbage (a bad value must not abort library
+/// construction; the CLI validates its own flags).
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
+            workers: env_usize("CFX_SERVE_WORKERS", 1).max(1),
             queue_cap: 64,
+            cache_cap: env_usize("CFX_SERVE_CACHE_CAP", 1024),
             max_conns: 128,
             max_batch_rows: 256,
             linger_ms: 2,
@@ -105,7 +135,10 @@ pub struct DrainReport {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: Arc<BoundedQueue<ExplainJob>>,
+    /// One bounded queue per worker; jobs are routed by
+    /// [`shard::shard`]`(fingerprint, queues.len())` at admission.
+    queues: Vec<Arc<BoundedQueue<ExplainJob>>>,
+    cache: Arc<ResponseCache>,
     registry: Arc<ModelRegistry>,
     shutdown: Arc<AtomicBool>,
     clock: FaultClock,
@@ -120,6 +153,27 @@ struct Shared {
 impl Shared {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Total backlog across every worker queue.
+    fn queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Total admission capacity across every worker queue.
+    fn queue_cap(&self) -> usize {
+        self.queues.iter().map(|q| q.cap()).sum()
+    }
+
+    /// Live `Retry-After` hint for shed (429) responses: the configured
+    /// base scaled by the backlog each worker must chew through first.
+    /// An empty pool hints the base; a pool `k` jobs deep per worker
+    /// hints `(k + 1) * base`, so clients back off proportionally to
+    /// the work ahead of them instead of hammering a constant cadence.
+    fn shed_retry_after_ms(&self) -> u64 {
+        let per_worker =
+            (self.queue_depth() / self.queues.len().max(1)) as u64;
+        self.cfg.retry_after_ms.saturating_mul(per_worker + 1)
     }
 }
 
@@ -150,7 +204,9 @@ impl ServerHandle {
 
 /// Pre-registers every serve metric so scrapes (and the final drain
 /// snapshot) carry the full family even before traffic arrives.
-fn register_metrics() {
+/// Per-worker job counters (`cfx_serve_worker_jobs_total:wN`) are
+/// registered for each of the `workers` shards.
+fn register_metrics(workers: usize) {
     if !cfx_obs::ENABLED {
         return;
     }
@@ -163,6 +219,16 @@ fn register_metrics() {
     counter("cfx_serve_expired_total").inc(0);
     counter("cfx_serve_model_reloads_total").inc(0);
     counter("cfx_serve_model_quarantined_total").inc(0);
+    counter("cfx_serve_worker_jobs_total").inc(0);
+    for w in 0..workers {
+        counter(&format!("cfx_serve_worker_jobs_total:w{w}")).inc(0);
+    }
+    counter("cfx_serve_cache_hits_total").inc(0);
+    counter("cfx_serve_cache_misses_total").inc(0);
+    counter("cfx_serve_cache_evictions_total").inc(0);
+    counter("cfx_serve_cache_invalidations_total").inc(0);
+    gauge("cfx_serve_cache_entries").set(0.0);
+    gauge("cfx_serve_workers").set(workers as f64);
     gauge("cfx_serve_queue_depth").set(0.0);
     gauge("cfx_serve_active_connections").set(0.0);
     gauge("cfx_serve_draining").set(0.0);
@@ -212,10 +278,27 @@ pub fn spawn(
     listener
         .set_nonblocking(true)
         .map_err(|e| CfxError::io(format!("set_nonblocking: {e}")))?;
-    register_metrics();
+    let workers = cfg.workers.max(1);
+    register_metrics(workers);
+    // Split the admission budget evenly: total capacity (and therefore
+    // the memory bound) stays at queue_cap regardless of worker count.
+    let per_queue_cap = cfg.queue_cap.div_ceil(workers).max(1);
+    let queues: Vec<Arc<BoundedQueue<ExplainJob>>> = (0..workers)
+        .map(|_| Arc::new(BoundedQueue::new(per_queue_cap)))
+        .collect();
+    if cfx_obs::ENABLED {
+        cfx_obs::metrics::gauge("cfx_serve_queue_cap")
+            .set(queues.iter().map(|q| q.cap()).sum::<usize>() as f64);
+    }
+    let cache = Arc::new(ResponseCache::new(cfg.cache_cap));
+    let registry = Arc::new(ModelRegistry::new(boot, cfg.model_dir.clone()));
+    if cache.enabled() {
+        registry.attach_cache(Arc::clone(&cache));
+    }
     let shared = Arc::new(Shared {
-        queue: Arc::new(BoundedQueue::new(cfg.queue_cap)),
-        registry: Arc::new(ModelRegistry::new(boot, cfg.model_dir.clone())),
+        queues,
+        cache,
+        registry,
         shutdown: Arc::clone(&shutdown),
         clock: FaultClock::default(),
         fault,
@@ -241,14 +324,17 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
             .map(|a| a.to_string())
             .unwrap_or_default(),
         queue_cap = shared.cfg.queue_cap,
+        workers = shared.queues.len(),
+        cache_cap = shared.cache.cap(),
     );
-    let batcher = batcher::spawn(
-        Arc::clone(&shared.queue),
+    let workers = batcher::spawn_pool(
+        shared.queues.clone(),
         Arc::clone(&shared.registry),
         BatcherConfig {
             max_batch_rows: shared.cfg.max_batch_rows,
             linger: Duration::from_millis(shared.cfg.linger_ms),
         },
+        shared.cache.enabled().then(|| Arc::clone(&shared.cache)),
     );
 
     let mut accepted: u64 = 0;
@@ -296,6 +382,13 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
                 // Idle: poll the registry so reloads land even with no
                 // traffic, then nap briefly and re-check shutdown.
                 let _ = shared.registry.poll();
+                // Reap here too: a burst followed by silence used to
+                // leave every burst thread's handle parked in the vec
+                // (and its stack resident) until the *next* accept.
+                if conn_threads.iter().any(|t| t.is_finished()) {
+                    conn_threads.retain(|t| !t.is_finished());
+                    conn_threads.shrink_to(shared.cfg.max_conns);
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(e) => {
@@ -314,10 +407,19 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
     for t in conn_threads {
         let _ = t.join();
     }
-    // Every producer is done: close the queue, then the batcher exits
-    // once it has answered everything that was admitted.
-    shared.queue.close();
-    let _ = batcher.join();
+    // Every producer is done: close every queue, then each worker exits
+    // once it has answered everything that was admitted to its shard.
+    for q in &shared.queues {
+        q.close();
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    if cfx_obs::ENABLED {
+        // The workers are gone and the queues are empty; settle the
+        // gauge so the drain snapshot reports the true (zero) backlog.
+        cfx_obs::metrics::gauge("cfx_serve_queue_depth").set(0.0);
+    }
 
     let report = DrainReport {
         accepted,
@@ -352,12 +454,9 @@ fn shed_connection(shared: &Shared, mut stream: TcpStream) {
     if cfx_obs::ENABLED {
         cfx_obs::metrics::counter("cfx_serve_shed_total").inc(1);
     }
-    let body = error_body(
-        "overloaded",
-        "connection limit reached",
-        Some(shared.cfg.retry_after_ms),
-    );
-    let retry = retry_after_header(shared.cfg.retry_after_ms);
+    let retry_ms = shared.shed_retry_after_ms();
+    let body = error_body("overloaded", "connection limit reached", Some(retry_ms));
+    let retry = retry_after_header(retry_ms);
     let resp =
         http::render_response(429, "application/json", &[retry], body.as_bytes(), false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(
@@ -561,18 +660,23 @@ fn respond(
 
 fn handle_healthz(shared: &Shared, keep_alive: bool) -> Vec<u8> {
     let snapshot = shared.registry.current();
-    let depth = shared.queue.len();
-    let mut body = String::with_capacity(128);
+    let depth = shared.queue_depth();
+    let mut body = String::with_capacity(192);
     body.push_str(if shared.draining() {
         "{\"status\":\"draining\""
     } else {
         "{\"status\":\"ok\""
     });
+    let cache_stats = shared.cache.stats();
     let _ = std::fmt::Write::write_fmt(
         &mut body,
         format_args!(
-            ",\"queue_depth\":{depth},\"queue_cap\":{},\"width\":{},\"model_version\":{},\"model_source\":",
-            shared.queue.cap(),
+            ",\"workers\":{},\"queue_depth\":{depth},\"queue_cap\":{},\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\"width\":{},\"model_version\":{},\"model_source\":",
+            shared.queues.len(),
+            shared.queue_cap(),
+            shared.cache.entries(),
+            cache_stats.hits,
+            cache_stats.misses,
             snapshot.data.width(),
             snapshot.version,
         ),
@@ -669,7 +773,8 @@ fn handle_explain(
     if cfx_obs::ENABLED {
         cfx_obs::metrics::counter("cfx_serve_requests_total").inc(1);
     }
-    let width = shared.registry.current().data.width();
+    let snapshot = shared.registry.current();
+    let width = snapshot.data.width();
     let parsed = match parse_explain_body(
         &req.body,
         width,
@@ -697,18 +802,46 @@ fn handle_explain(
         .min(shared.cfg.max_deadline_ms);
     let deadline = anchor + Duration::from_millis(deadline_ms);
 
+    // One content hash serves three masters: the shard selector (which
+    // worker), the recovery RNG stream (worker-count-invariant bytes),
+    // and the cache-key routing hash.
+    let fingerprint = shard::row_fingerprint(&parsed.rows);
+    if shared.cache.enabled() {
+        let key = CacheKey::new(
+            &parsed.rows,
+            fingerprint,
+            snapshot.version,
+            snapshot.explain_fingerprint(),
+        );
+        if let Some(body) = shared.cache.get(&key) {
+            // Cached: answer without touching a queue or a worker. The
+            // body was rendered by this exact (rows, version, config)
+            // triple, so it is byte-identical to a recompute.
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            return http::render_response(
+                200,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+    }
+
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = ExplainJob {
         rows: parsed.rows,
+        fingerprint,
         deadline,
         deadline_ms,
         reply: reply_tx,
     };
-    match shared.queue.try_push(job) {
-        Ok(depth) => {
+    let worker = shard::shard(fingerprint, shared.queues.len());
+    match shared.queues[worker].try_push(job) {
+        Ok(_depth) => {
             if cfx_obs::ENABLED {
                 cfx_obs::metrics::gauge("cfx_serve_queue_depth")
-                    .set(depth as f64);
+                    .set(shared.queue_depth() as f64);
             }
         }
         Err(PushError::Full(_)) => {
@@ -716,13 +849,10 @@ fn handle_explain(
             if cfx_obs::ENABLED {
                 cfx_obs::metrics::counter("cfx_serve_shed_total").inc(1);
             }
-            let e = CfxError::overloaded(shared.cfg.retry_after_ms);
-            let body = error_body(
-                "overloaded",
-                &e.to_string(),
-                Some(shared.cfg.retry_after_ms),
-            );
-            let retry = retry_after_header(shared.cfg.retry_after_ms);
+            let retry_ms = shared.shed_retry_after_ms();
+            let e = CfxError::overloaded(retry_ms);
+            let body = error_body("overloaded", &e.to_string(), Some(retry_ms));
+            let retry = retry_after_header(retry_ms);
             return http::render_response(
                 429,
                 "application/json",

@@ -10,10 +10,15 @@
 //!     print a diverse counterfactual set for one denied instance
 //! cfx data <adult|kdd|law> [--n N] [--seed S]
 //!     dump the generated benchmark as CSV to stdout
-//! cfx serve <adult|kdd|law> [--addr A] [--queue-cap Q] [--deadline-ms D]
-//!           [--model-dir DIR] [--prom-out FILE] [--n N] [--seed S]
+//! cfx serve <adult|kdd|law> [--addr A] [--workers W] [--cache-cap C]
+//!           [--queue-cap Q] [--deadline-ms D] [--model-dir DIR]
+//!           [--prom-out FILE] [--n N] [--seed S]
 //!     train a boot model and serve POST /explain, GET /healthz and
 //!     GET /metrics until SIGTERM/SIGINT triggers a graceful drain.
+//!     --workers (or CFX_SERVE_WORKERS) sizes the explain pool — jobs
+//!     are sharded by row content, so responses are byte-identical at
+//!     any worker count; --cache-cap (or CFX_SERVE_CACHE_CAP, 0 = off)
+//!     bounds the response cache.
 //!     CFX_SERVE_FAULT=slow-client|malformed|kill@<n> arms deterministic
 //!     chaos for drills.
 //! ```
@@ -34,6 +39,8 @@ struct Args {
     explain: usize,
     k: usize,
     addr: String,
+    workers: Option<usize>,
+    cache_cap: Option<usize>,
     queue_cap: usize,
     deadline_ms: u64,
     model_dir: Option<String>,
@@ -49,6 +56,8 @@ fn parse(args: &[String]) -> Result<Args, String> {
         explain: 100,
         k: 4,
         addr: "127.0.0.1:7878".into(),
+        workers: None,
+        cache_cap: None,
         queue_cap: 64,
         deadline_ms: 2_000,
         model_dir: None,
@@ -95,6 +104,23 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 i += 1;
                 out.addr =
                     args.get(i).cloned().ok_or("bad --addr")?;
+            }
+            "--workers" => {
+                i += 1;
+                let w: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .ok_or("bad --workers (want an integer >= 1)")?;
+                out.workers = Some(w);
+            }
+            "--cache-cap" => {
+                i += 1;
+                out.cache_cap = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("bad --cache-cap")?,
+                );
             }
             "--queue-cap" => {
                 i += 1;
@@ -294,13 +320,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         version: 0,
         source: "boot".into(),
     };
+    // Default::default() reads CFX_SERVE_WORKERS / CFX_SERVE_CACHE_CAP;
+    // explicit flags win over the environment.
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         addr: args.addr.clone(),
+        workers: args.workers.unwrap_or(defaults.workers),
+        cache_cap: args.cache_cap.unwrap_or(defaults.cache_cap),
         queue_cap: args.queue_cap,
         default_deadline_ms: args.deadline_ms,
         model_dir: args.model_dir.clone().map(Into::into),
         prom_out: args.prom_out.clone().map(Into::into),
-        ..Default::default()
+        ..defaults
     };
     let shutdown = Arc::new(AtomicBool::new(false));
     serve::install_signal_handlers(&shutdown);

@@ -1,9 +1,11 @@
 //! End-to-end tests for the `cfx-serve` daemon over real loopback TCP:
 //! routes, typed errors, backpressure shedding, deadline timeouts,
 //! model hot-reload with corrupt-file quarantine, and the central
-//! robustness claim — a graceful drain under concurrent load completes
+//! robustness claims — a graceful drain under concurrent load completes
 //! every accepted request with responses **byte-identical** to an
-//! unloaded run.
+//! unloaded run, the worker-pool size is invisible in response bytes,
+//! and the response cache short-circuits repeats without ever serving
+//! a stale (pre-hot-swap) body.
 
 use cfx::core::{
     ConstraintMode, ExplainConfig, FeasibleCfConfig, FeasibleCfModel,
@@ -271,6 +273,7 @@ fn deadline_paths_are_typed_timeouts() {
     let (tx, rx) = mpsc::channel();
     queue
         .try_push(batcher::ExplainJob {
+            fingerprint: serve::row_fingerprint(&rows),
             rows: rows.clone(),
             deadline: Instant::now() - Duration::from_millis(10),
             deadline_ms: 5,
@@ -441,4 +444,170 @@ fn drain_under_load_is_graceful_and_byte_identical() {
         TcpStream::connect(addr).is_err(),
         "port still open after drain"
     );
+}
+
+fn healthz_body(addr: SocketAddr) -> String {
+    roundtrip(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").1
+}
+
+/// Pulls an integer field (`"name":N`) out of a healthz body.
+fn healthz_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {field} in {body}"))
+        + needle.len();
+    body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {field} in {body}"))
+}
+
+/// The worker-pool acceptance test: the same request set — arriving in
+/// a different order — produces byte-identical bodies at 1 and at 4
+/// workers. The cache is disabled so every request actually routes
+/// through a worker and the resampling RNG stream gets exercised.
+#[test]
+fn worker_count_is_invisible_in_response_bytes() {
+    let f = fixture();
+    let pool = denied_rows(f, 8);
+    assert!(pool.len() >= 8, "fixture produced too few denied rows");
+    let requests: Vec<Vec<Vec<f32>>> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                vec![pool[i].clone()]
+            } else {
+                // Multi-row requests too: row order within a request is
+                // part of the fingerprint and must survive re-routing.
+                vec![pool[i].clone(), pool[(i + 3) % 8].clone()]
+            }
+        })
+        .collect();
+
+    let run = |workers: usize, order: &[usize]| -> Vec<String> {
+        let h = start(ServeConfig {
+            workers,
+            cache_cap: 0,
+            ..Default::default()
+        });
+        let addr = h.addr();
+        let mut bodies = vec![String::new(); requests.len()];
+        for &i in order {
+            let (code, body) =
+                roundtrip(addr, &post_explain(&requests[i], 30_000));
+            assert_eq!(code, 200, "{body}");
+            bodies[i] = body;
+        }
+        h.shutdown();
+        h.join();
+        bodies
+    };
+
+    let forward: Vec<usize> = (0..requests.len()).collect();
+    // Shuffled arrival at 4 workers: a fixed permutation decorrelates
+    // arrival order from the baseline run.
+    let shuffled = [5usize, 2, 7, 0, 3, 6, 1, 4];
+    let base = run(1, &forward);
+    let wide = run(4, &shuffled);
+    assert_eq!(
+        base, wide,
+        "responses must be byte-identical at every worker count"
+    );
+}
+
+#[test]
+fn cache_hit_short_circuits_with_identical_bytes() {
+    let f = fixture();
+    let h = start(ServeConfig { cache_cap: 64, ..Default::default() });
+    let addr = h.addr();
+    let rows = denied_rows(f, 2);
+
+    let (code, first) = roundtrip(addr, &post_explain(&rows, 30_000));
+    assert_eq!(code, 200, "{first}");
+    let hz = healthz_body(addr);
+    assert_eq!(healthz_u64(&hz, "cache_hits"), 0, "{hz}");
+    assert!(healthz_u64(&hz, "cache_misses") >= 1, "{hz}");
+    assert!(healthz_u64(&hz, "cache_entries") >= 1, "{hz}");
+
+    // Same rows again — and with a different deadline, which is *not*
+    // part of the cache key: must hit and answer byte-identically.
+    let (code, repeat) = roundtrip(addr, &post_explain(&rows, 20_000));
+    assert_eq!(code, 200, "{repeat}");
+    assert_eq!(repeat, first, "cache hit must be byte-identical");
+    let hz = healthz_body(addr);
+    assert_eq!(healthz_u64(&hz, "cache_hits"), 1, "{hz}");
+
+    // A different row set is a different key: miss, not a wrong hit.
+    let other = denied_rows(f, 1);
+    let (code, body) = roundtrip(addr, &post_explain(&other, 30_000));
+    assert_eq!(code, 200, "{body}");
+    assert_ne!(body, first);
+    let hz = healthz_body(addr);
+    assert_eq!(healthz_u64(&hz, "cache_hits"), 1, "{hz}");
+
+    h.shutdown();
+    let report = h.join();
+    assert_eq!(report.served, 3, "{report:?}");
+}
+
+#[test]
+fn cache_invalidates_on_hot_swap() {
+    let f = fixture();
+    let dir = std::env::temp_dir().join(format!(
+        "cfx-serve-cache-swap-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let h = start(ServeConfig {
+        cache_cap: 64,
+        model_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let rows = denied_rows(f, 1);
+
+    // Prime the cache against the boot model and confirm it hits.
+    let (code, v0_body) = roundtrip(addr, &post_explain(&rows, 30_000));
+    assert_eq!(code, 200, "{v0_body}");
+    assert!(v0_body.contains("\"model_version\":0"), "{v0_body}");
+    let (_, repeat) = roundtrip(addr, &post_explain(&rows, 30_000));
+    assert_eq!(repeat, v0_body);
+    assert!(healthz_u64(&healthz_body(addr), "cache_hits") >= 1);
+
+    // Hot-swap a new checkpoint in and wait for it to land.
+    let mut ckpt = Checkpoint::new();
+    f.model.export_servable(&mut ckpt);
+    ckpt.write_atomic(&dir.join(format!("m1.{EXTENSION}"))).unwrap();
+    let t0 = Instant::now();
+    loop {
+        let hz = healthz_body(addr);
+        if hz.contains("\"model_version\":1") {
+            // The swap purges the cache atomically: nothing from the
+            // old model survives to be served.
+            assert_eq!(healthz_u64(&hz, "cache_entries"), 0, "{hz}");
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "hot reload did not land: {hz}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The same rows must now be recomputed against the new version —
+    // never answered from the stale v0 entry.
+    let (code, v1_body) = roundtrip(addr, &post_explain(&rows, 30_000));
+    assert_eq!(code, 200, "{v1_body}");
+    assert!(
+        v1_body.contains("\"model_version\":1"),
+        "stale cached body served after hot swap: {v1_body}"
+    );
+
+    h.shutdown();
+    h.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }
