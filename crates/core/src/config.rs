@@ -1,6 +1,7 @@
 //! Hyper-parameter configuration, including the paper's Table III values.
 
 use cfx_data::DatasetId;
+use cfx_tensor::CfxError;
 
 /// Which constraint model is being trained (§III-A): the paper fits one
 /// model per constraint type and reports both rows in Table IV.
@@ -18,6 +19,41 @@ impl ConstraintMode {
         match self {
             ConstraintMode::Unary => "Unary-const",
             ConstraintMode::Binary => "Binary-const",
+        }
+    }
+}
+
+/// How the validity term scores counterfactuals when the model carries an
+/// ensemble of black boxes (model multiplicity; see the "Robustness under
+/// model multiplicity & drift" section of `DESIGN.md`).
+///
+/// A CF that flips one trained classifier can be invalidated by a retrain
+/// from another seed or data sample. The robust modes hinge the validity
+/// loss against the ensemble instead of the single frozen primary, so the
+/// generator learns CFs that survive plausible retrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RobustMode {
+    /// Paper behaviour: hinge on the primary black box only. An attached
+    /// ensemble is ignored by the loss (it can still be used for
+    /// invalidation measurement).
+    #[default]
+    Off,
+    /// Hinge on the mean ensemble logit — robust to the *average*
+    /// retrain, cheapest signal, weakest guarantee.
+    Mean,
+    /// Hinge on the worst-case (least favourable) member logit per row —
+    /// a CF only scores as valid once *every* member agrees, the
+    /// strongest multiplicity guarantee.
+    WorstCase,
+}
+
+impl RobustMode {
+    /// Bench/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RobustMode::Off => "plain",
+            RobustMode::Mean => "robust-mean",
+            RobustMode::WorstCase => "robust-worst",
         }
     }
 }
@@ -89,6 +125,11 @@ pub struct FeasibleCfConfig {
     pub mask_immutable: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Robust-validity mode. [`RobustMode::Off`] reproduces the paper's
+    /// single-model hinge exactly; the other modes require an ensemble
+    /// attached via
+    /// [`FeasibleCfModel::with_ensemble`](crate::FeasibleCfModel::with_ensemble).
+    pub robust: RobustMode,
 }
 
 impl FeasibleCfConfig {
@@ -119,6 +160,7 @@ impl FeasibleCfConfig {
             c2: 0.2,
             mask_immutable: true,
             seed: 0,
+            robust: RobustMode::Off,
         }
     }
 
@@ -166,6 +208,12 @@ impl FeasibleCfConfig {
     /// Builder-style batch-size override.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style robust-mode override.
+    pub fn with_robust(mut self, robust: RobustMode) -> Self {
+        self.robust = robust;
         self
     }
 }
@@ -237,6 +285,22 @@ impl GenRecoveryConfig {
         self.resample_attempts = attempts;
         self
     }
+
+    /// Rejects values that would silently corrupt the degradation ladder:
+    /// a negative or non-finite `noise_scale` turns latent resampling
+    /// into NaN/backwards perturbations that *look* like honest retries.
+    /// (`resample_attempts == 0` stays legal — it means "skip straight to
+    /// the fallback pool".) Checked at every `explain_batch*` entry.
+    pub fn validate(&self) -> Result<(), CfxError> {
+        if !self.noise_scale.is_finite() || self.noise_scale < 0.0 {
+            return Err(CfxError::config(format!(
+                "GenRecoveryConfig::noise_scale must be finite and >= 0, \
+                 got {}",
+                self.noise_scale
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Generation-side memory/latency knobs for
@@ -266,6 +330,21 @@ impl ExplainConfig {
     pub fn with_fallback_pool_cap(mut self, cap: usize) -> Self {
         self.fallback_pool_cap = cap;
         self
+    }
+
+    /// Rejects knobs that would silently disable the degradation ladder:
+    /// `fallback_pool_cap == 0` builds an *empty* FACE fallback pool, so
+    /// rung 3 can never repair a row and every exhausted sample ships an
+    /// invalid CF with no error. Checked by
+    /// [`FeasibleCfModel::new_with_explain`](crate::FeasibleCfModel::new_with_explain).
+    pub fn validate(&self) -> Result<(), CfxError> {
+        if self.fallback_pool_cap == 0 {
+            return Err(CfxError::config(
+                "ExplainConfig::fallback_pool_cap must be > 0 \
+                 (0 silently disables the FACE fallback rung)",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -307,5 +386,42 @@ mod tests {
     fn mode_labels_match_table3() {
         assert_eq!(ConstraintMode::Unary.label(), "Unary-const");
         assert_eq!(ConstraintMode::Binary.label(), "Binary-const");
+    }
+
+    #[test]
+    fn paper_config_defaults_to_plain_validity() {
+        let cfg = FeasibleCfConfig::paper(DatasetId::Adult, ConstraintMode::Unary);
+        assert_eq!(cfg.robust, RobustMode::Off);
+        let robust = cfg.with_robust(RobustMode::WorstCase);
+        assert_eq!(robust.robust, RobustMode::WorstCase);
+        assert_eq!(RobustMode::Off.label(), "plain");
+        assert_eq!(RobustMode::Mean.label(), "robust-mean");
+        assert_eq!(RobustMode::WorstCase.label(), "robust-worst");
+    }
+
+    #[test]
+    fn explain_config_rejects_zero_pool_cap() {
+        assert!(ExplainConfig::default().validate().is_ok());
+        let err = ExplainConfig::default()
+            .with_fallback_pool_cap(0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, CfxError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("fallback_pool_cap"));
+    }
+
+    #[test]
+    fn recovery_config_rejects_bad_noise_scale() {
+        assert!(GenRecoveryConfig::default().validate().is_ok());
+        // Zero attempts is legal: skip straight to the fallback pool.
+        assert!(GenRecoveryConfig::default()
+            .with_resample_attempts(0)
+            .validate()
+            .is_ok());
+        for bad in [-0.5, f32::NAN, f32::INFINITY] {
+            let cfg = GenRecoveryConfig { noise_scale: bad, ..Default::default() };
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(err, CfxError::Config(_)), "got {err}");
+        }
     }
 }

@@ -141,13 +141,21 @@ impl FeasibleCfModel {
     ///
     /// Every sample therefore always receives a finite counterfactual;
     /// [`Counterfactual::provenance`] records which rung produced it.
+    ///
+    /// Panics on an invalid `recovery` (see
+    /// [`GenRecoveryConfig::validate`]) — the fallible entry points
+    /// ([`explain_batch_deadline`](Self::explain_batch_deadline) and the
+    /// serving layer) surface the same condition as
+    /// [`CfxError::Config`] instead.
     pub fn explain_batch_with(
         &self,
         x: &Tensor,
         recovery: &GenRecoveryConfig,
     ) -> ExplanationBatch {
-        self.explain_rungs(x, recovery, None, 0)
-            .expect("explain without a deadline cannot time out")
+        self.explain_rungs(x, recovery, None, 0).expect(
+            "explain without a deadline can only fail on an invalid \
+             GenRecoveryConfig",
+        )
     }
 
     /// Deadline-bounded [`explain_batch_with`](Self::explain_batch_with):
@@ -204,6 +212,10 @@ impl FeasibleCfModel {
         budget: Option<Duration>,
         stream: u64,
     ) -> Result<ExplanationBatch, CfxError> {
+        // Reject bad recovery knobs before any work: a negative or
+        // non-finite noise scale would corrupt every resample rung while
+        // looking like an honest retry (satellite of the robustness PR).
+        recovery.validate()?;
         let start = Instant::now();
         let over = |b: &Duration| start.elapsed() >= *b;
         if let Some(b) = &budget {

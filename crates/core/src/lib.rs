@@ -54,7 +54,7 @@ pub use cfx_tensor::checkpoint::{
 pub use cfx_tensor::CfxError;
 pub use config::{
     CfLossWeights, ConstraintMode, ExplainConfig, FeasibleCfConfig,
-    GenRecoveryConfig, WatchdogConfig,
+    GenRecoveryConfig, RobustMode, WatchdogConfig,
 };
 pub use constraints::{feasibility_rate, Constraint, FeatureView};
 pub use discovery::{discover_binary_constraints, DiscoveryConfig, ScoredConstraint};
@@ -63,7 +63,10 @@ pub use explain::{
     format_comparison, Counterfactual, ExplanationBatch, Provenance,
     ProvenanceCounts,
 };
-pub use loss::{cf_loss, proximity_penalty, sparsity_penalty, CfLossParts};
+pub use loss::{
+    cf_loss, cf_loss_robust, proximity_penalty, robust_validity,
+    sparsity_penalty, CfLossParts,
+};
 pub use mask::ImmutableMask;
 pub use path::{LatentPath, PathStep};
 pub use model::{

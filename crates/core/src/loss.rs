@@ -13,7 +13,7 @@
 //! features as ε → 0) blended with the L1 magnitude so gradients exist
 //! even for tiny deltas.
 
-use crate::config::CfLossWeights;
+use crate::config::{CfLossWeights, RobustMode};
 use crate::constraints::Constraint;
 use cfx_tensor::{Tape, Tensor, Var};
 
@@ -88,6 +88,105 @@ pub fn cf_loss(
     recon_logits: Option<Var>,
 ) -> CfLossParts {
     let validity = tape.hinge(cf_logits, desired_pm1, weights.hinge_margin);
+    assemble(tape, x, x_cf, validity, mu, logvar, constraints, weights, recon_logits)
+}
+
+/// Robust validity term under model multiplicity: the hinge is scored
+/// against the ensemble's member logits instead of a single classifier.
+///
+/// * [`RobustMode::Mean`] hinges the *mean* member logit — members are
+///   reduced in index order, so the graph is identical no matter how the
+///   logits were produced.
+/// * [`RobustMode::WorstCase`] hinges the per-row minimum of the signed
+///   logits `y·z_k` — the least favourable member decides, so a CF only
+///   stops paying validity loss once every member flips it. The tape has
+///   no elementwise `min` op; it is composed as `min(a,b) = a − relu(a−b)`,
+///   which is exactly elementwise-min forward and routes the subgradient
+///   to the active (smaller) branch backward — deterministically, because
+///   `relu` breaks the tie at `a == b` the same way every run.
+///
+/// Panics on [`RobustMode::Off`] (use [`cf_loss`]) or an empty member
+/// list.
+pub fn robust_validity(
+    tape: &mut Tape,
+    member_logits: &[Var],
+    desired_pm1: &Tensor,
+    margin: f32,
+    mode: RobustMode,
+) -> Var {
+    assert!(
+        !member_logits.is_empty(),
+        "robust validity needs at least one member logit"
+    );
+    match mode {
+        RobustMode::Off => {
+            panic!("RobustMode::Off has no robust validity; use cf_loss")
+        }
+        RobustMode::Mean => {
+            let mut sum = member_logits[0];
+            for &z in &member_logits[1..] {
+                sum = tape.add(sum, z);
+            }
+            let mean = tape.scale(sum, 1.0 / member_logits.len() as f32);
+            tape.hinge(mean, desired_pm1, margin)
+        }
+        RobustMode::WorstCase => {
+            let y = tape.leaf(desired_pm1.clone());
+            let mut worst = tape.mul(y, member_logits[0]);
+            for &z in &member_logits[1..] {
+                let s = tape.mul(y, z);
+                let d = tape.sub(worst, s);
+                let r = tape.relu(d);
+                worst = tape.sub(worst, r);
+            }
+            // `worst` is already the signed margin y·z, so hinge against
+            // all-ones labels: mean(relu(margin − worst)).
+            let ones =
+                Tensor::from_vec(desired_pm1.rows(), 1, vec![
+                    1.0;
+                    desired_pm1.rows()
+                ]);
+            tape.hinge(worst, &ones, margin)
+        }
+    }
+}
+
+/// [`cf_loss`] with the validity term hinged against an ensemble
+/// ([`robust_validity`]) instead of a single black-box logit. Every other
+/// term is assembled identically, so `RobustMode` changes exactly one
+/// edge of the loss graph.
+#[allow(clippy::too_many_arguments)]
+pub fn cf_loss_robust(
+    tape: &mut Tape,
+    x: Var,
+    x_cf: Var,
+    member_logits: &[Var],
+    mode: RobustMode,
+    desired_pm1: &Tensor,
+    mu: Var,
+    logvar: Var,
+    constraints: &[Constraint],
+    weights: &CfLossWeights,
+    recon_logits: Option<Var>,
+) -> CfLossParts {
+    let validity =
+        robust_validity(tape, member_logits, desired_pm1, weights.hinge_margin, mode);
+    assemble(tape, x, x_cf, validity, mu, logvar, constraints, weights, recon_logits)
+}
+
+/// Shared assembly of every non-validity term plus the weighted total.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    tape: &mut Tape,
+    x: Var,
+    x_cf: Var,
+    validity: Var,
+    mu: Var,
+    logvar: Var,
+    constraints: &[Constraint],
+    weights: &CfLossWeights,
+    recon_logits: Option<Var>,
+) -> CfLossParts {
     let proximity = proximity_penalty(tape, x, x_cf);
     let sparsity = sparsity_penalty(tape, x, x_cf, weights.sparsity_eps);
     let kl = tape.kl_gauss(mu, logvar);
@@ -195,6 +294,111 @@ mod tests {
         assert!((tape.value(parts.total).item() - expected).abs() < 1e-5);
         // No constraints → zero feasibility.
         assert_eq!(tape.value(parts.feasibility).item(), 0.0);
+    }
+
+    #[test]
+    fn mean_mode_matches_hinge_of_mean_logit() {
+        // Two members, two rows: the mean-mode validity must equal a
+        // plain hinge on the averaged logits.
+        let z0 = Tensor::from_vec(2, 1, vec![1.0, -2.0]);
+        let z1 = Tensor::from_vec(2, 1, vec![3.0, 0.5]);
+        let desired = Tensor::from_vec(2, 1, vec![1.0, -1.0]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(z0);
+        let b = tape.leaf(z1);
+        let v = robust_validity(&mut tape, &[a, b], &desired, 0.5, RobustMode::Mean);
+        // Mean logits: [2.0, -0.75]; signed margins y·z: [2.0, 0.75];
+        // hinge(0.5): mean(relu(0.5 - s)) = mean(0, 0) = 0.
+        assert!(tape.value(v).item().abs() < 1e-6);
+
+        let z2 = Tensor::from_vec(2, 1, vec![0.2, -2.0]);
+        let z3 = Tensor::from_vec(2, 1, vec![0.4, 3.0]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(z2);
+        let b = tape.leaf(z3);
+        let v = robust_validity(&mut tape, &[a, b], &desired, 0.5, RobustMode::Mean);
+        // Mean logits: [0.3, 0.5]; signed: [0.3, -0.5];
+        // hinge: mean(0.2, 1.0) = 0.6.
+        assert!((tape.value(v).item() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_case_hinges_least_favourable_member() {
+        // Row 0 (desired +1): members disagree (+2, -1) → worst signed
+        // margin -1 → hinge 1.5. Row 1 (desired -1): members agree
+        // (-3, -1 → signed +3, +1) → worst +1 → hinge 0.
+        let z0 = Tensor::from_vec(2, 1, vec![2.0, -3.0]);
+        let z1 = Tensor::from_vec(2, 1, vec![-1.0, -1.0]);
+        let desired = Tensor::from_vec(2, 1, vec![1.0, -1.0]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(z0);
+        let b = tape.leaf(z1);
+        let v = robust_validity(
+            &mut tape,
+            &[a, b],
+            &desired,
+            0.5,
+            RobustMode::WorstCase,
+        );
+        // mean(1.5, 0.0) = 0.75.
+        assert!((tape.value(v).item() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_case_exceeds_mean_penalty_under_disagreement() {
+        let z0 = Tensor::from_vec(3, 1, vec![4.0, 0.2, -0.1]);
+        let z1 = Tensor::from_vec(3, 1, vec![-4.0, 0.3, -0.2]);
+        let desired = Tensor::from_vec(3, 1, vec![1.0, 1.0, -1.0]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(z0);
+        let b = tape.leaf(z1);
+        let mean =
+            robust_validity(&mut tape, &[a, b], &desired, 0.5, RobustMode::Mean);
+        let worst = robust_validity(
+            &mut tape,
+            &[a, b],
+            &desired,
+            0.5,
+            RobustMode::WorstCase,
+        );
+        assert!(
+            tape.value(worst).item() >= tape.value(mean).item(),
+            "worst-case must dominate the mean penalty"
+        );
+    }
+
+    #[test]
+    fn robust_loss_is_differentiable_and_order_invariant() {
+        let x = Tensor::from_vec(2, 3, vec![0.2, 0.8, 0.5, 0.4, 0.1, 0.9]);
+        let cf0 = Tensor::from_vec(2, 3, vec![0.3, 0.7, 0.5, 0.5, 0.2, 0.8]);
+        let desired = Tensor::from_vec(2, 1, vec![1.0, -1.0]);
+        let w = CfLossWeights::default();
+        let readouts = [
+            Tensor::from_vec(3, 1, vec![1.0, -1.0, 0.5]),
+            Tensor::from_vec(3, 1, vec![-0.5, 0.8, 0.2]),
+        ];
+        for mode in [RobustMode::Mean, RobustMode::WorstCase] {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let cfv = tape.leaf(cf0.clone());
+            let logits: Vec<Var> = readouts
+                .iter()
+                .map(|r| {
+                    let rv = tape.leaf(r.clone());
+                    tape.matmul(cfv, rv)
+                })
+                .collect();
+            let mu = tape.leaf(Tensor::zeros(2, 2));
+            let lv = tape.leaf(Tensor::zeros(2, 2));
+            let parts = cf_loss_robust(
+                &mut tape, xv, cfv, &logits, mode, &desired, mu, lv, &[], &w,
+                None,
+            );
+            tape.backward(parts.total);
+            let g = tape.grad(cfv);
+            assert!(g.max_abs() > 0.0, "{mode:?}: no gradient reached the CF");
+            assert!(g.all_finite());
+        }
     }
 
     #[test]

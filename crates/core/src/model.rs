@@ -1,12 +1,15 @@
 //! The paper's counterfactual generator: a conditional VAE trained with
 //! the four-part loss, against a frozen black-box classifier (Fig. 4).
 
-use crate::config::{ConstraintMode, ExplainConfig, FeasibleCfConfig, WatchdogConfig};
+use crate::config::{
+    ConstraintMode, ExplainConfig, FeasibleCfConfig, RobustMode,
+    WatchdogConfig,
+};
 use crate::constraints::Constraint;
-use crate::loss::cf_loss;
+use crate::loss::{cf_loss, cf_loss_robust};
 use crate::mask::ImmutableMask;
 use cfx_data::{DatasetId, EncodedDataset};
-use cfx_models::{BlackBox, Cvae};
+use cfx_models::{BlackBox, Cvae, EnsembleBlackBox};
 use cfx_tensor::init::randn_tensor;
 use cfx_tensor::stable_sigmoid;
 use cfx_tensor::Activation;
@@ -152,6 +155,12 @@ impl FallbackPool {
 pub struct FeasibleCfModel {
     vae: Cvae,
     blackbox: BlackBox,
+    /// Frozen multiplicity ensemble backing the robust validity modes
+    /// (see [`RobustMode`]). `None` reproduces the paper exactly. A
+    /// training-time artifact: excluded from
+    /// [`export_servable`](Self::export_servable) — serving needs only
+    /// the trained generator and primary black box.
+    ensemble: Option<EnsembleBlackBox>,
     constraints: Vec<Constraint>,
     mask: ImmutableMask,
     config: FeasibleCfConfig,
@@ -220,7 +229,54 @@ impl FeasibleCfModel {
         };
         let fallback_pool =
             FallbackPool::build(data, &blackbox, explain.fallback_pool_cap);
-        FeasibleCfModel { vae, blackbox, constraints, mask, config, fallback_pool }
+        FeasibleCfModel {
+            vae,
+            blackbox,
+            ensemble: None,
+            constraints,
+            mask,
+            config,
+            fallback_pool,
+        }
+    }
+
+    /// Fallible [`new_with_explain`](Self::new_with_explain): rejects an
+    /// invalid [`ExplainConfig`] (e.g. a zero fallback-pool cap, which
+    /// silently disables the degradation ladder's last rung) with a typed
+    /// [`CfxError::Config`] instead of constructing a model that cannot
+    /// honour its recovery contract.
+    pub fn try_new_with_explain(
+        data: &EncodedDataset,
+        blackbox: BlackBox,
+        constraints: Vec<Constraint>,
+        config: FeasibleCfConfig,
+        explain: &ExplainConfig,
+    ) -> Result<Self, CfxError> {
+        explain.validate()?;
+        Ok(Self::new_with_explain(data, blackbox, constraints, config, explain))
+    }
+
+    /// Attaches a trained multiplicity ensemble, enabling the robust
+    /// validity modes ([`RobustMode::Mean`] / [`RobustMode::WorstCase`]).
+    /// The ensemble is frozen, exactly like the primary black box; the
+    /// primary still defines input/desired classes and reported validity,
+    /// so Table IV semantics and the degradation ladder are unchanged —
+    /// only the training hinge switches to the ensemble.
+    ///
+    /// Panics if the ensemble's input width differs from the black box's.
+    pub fn with_ensemble(mut self, ensemble: EnsembleBlackBox) -> Self {
+        assert_eq!(
+            ensemble.input_dim(),
+            self.blackbox.input_dim(),
+            "ensemble width must match the primary black box"
+        );
+        self.ensemble = Some(ensemble);
+        self
+    }
+
+    /// The attached multiplicity ensemble, if any.
+    pub fn ensemble(&self) -> Option<&EnsembleBlackBox> {
+        self.ensemble.as_ref()
     }
 
     /// Rebuilds the nearest-neighbor fallback pool from `data` at a new
@@ -762,23 +818,56 @@ impl FeasibleCfModel {
         let out = self.vae.forward(tape, xv, &cond, &eps, &mut pv, true, rng);
         let probs = tape.sigmoid(out.recon);
         let x_cf = self.mask.apply_tape(tape, xv, probs);
-        let logits = self.blackbox.forward_tape(tape, x_cf);
-        let parts = cf_loss(
-            tape,
-            xv,
-            x_cf,
-            logits,
-            &desired_pm1,
-            out.mu,
-            out.logvar,
-            &self.constraints,
-            &{
-                let mut w = self.config.weights;
-                w.kl *= kl_anneal;
-                w
-            },
-            Some(out.recon),
-        );
+        let weights = {
+            let mut w = self.config.weights;
+            w.kl *= kl_anneal;
+            w
+        };
+        let parts = match (self.config.robust, &self.ensemble) {
+            (RobustMode::Off, _) => {
+                let logits = self.blackbox.forward_tape(tape, x_cf);
+                cf_loss(
+                    tape,
+                    xv,
+                    x_cf,
+                    logits,
+                    &desired_pm1,
+                    out.mu,
+                    out.logvar,
+                    &self.constraints,
+                    &weights,
+                    Some(out.recon),
+                )
+            }
+            (mode, Some(ensemble)) => {
+                // Members are evaluated and reduced in index order —
+                // part of the bitwise-determinism contract pinned by
+                // tests/robust_prop.rs.
+                let member_logits =
+                    ensemble.forward_members_tape(tape, x_cf);
+                if cfx_obs::ENABLED {
+                    cfx_obs::metrics::counter("cfx_robust_batches_total")
+                        .inc(1);
+                }
+                cf_loss_robust(
+                    tape,
+                    xv,
+                    x_cf,
+                    &member_logits,
+                    mode,
+                    &desired_pm1,
+                    out.mu,
+                    out.logvar,
+                    &self.constraints,
+                    &weights,
+                    Some(out.recon),
+                )
+            }
+            (mode, None) => panic!(
+                "FeasibleCfConfig.robust = {mode:?} but no ensemble is \
+                 attached; call with_ensemble() before fit()"
+            ),
+        };
         let stats = EpochStats {
             total: tape.value(parts.total).item(),
             validity: tape.value(parts.validity).item(),

@@ -20,6 +20,7 @@
 //!    marital status (plus a small gender/race disparity term so the
 //!    immutable attributes are informative, as in the real data).
 
+use crate::drift::Drift;
 use crate::schema::{Feature, RawDataset, Schema, Value};
 use crate::synth::{
     capped_exp, inject_missing, logistic_label, scaled_clean_count,
@@ -96,12 +97,20 @@ pub fn generate(n_raw: usize, seed: u64) -> RawDataset {
 
 /// Generates `n` instances with no missing values.
 pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
+    generate_clean_drifted(n, seed, &Drift::none())
+}
+
+/// [`generate_clean`] in a drifted world: education mix flattened by
+/// `weight_blend`, experience/hours noise widened by `noise_scale`, the
+/// income logit shifted by `logit_shift`. [`Drift::none`] reproduces
+/// [`generate_clean`] bitwise at the same seed.
+pub fn generate_clean_drifted(n: usize, seed: u64, drift: &Drift) -> RawDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = schema();
     let mut rows = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
-        let (row, label) = sample_instance(&mut rng);
+        let (row, label) = sample_instance(&mut rng, drift);
         rows.push(row);
         labels.push(label);
     }
@@ -110,21 +119,25 @@ pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
     ds
 }
 
-fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
+fn sample_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    drift: &Drift,
+) -> (Vec<Value>, bool) {
     // Exogenous demographics.
     let race = weighted_choice(&[0.78, 0.10, 0.06, 0.03, 0.03], rng) as u32;
     let gender_male = rng.gen::<f32>() < 0.67;
     let native_us = rng.gen::<f32>() < 0.90;
 
-    // Education: skewed toward hs_grad / some_college, like the real data.
+    // Education: skewed toward hs_grad / some_college, like the real data
+    // (drift flattens the mix toward uniform).
     let education = weighted_choice(
-        &[0.12, 0.32, 0.22, 0.08, 0.16, 0.06, 0.02, 0.02],
+        &drift.blend_weights(&[0.12, 0.32, 0.22, 0.08, 0.16, 0.06, 0.02, 0.02]),
         rng,
     );
 
     // Age is caused by education: completing a level takes years, then
-    // work experience accrues on top.
-    let experience = capped_exp(14.0, 60.0, rng);
+    // work experience accrues on top (drift widens the experience spread).
+    let experience = capped_exp(drift.scale_noise(14.0), 60.0, rng);
     let age = (EDUCATION_MIN_AGE[education] + experience).clamp(17.0, 90.0);
 
     // Occupation depends on education: degrees unlock professional work.
@@ -164,7 +177,7 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
     let hours_mean = 40.0
         + if occupation == 5 { 5.0 } else { 0.0 }
         + if workclass == 1 { 4.0 } else { 0.0 };
-    let hours = trunc_normal(hours_mean, 9.0, 1.0, 99.0, rng);
+    let hours = trunc_normal(hours_mean, drift.scale_noise(9.0), 1.0, 99.0, rng);
 
     // Income: logistic in the causally upstream attributes. Coefficients
     // chosen so the positive rate lands near the real Adult ≈ 24 %.
@@ -182,7 +195,7 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
         + if gender_male { 0.45 } else { 0.0 }
         + if race == 0 { 0.15 } else { 0.0 }
         + if native_us { 0.1 } else { 0.0 };
-    let income_high = logistic_label(logit, rng);
+    let income_high = logistic_label(drift.shift_logit(logit), rng);
 
     (
         vec![
@@ -285,5 +298,36 @@ mod tests {
         let b = generate(1000, 9);
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn zero_drift_reproduces_generate_clean_bitwise() {
+        let plain = generate_clean(2_000, 21);
+        let drifted = generate_clean_drifted(2_000, 21, &Drift::none());
+        assert_eq!(plain.rows, drifted.rows);
+        assert_eq!(plain.labels, drifted.labels);
+    }
+
+    #[test]
+    fn drift_thins_the_positive_class_but_stays_valid() {
+        let plain = generate_clean(20_000, 22);
+        let drifted =
+            generate_clean_drifted(20_000, 22, &Drift::magnitude(1.0));
+        assert!(drifted.validate().is_ok());
+        assert!(
+            drifted.positive_rate() < plain.positive_rate(),
+            "drifted {} !< plain {}",
+            drifted.positive_rate(),
+            plain.positive_rate()
+        );
+        // The causal ground truth survives any drift: education still
+        // bounds age from below.
+        let age_idx = drifted.schema.index_of("age");
+        let edu_idx = drifted.schema.index_of("education");
+        for row in &drifted.rows {
+            let age = row[age_idx].as_num().unwrap();
+            let edu = row[edu_idx].as_cat().unwrap() as usize;
+            assert!(age >= EDUCATION_MIN_AGE[edu] - 1e-3);
+        }
     }
 }

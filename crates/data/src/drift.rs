@@ -1,0 +1,150 @@
+//! Distribution-drift scenarios: "retrained world" variants of the
+//! synthetic generators.
+//!
+//! A model in production is retrained on data the world has since moved:
+//! noisier measurements, a shifted class balance, different category mix.
+//! A counterfactual emitted against yesterday's classifier can be
+//! *invalidated* by that retrain even when the classifier family and
+//! training code are identical. [`Drift`] parameterizes that movement for
+//! every generator in this crate — the hand-rolled SCMs (`adult`, `kdd`,
+//! `law` via [`DatasetId::generate_clean_drifted`]) and the DSL
+//! ([`Scm::sample_drifted`]) — so the robustness bench can train a
+//! "retrained world" black box and measure the CF invalidation rate
+//! against it.
+//!
+//! Identity contract: [`Drift::none`] is bitwise inert. Noise stds are
+//! multiplied by exactly `1.0`, logits shifted by exactly `0.0`, and
+//! categorical re-weighting is gated on `weight_blend != 0.0`, so a
+//! drift-threaded generator at zero drift reproduces the historical byte
+//! stream of every draw (pinned by tests in each generator module).
+//!
+//! [`DatasetId::generate_clean_drifted`]: crate::DatasetId::generate_clean_drifted
+//! [`Scm::sample_drifted`]: crate::scm::Scm::sample_drifted
+
+/// A parameterized shift of a synthetic generator's world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drift {
+    /// Multiplier on exogenous noise scales (normal stds, exponential
+    /// means). `1.0` = unchanged; `> 1.0` = a noisier world.
+    pub noise_scale: f32,
+    /// Additive shift on label/bernoulli logits. Negative values thin the
+    /// positive class — the classic "the approval bar moved" drift.
+    pub logit_shift: f32,
+    /// Blend factor in `[0, 1]` pulling categorical weights toward
+    /// uniform: `0.0` = original mix, `1.0` = uniform over levels.
+    pub weight_blend: f32,
+}
+
+impl Drift {
+    /// The identity drift: every generator reproduces its historical
+    /// draws bitwise.
+    pub fn none() -> Self {
+        Drift { noise_scale: 1.0, logit_shift: 0.0, weight_blend: 0.0 }
+    }
+
+    /// A graded drift scenario: `m = 0` is [`none`](Self::none); growing
+    /// `m` makes noise wider (`×(1 + 0.5·m)`), thins the positive class
+    /// (logit `− 1.2·m`), and flattens category mixes (blend
+    /// `min(0.3·m, 1)`). The logit shift dominates the blend by design:
+    /// flattening a low-education-skewed mix *raises* the average
+    /// qualification, so a weaker shift would let drift grow the positive
+    /// class instead of thinning it. The robustness bench sweeps `m`.
+    pub fn magnitude(m: f32) -> Self {
+        Drift {
+            noise_scale: 1.0 + 0.5 * m,
+            logit_shift: -1.2 * m,
+            weight_blend: (0.3 * m).clamp(0.0, 1.0),
+        }
+    }
+
+    /// True when this drift is the exact identity.
+    pub fn is_identity(&self) -> bool {
+        self.noise_scale == 1.0
+            && self.logit_shift == 0.0
+            && self.weight_blend == 0.0
+    }
+
+    /// A noise scale (normal std / exponential mean) in the drifted world.
+    #[inline]
+    pub fn scale_noise(&self, scale: f32) -> f32 {
+        scale * self.noise_scale
+    }
+
+    /// A bernoulli/label logit in the drifted world.
+    #[inline]
+    pub fn shift_logit(&self, logit: f32) -> f32 {
+        logit + self.logit_shift
+    }
+
+    /// Categorical weights in the drifted world: blended toward the
+    /// uniform mix (preserving total mass). At `weight_blend == 0.0` the
+    /// input array is returned untouched — no float round-trip.
+    pub fn blend_weights<const N: usize>(&self, w: &[f32; N]) -> [f32; N] {
+        if self.weight_blend == 0.0 {
+            return *w;
+        }
+        let b = self.weight_blend.clamp(0.0, 1.0);
+        let mean = w.iter().sum::<f32>() / N as f32;
+        let mut out = [0.0f32; N];
+        for (o, &wi) in out.iter_mut().zip(w.iter()) {
+            *o = (1.0 - b) * wi + b * mean;
+        }
+        out
+    }
+}
+
+impl Default for Drift {
+    fn default() -> Self {
+        Drift::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_exact_identity() {
+        let d = Drift::none();
+        assert!(d.is_identity());
+        for v in [0.0f32, 1.0, 9.0, 14.0, 0.1, 123.456] {
+            assert_eq!(d.scale_noise(v).to_bits(), v.to_bits());
+        }
+        for v in [-5.2f32, 0.0, 3.75, -0.0] {
+            // +0.0 may normalize -0.0; value equality is the contract the
+            // downstream sigmoid sees.
+            assert_eq!(d.shift_logit(v), v);
+        }
+        let w = [0.12f32, 0.32, 0.22, 0.08, 0.16, 0.06, 0.02, 0.02];
+        let blended = d.blend_weights(&w);
+        for (a, b) in w.iter().zip(blended.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(Drift::magnitude(0.0).is_identity());
+    }
+
+    #[test]
+    fn magnitude_grows_monotonically() {
+        let lo = Drift::magnitude(0.5);
+        let hi = Drift::magnitude(1.0);
+        assert!(hi.noise_scale > lo.noise_scale);
+        assert!(hi.logit_shift < lo.logit_shift);
+        assert!(hi.weight_blend > lo.weight_blend);
+        assert!(!lo.is_identity());
+    }
+
+    #[test]
+    fn blend_preserves_mass_and_flattens() {
+        let d = Drift { weight_blend: 1.0, ..Drift::none() };
+        let w = [0.8f32, 0.1, 0.1];
+        let out = d.blend_weights(&w);
+        let total: f32 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        for v in out {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "full blend is uniform");
+        }
+        let half = Drift { weight_blend: 0.5, ..Drift::none() };
+        let out = half.blend_weights(&w);
+        assert!(out[0] < w[0] && out[0] > 1.0 / 3.0, "partial blend between");
+    }
+}

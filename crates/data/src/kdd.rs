@@ -13,6 +13,7 @@
 //! `age`/`education` pair as Adult (§IV-E).
 
 use crate::adult::{EDUCATION_LEVELS, EDUCATION_MIN_AGE};
+use crate::drift::Drift;
 use crate::schema::{Feature, RawDataset, Schema, Value};
 use crate::synth::{
     capped_exp, inject_missing, logistic_label, scaled_clean_count,
@@ -105,12 +106,18 @@ pub fn generate(n_raw: usize, seed: u64) -> RawDataset {
 
 /// Generates `n` instances with no missing values.
 pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
+    generate_clean_drifted(n, seed, &Drift::none())
+}
+
+/// [`generate_clean`] in a drifted world (see [`Drift`]); [`Drift::none`]
+/// reproduces [`generate_clean`] bitwise at the same seed.
+pub fn generate_clean_drifted(n: usize, seed: u64, drift: &Drift) -> RawDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = schema();
     let mut rows = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
-        let (row, label) = sample_instance(&mut rng);
+        let (row, label) = sample_instance(&mut rng, drift);
         rows.push(row);
         labels.push(label);
     }
@@ -119,17 +126,21 @@ pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
     ds
 }
 
-fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
+fn sample_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    drift: &Drift,
+) -> (Vec<Value>, bool) {
     // Exogenous demographics.
     let race = weighted_choice(&[0.80, 0.10, 0.04, 0.02, 0.04], rng) as u32;
     let gender_male = rng.gen::<f32>() < 0.48;
 
-    // Education (census skews lower than Adult) and the causal age floor.
+    // Education (census skews lower than Adult) and the causal age floor;
+    // drift flattens the mix and widens the experience spread.
     let education = weighted_choice(
-        &[0.22, 0.32, 0.20, 0.07, 0.11, 0.05, 0.02, 0.01],
+        &drift.blend_weights(&[0.22, 0.32, 0.20, 0.07, 0.11, 0.05, 0.02, 0.01]),
         rng,
     );
-    let experience = capped_exp(16.0, 65.0, rng);
+    let experience = capped_exp(drift.scale_noise(16.0), 65.0, rng);
     let age = (EDUCATION_MIN_AGE[education] + experience).clamp(17.0, 90.0);
 
     // Latent socio-economic status: education + age + noise. It drives the
@@ -141,12 +152,12 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
 
     let employed = rng.gen::<f32>() < (0.35 + 0.6 * ses).min(0.95);
     let weeks = if employed {
-        trunc_normal(46.0, 10.0, 1.0, 52.0, rng)
+        trunc_normal(46.0, drift.scale_noise(10.0), 1.0, 52.0, rng)
     } else {
         capped_exp(4.0, 52.0, rng)
     };
     let wage = if employed {
-        trunc_normal(8.0 + 25.0 * ses, 6.0, 0.0, 100.0, rng)
+        trunc_normal(8.0 + 25.0 * ses, drift.scale_noise(6.0), 0.0, 100.0, rng)
     } else {
         0.0
     };
@@ -213,7 +224,7 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
         + if gender_male { 0.5 } else { 0.0 }
         + if race == 0 { 0.15 } else { 0.0 }
         - 1.2;
-    let income_high = logistic_label(logit, rng);
+    let income_high = logistic_label(drift.shift_logit(logit), rng);
 
     (row, income_high)
 }
@@ -290,5 +301,23 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         assert_eq!(generate(800, 5).rows, generate(800, 5).rows);
+    }
+
+    #[test]
+    fn zero_drift_reproduces_generate_clean_bitwise() {
+        let plain = generate_clean(1_200, 6);
+        let drifted = generate_clean_drifted(1_200, 6, &Drift::none());
+        assert_eq!(plain.rows, drifted.rows);
+        assert_eq!(plain.labels, drifted.labels);
+    }
+
+    #[test]
+    fn drift_moves_data_and_stays_valid() {
+        let plain = generate_clean(10_000, 7);
+        let drifted =
+            generate_clean_drifted(10_000, 7, &Drift::magnitude(1.0));
+        assert!(drifted.validate().is_ok());
+        assert_ne!(plain.rows, drifted.rows);
+        assert!(drifted.positive_rate() < plain.positive_rate());
     }
 }

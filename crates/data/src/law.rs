@@ -20,6 +20,7 @@
 //!    with a high base rate (the real study's pass rate is ≈ 95 %; we keep
 //!    it high but with enough negatives to train on).
 
+use crate::drift::Drift;
 use crate::schema::{Feature, RawDataset, Schema, Value};
 use crate::synth::{
     inject_missing, logistic_label, randn, scaled_clean_count, trunc_normal,
@@ -70,12 +71,18 @@ pub fn generate(n_raw: usize, seed: u64) -> RawDataset {
 
 /// Generates `n` instances with no missing values.
 pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
+    generate_clean_drifted(n, seed, &Drift::none())
+}
+
+/// [`generate_clean`] in a drifted world (see [`Drift`]); [`Drift::none`]
+/// reproduces [`generate_clean`] bitwise at the same seed.
+pub fn generate_clean_drifted(n: usize, seed: u64, drift: &Drift) -> RawDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = schema();
     let mut rows = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
-        let (row, label) = sample_instance(&mut rng);
+        let (row, label) = sample_instance(&mut rng, drift);
         rows.push(row);
         labels.push(label);
     }
@@ -89,20 +96,25 @@ pub fn generate_clean(n: usize, seed: u64) -> RawDataset {
 /// constraint `tier↑ ⇒ lsat↑`.
 pub const TIER_MIN_LSAT: [f32; 7] = [0.0, 10.0, 22.0, 27.0, 31.0, 35.0, 39.0];
 
-fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
+fn sample_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    drift: &Drift,
+) -> (Vec<Value>, bool) {
     let sex_male = rng.gen::<f32>() < 0.56;
     let fam_inc_high = rng.gen::<f32>() < 0.35;
     let race = weighted_choice(
-        &[0.84, 0.06, 0.03, 0.03, 0.01, 0.01, 0.01, 0.01],
+        &drift.blend_weights(&[0.84, 0.06, 0.03, 0.03, 0.01, 0.01, 0.01, 0.01]),
         rng,
     ) as u32;
 
     // Latent aptitude (shifted slightly by family income, a proxy for
-    // educational resources).
+    // educational resources); drift widens the score noise.
     let aptitude = randn(rng) + if fam_inc_high { 0.3 } else { 0.0 };
 
-    let lsat = (36.0 + 5.0 * aptitude + 2.0 * randn(rng)).clamp(10.0, 48.0);
-    let ugpa = (3.2 + 0.3 * aptitude + 0.25 * randn(rng)).clamp(1.0, 4.0);
+    let lsat = (36.0 + 5.0 * aptitude + drift.scale_noise(2.0) * randn(rng))
+        .clamp(10.0, 48.0);
+    let ugpa = (3.2 + 0.3 * aptitude + drift.scale_noise(0.25) * randn(rng))
+        .clamp(1.0, 4.0);
 
     // Tier is caused by admission scores: pick the highest tier whose LSAT
     // floor the candidate clears, minus an occasional step of self-selection.
@@ -121,11 +133,16 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
 
     // Law-school grades: aptitude helps, attending a more selective school
     // hurts the curve slightly (stronger peers).
-    let zgpa = (0.8 * aptitude - 0.12 * (tier as f32 - 3.0) + 0.6 * randn(rng))
-        .clamp(-3.5, 3.5);
-    let zfygpa = (0.8 * zgpa + 0.4 * randn(rng)).clamp(-3.5, 3.5);
+    let zgpa = (0.8 * aptitude
+        - 0.12 * (tier as f32 - 3.0)
+        + drift.scale_noise(0.6) * randn(rng))
+    .clamp(-3.5, 3.5);
+    let zfygpa =
+        (0.8 * zgpa + drift.scale_noise(0.4) * randn(rng)).clamp(-3.5, 3.5);
     // Decile = coarse within-school rank from zgpa (1 = bottom, 10 = top).
-    let decile = trunc_normal(5.5 + 2.2 * zgpa, 0.8, 1.0, 10.0, rng).round();
+    let decile =
+        trunc_normal(5.5 + 2.2 * zgpa, drift.scale_noise(0.8), 1.0, 10.0, rng)
+            .round();
 
     let logit = 1.1
         + 0.13 * (lsat - 36.0)
@@ -133,7 +150,7 @@ fn sample_instance<R: Rng + ?Sized>(rng: &mut R) -> (Vec<Value>, bool) {
         + 0.35 * (ugpa - 3.2)
         + 0.15 * (tier as f32 - 3.0)
         + if fulltime { 0.4 } else { 0.0 };
-    let pass = logistic_label(logit, rng);
+    let pass = logistic_label(drift.shift_logit(logit), rng);
 
     (
         vec![
@@ -249,5 +266,40 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         assert_eq!(generate(1000, 6).rows, generate(1000, 6).rows);
+    }
+
+    #[test]
+    fn zero_drift_reproduces_generate_clean_bitwise() {
+        let plain = generate_clean(2_000, 23);
+        let drifted = generate_clean_drifted(2_000, 23, &Drift::none());
+        assert_eq!(plain.rows, drifted.rows);
+        assert_eq!(plain.labels, drifted.labels);
+    }
+
+    #[test]
+    fn drift_lowers_the_pass_rate_but_stays_valid() {
+        let plain = generate_clean(20_000, 24);
+        let drifted =
+            generate_clean_drifted(20_000, 24, &Drift::magnitude(1.0));
+        assert!(drifted.validate().is_ok(), "{:?}", drifted.validate());
+        assert!(
+            drifted.positive_rate() < plain.positive_rate(),
+            "drifted {} !< plain {}",
+            drifted.positive_rate(),
+            plain.positive_rate()
+        );
+        // Drift never breaks the generator's causal ground truth: tier
+        // still respects the LSAT floor (modulo the self-selection step).
+        let lsat_idx = drifted.schema.index_of("lsat");
+        let tier_idx = drifted.schema.index_of("tier");
+        for row in &drifted.rows {
+            let lsat = row[lsat_idx].as_num().unwrap();
+            let tier = row[tier_idx].as_num().unwrap() as usize;
+            assert!(
+                lsat >= TIER_MIN_LSAT[tier] - 1e-3
+                    || (tier < 6 && lsat >= TIER_MIN_LSAT[tier + 1] - 1e-3),
+                "tier {tier} with lsat {lsat}"
+            );
+        }
     }
 }

@@ -33,6 +33,7 @@
 //! assert!(ds.validate().is_ok());
 //! ```
 
+use crate::drift::Drift;
 use crate::schema::{Feature, RawDataset, Schema, Value};
 use cfx_tensor::CfxError;
 use rand::rngs::StdRng;
@@ -135,29 +136,47 @@ impl Parents<'_> {
 }
 
 /// Exogenous-noise source handed to structural equations.
+///
+/// Carries the active [`Drift`] so drift scenarios apply *through* the
+/// declared equations without the equations knowing: normal stds are
+/// widened, bernoulli logits shifted, categorical weights flattened. At
+/// [`Drift::none`] every draw is bitwise identical to the undrifted
+/// stream.
 pub struct Noise<'a> {
     rng: &'a mut StdRng,
+    drift: Drift,
 }
 
 impl Noise<'_> {
-    /// `U[lo, hi)` draw.
+    /// `U[lo, hi)` draw (drift-exempt: uniform supports model structural
+    /// ranges, not exogenous measurement noise).
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         self.rng.gen_range(lo..hi)
     }
 
-    /// `N(mean, std²)` draw.
+    /// `N(mean, (std · drift.noise_scale)²)` draw.
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        mean + std * crate::synth::randn(self.rng)
+        mean + self.drift.scale_noise(std) * crate::synth::randn(self.rng)
     }
 
-    /// Bernoulli(`σ(logit)`) draw.
+    /// Bernoulli(`σ(logit + drift.logit_shift)`) draw.
     pub fn bernoulli_logit(&mut self, logit: f32) -> bool {
-        crate::synth::logistic_label(logit, self.rng)
+        crate::synth::logistic_label(self.drift.shift_logit(logit), self.rng)
     }
 
-    /// Weighted categorical draw.
+    /// Weighted categorical draw, weights blended toward uniform by
+    /// `drift.weight_blend`.
     pub fn categorical(&mut self, weights: &[f32]) -> u32 {
-        crate::synth::weighted_choice(weights, self.rng) as u32
+        if self.drift.weight_blend == 0.0 {
+            return crate::synth::weighted_choice(weights, self.rng) as u32;
+        }
+        let b = self.drift.weight_blend.clamp(0.0, 1.0);
+        let mean = weights.iter().sum::<f32>() / weights.len() as f32;
+        let blended: Vec<f32> = weights
+            .iter()
+            .map(|&w| (1.0 - b) * w + b * mean)
+            .collect();
+        crate::synth::weighted_choice(&blended, self.rng) as u32
     }
 }
 
@@ -175,6 +194,7 @@ pub struct Scm {
     nodes: Vec<Node>,
     label: LabelEquation,
     schema: Schema,
+    default_drift: Drift,
 }
 
 /// Builder for [`Scm`]. Nodes must be declared in topological order
@@ -185,6 +205,7 @@ pub struct ScmBuilder {
     target: String,
     positive: String,
     negative: String,
+    drift: Drift,
 }
 
 impl Scm {
@@ -202,6 +223,7 @@ impl Scm {
             target: target.to_string(),
             positive: positive.to_string(),
             negative: negative.to_string(),
+            drift: Drift::none(),
         }
     }
 
@@ -219,8 +241,23 @@ impl Scm {
         Ok(ds)
     }
 
-    /// Samples `n` rows (deterministic per seed) in declaration order.
+    /// Samples `n` rows (deterministic per seed) in declaration order,
+    /// under the model's baked-in drift ([`ScmBuilder::drift`];
+    /// [`Drift::none`] unless declared).
     pub fn sample(&self, n: usize, seed: u64) -> RawDataset {
+        self.sample_drifted(n, seed, &self.default_drift)
+    }
+
+    /// [`sample`](Self::sample) in an explicitly drifted world: `drift`
+    /// overrides the baked-in default for this call. The same seed under
+    /// [`Drift::none`] reproduces [`sample`](Self::sample) (for an
+    /// undrifted model) bitwise.
+    pub fn sample_drifted(
+        &self,
+        n: usize,
+        seed: u64,
+        drift: &Drift,
+    ) -> RawDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rows = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
@@ -231,7 +268,7 @@ impl Scm {
             for node in &self.nodes {
                 let v = {
                     let parents = Parents { values: &values };
-                    let mut noise = Noise { rng: &mut rng };
+                    let mut noise = Noise { rng: &mut rng, drift: *drift };
                     (node.equation)(&parents, &mut noise)
                 };
                 values.insert(node.feature.name.clone(), v);
@@ -239,7 +276,7 @@ impl Scm {
             }
             let label = {
                 let parents = Parents { values: &values };
-                let mut noise = Noise { rng: &mut rng };
+                let mut noise = Noise { rng: &mut rng, drift: *drift };
                 (self.label)(&parents, &mut noise)
             };
             rows.push(row);
@@ -284,6 +321,15 @@ impl ScmBuilder {
         self
     }
 
+    /// Bakes a default [`Drift`] into the model: [`Scm::sample`] then
+    /// draws from the drifted world. Use this to declare a "retrained
+    /// world" variant of a model without re-declaring its equations;
+    /// [`Scm::sample_drifted`] overrides per call.
+    pub fn drift(mut self, drift: Drift) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// Declares the label equation (may read every declared node).
     pub fn label(
         mut self,
@@ -306,7 +352,12 @@ impl ScmBuilder {
             positive_class: self.positive,
             negative_class: self.negative,
         };
-        Scm { nodes: self.nodes, label, schema }
+        Scm {
+            nodes: self.nodes,
+            label,
+            schema,
+            default_drift: self.drift,
+        }
     }
 }
 
@@ -407,6 +458,73 @@ mod tests {
             mins[e] = mins[e].min(row[age].as_num().unwrap());
         }
         assert!(mins[0] < mins[1] && mins[1] < mins[2], "{mins:?}");
+    }
+
+    #[test]
+    fn zero_drift_is_bitwise_identical() {
+        let scm = loan_scm();
+        let plain = scm.sample(500, 11);
+        let drifted = scm.sample_drifted(500, 11, &Drift::none());
+        assert_eq!(plain.rows, drifted.rows);
+        assert_eq!(plain.labels, drifted.labels);
+    }
+
+    #[test]
+    fn drift_shifts_the_world() {
+        let scm = loan_scm();
+        let plain = scm.sample(6_000, 12);
+        let drifted = scm.sample_drifted(6_000, 12, &Drift::magnitude(1.0));
+        assert_ne!(plain.rows, drifted.rows, "drift must move the data");
+        // The negative logit shift must thin the positive class.
+        assert!(
+            drifted.positive_rate() < plain.positive_rate(),
+            "drifted {} !< plain {}",
+            drifted.positive_rate(),
+            plain.positive_rate()
+        );
+        // Blend toward uniform: the rarest education level gets commoner.
+        let edu = plain.schema.index_of("education");
+        let count = |ds: &RawDataset, level: u32| {
+            ds.rows
+                .iter()
+                .filter(|r| r[edu].as_cat() == Some(level))
+                .count()
+        };
+        assert!(count(&drifted, 2) > count(&plain, 2));
+    }
+
+    #[test]
+    fn builder_bakes_default_drift() {
+        let base = loan_scm();
+        let drifted_model = Scm::builder("loan", "approved", "yes", "no")
+            .node(Feature::ordinal("education", &["hs", "bs", "ms"]), &[], |_, rng| {
+                NodeValue::Cat(rng.categorical(&[0.5, 0.35, 0.15]))
+            })
+            .node(
+                Feature::numeric("age", 18.0, 80.0),
+                &["education"],
+                |p, rng| {
+                    let floor = 18.0 + 3.0 * p.cat("education") as f32;
+                    NodeValue::Num((floor + rng.uniform(0.0, 40.0)).min(80.0))
+                },
+            )
+            .node(Feature::binary("urban"), &[], |_, rng| {
+                NodeValue::Bin(rng.bernoulli_logit(0.4))
+            })
+            .label(|p, rng| {
+                let logit = 0.08 * (p.num("age") - 18.0)
+                    + 1.2 * p.cat("education") as f32
+                    + if p.bin("urban") { 0.3 } else { 0.0 }
+                    - 3.5;
+                rng.bernoulli_logit(logit)
+            })
+            .drift(Drift::magnitude(1.0))
+            .build();
+        // sample() on the drifted model == sample_drifted() on the base.
+        assert_eq!(
+            drifted_model.sample(300, 13).rows,
+            base.sample_drifted(300, 13, &Drift::magnitude(1.0)).rows
+        );
     }
 
     #[test]

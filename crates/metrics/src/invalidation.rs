@@ -1,0 +1,186 @@
+//! Counterfactual **invalidation rate** under model multiplicity & drift.
+//!
+//! A counterfactual is a promise: "make these changes and the model will
+//! approve you". The promise is made by *today's* model, but cashed in
+//! against whatever model is deployed when the user returns — a retrain on
+//! drifted data, or simply an equally-accurate sibling from the Rashomon
+//! set. The invalidation rate measures how often the promise breaks: of
+//! the counterfactuals that were **valid under the reference model**, what
+//! fraction does an alternative model reject?
+//!
+//! Everything here is model-agnostic — callers pass hard label slices, the
+//! bench bins own the classifiers. Only CFs valid under the reference are
+//! `considered`: a CF the deployed model already rejects is a validity
+//! failure, not an invalidation, and counting it would double-penalize.
+
+use std::fmt;
+
+/// Invalidation tally of one (reference model, alternative model) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvalidationReport {
+    /// CFs that were valid under the reference model (the denominator).
+    pub considered: usize,
+    /// Of those, CFs the alternative model flips away from the desired
+    /// class.
+    pub invalidated: usize,
+}
+
+impl InvalidationReport {
+    /// Invalidation fraction in `[0, 1]`; `0.0` when nothing was
+    /// considered (no valid CFs means no promises to break).
+    pub fn rate(&self) -> f32 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.invalidated as f32 / self.considered as f32
+        }
+    }
+
+    /// [`rate`](Self::rate) as a percentage, matching Table IV's units.
+    pub fn pct(&self) -> f32 {
+        100.0 * self.rate()
+    }
+}
+
+impl fmt::Display for InvalidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.invalidated, self.considered, self.pct())
+    }
+}
+
+/// Tallies invalidation of one alternative model against the reference.
+///
+/// `desired[i]` is CF `i`'s target class, `ref_pred[i]` the reference
+/// model's prediction for the CF, `alt_pred[i]` the alternative model's.
+/// A CF is considered iff `ref_pred == desired`, and invalidated iff it
+/// is considered and `alt_pred != desired`.
+pub fn invalidation(
+    desired: &[u8],
+    ref_pred: &[u8],
+    alt_pred: &[u8],
+) -> InvalidationReport {
+    assert_eq!(desired.len(), ref_pred.len(), "desired/ref length mismatch");
+    assert_eq!(desired.len(), alt_pred.len(), "desired/alt length mismatch");
+    let mut report = InvalidationReport::default();
+    for ((&d, &r), &a) in desired.iter().zip(ref_pred).zip(alt_pred) {
+        if r != d {
+            continue;
+        }
+        report.considered += 1;
+        if a != d {
+            report.invalidated += 1;
+        }
+    }
+    report
+}
+
+/// Per-alternative tallies for a family of models (e.g. each member of an
+/// ensemble): `reports[k]` is [`invalidation`] against `alt_preds[k]`.
+pub fn invalidation_per_model(
+    desired: &[u8],
+    ref_pred: &[u8],
+    alt_preds: &[Vec<u8>],
+) -> Vec<InvalidationReport> {
+    alt_preds
+        .iter()
+        .map(|alt| invalidation(desired, ref_pred, alt))
+        .collect()
+}
+
+/// Worst-case multiplicity view: a considered CF counts as invalidated if
+/// **any** alternative model flips it. This is the number a user cares
+/// about — their recourse fails if even one plausible deployment rejects
+/// it.
+pub fn invalidation_any(
+    desired: &[u8],
+    ref_pred: &[u8],
+    alt_preds: &[Vec<u8>],
+) -> InvalidationReport {
+    assert_eq!(desired.len(), ref_pred.len(), "desired/ref length mismatch");
+    for alt in alt_preds {
+        assert_eq!(desired.len(), alt.len(), "desired/alt length mismatch");
+    }
+    let mut report = InvalidationReport::default();
+    for (i, (&d, &r)) in desired.iter().zip(ref_pred).enumerate() {
+        if r != d {
+            continue;
+        }
+        report.considered += 1;
+        if alt_preds.iter().any(|alt| alt[i] != d) {
+            report.invalidated += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_reference_valid_cfs_are_considered() {
+        // 4 CFs: #0 valid+stable, #1 valid+flipped, #2 invalid under the
+        // reference (excluded), #3 valid+flipped.
+        let desired = [1u8, 1, 1, 0];
+        let ref_pred = [1u8, 1, 0, 0];
+        let alt_pred = [1u8, 0, 1, 1];
+        let r = invalidation(&desired, &ref_pred, &alt_pred);
+        assert_eq!(r.considered, 3);
+        assert_eq!(r.invalidated, 2);
+        assert!((r.rate() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((r.pct() - 66.6667).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_and_all_invalid_inputs_are_zero() {
+        assert_eq!(invalidation(&[], &[], &[]).rate(), 0.0);
+        // Reference rejects everything → nothing considered.
+        let r = invalidation(&[1, 1], &[0, 0], &[1, 1]);
+        assert_eq!(r.considered, 0);
+        assert_eq!(r.rate(), 0.0);
+    }
+
+    #[test]
+    fn per_model_and_any_agree_on_a_single_alternative() {
+        let desired = [1u8, 1, 0];
+        let ref_pred = [1u8, 1, 0];
+        let alt = vec![vec![0u8, 1, 0]];
+        let per = invalidation_per_model(&desired, &ref_pred, &alt);
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0], invalidation_any(&desired, &ref_pred, &alt));
+    }
+
+    #[test]
+    fn any_is_at_least_the_worst_single_model() {
+        let desired = [1u8, 1, 1, 1];
+        let ref_pred = [1u8, 1, 1, 1];
+        // Each member flips a different CF: per-model rate 1/4, but any-
+        // model rate 3/4.
+        let alts = vec![
+            vec![0u8, 1, 1, 1],
+            vec![1u8, 0, 1, 1],
+            vec![1u8, 1, 0, 1],
+        ];
+        let per = invalidation_per_model(&desired, &ref_pred, &alts);
+        for r in &per {
+            assert_eq!(r.invalidated, 1);
+            assert_eq!(r.considered, 4);
+        }
+        let any = invalidation_any(&desired, &ref_pred, &alts);
+        assert_eq!(any.invalidated, 3);
+        assert_eq!(any.considered, 4);
+        assert!((any.pct() - 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_shows_fraction_and_pct() {
+        let r = InvalidationReport { considered: 8, invalidated: 2 };
+        assert_eq!(r.to_string(), "2/8 (25.00%)");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = invalidation(&[1, 0], &[1], &[1, 0]);
+    }
+}

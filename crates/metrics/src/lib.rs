@@ -18,8 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod invalidation;
 pub mod stability;
 
+pub use invalidation::{
+    invalidation, invalidation_any, invalidation_per_model, InvalidationReport,
+};
 pub use stability::{manifold_distance, robustness, ynn};
 
 use cfx_data::{EncodedDataset, Encoding, FeatureKind, Schema};

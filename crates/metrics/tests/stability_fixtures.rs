@@ -1,0 +1,163 @@
+//! Hand-computed fixtures for `cfx_metrics::stability` — every expected
+//! value below is derived on paper, not from running the code, so a
+//! regression in the distance/voting arithmetic fails with a number, not
+//! a vibe.
+
+use cfx_metrics::{manifold_distance, robustness, ynn};
+use cfx_tensor::Tensor;
+
+/// Threshold classifier on the first column: class 1 iff `x0 >= 0.5`.
+fn classify(x: &Tensor) -> Vec<u8> {
+    (0..x.rows()).map(|r| (x[(r, 0)] >= 0.5) as u8).collect()
+}
+
+#[test]
+fn ynn_hand_computed_votes() {
+    // Train rows (1-D, padded to 2 cols) at x0 = 0.0, 0.2, 0.4, 0.6, 0.8:
+    // predictions 0, 0, 0, 1, 1 under the threshold classifier.
+    let train = Tensor::from_rows(&[
+        vec![0.0, 0.0],
+        vec![0.2, 0.0],
+        vec![0.4, 0.0],
+        vec![0.6, 0.0],
+        vec![0.8, 0.0],
+    ]);
+    let train_pred = classify(&train);
+    assert_eq!(train_pred, vec![0, 0, 0, 1, 1]);
+
+    // CF at 0.55 wanting class 1. k = 3 nearest: 0.6 (d=.05), 0.4 (d=.15),
+    // 0.45?? — no, next is 0.8 (d=.25) vs 0.2 (d=.35) → {0.6, 0.4, 0.8}.
+    // Votes for class 1: 0.6 and 0.8 → 2/3.
+    let cf = Tensor::from_vec(1, 2, vec![0.55, 0.0]);
+    let score = ynn(&cf, &[1], &train, &train_pred, 3);
+    assert!((score - 2.0 / 3.0).abs() < 1e-6, "ynn {score}");
+
+    // Same CF, k = 1: nearest is 0.6 → predicted 1 → score 1.
+    assert_eq!(ynn(&cf, &[1], &train, &train_pred, 1), 1.0);
+
+    // k larger than the training set clamps to all 5 rows: 2 vote class 1.
+    let score = ynn(&cf, &[1], &train, &train_pred, 50);
+    assert!((score - 2.0 / 5.0).abs() < 1e-6, "clamped ynn {score}");
+}
+
+#[test]
+fn ynn_averages_across_the_batch() {
+    let train = Tensor::from_rows(&[
+        vec![0.0, 0.0],
+        vec![0.1, 0.0],
+        vec![0.9, 0.0],
+        vec![1.0, 0.0],
+    ]);
+    let train_pred = classify(&train); // 0, 0, 1, 1
+    // CF #0 at 0.05 wants class 0: 2 nearest {0.0, 0.1} both 0 → 1.0.
+    // CF #1 at 0.95 wants class 0: 2 nearest {0.9, 1.0} both 1 → 0.0.
+    let cf = Tensor::from_vec(2, 2, vec![0.05, 0.0, 0.95, 0.0]);
+    let score = ynn(&cf, &[0, 0], &train, &train_pred, 2);
+    assert!((score - 0.5).abs() < 1e-6, "batch mean {score}");
+}
+
+#[test]
+fn manifold_distance_hand_computed() {
+    let train = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+    // CF #0 at (0.3, 0.4): nearest is origin, distance 0.5 exactly.
+    // CF #1 at (1.0, 0.0): both rows at distance 1.0.
+    let cf = Tensor::from_vec(2, 2, vec![0.3, 0.4, 1.0, 0.0]);
+    let d = manifold_distance(&cf, &train);
+    assert!((d - 0.75).abs() < 1e-6, "mean nearest distance {d}");
+}
+
+#[test]
+fn duplicate_rows_do_not_skew_the_metrics() {
+    // The same CF three times must score exactly what one copy scores.
+    let train = Tensor::from_rows(&[
+        vec![0.0, 0.0],
+        vec![0.2, 0.0],
+        vec![0.6, 0.0],
+        vec![0.8, 0.0],
+    ]);
+    let train_pred = classify(&train);
+    let single = Tensor::from_vec(1, 2, vec![0.7, 0.0]);
+    let triple =
+        Tensor::from_vec(3, 2, vec![0.7, 0.0, 0.7, 0.0, 0.7, 0.0]);
+
+    let y1 = ynn(&single, &[1], &train, &train_pred, 2);
+    let y3 = ynn(&triple, &[1, 1, 1], &train, &train_pred, 2);
+    assert!((y1 - y3).abs() < 1e-6);
+
+    let d1 = manifold_distance(&single, &train);
+    let d3 = manifold_distance(&triple, &train);
+    assert!((d1 - d3).abs() < 1e-6);
+    assert!((d1 - 0.1).abs() < 1e-6, "nearest is 0.8 or 0.6 at 0.1: {d1}");
+
+    let r1 = robustness(&single, &[1], 0.05, 20, 7, classify);
+    let r3 = robustness(&triple, &[1, 1, 1], 0.05, 20, 7, classify);
+    // 0.7 ± 0.05 never crosses the 0.5 boundary: all copies robust.
+    assert_eq!(r1, 1.0);
+    assert_eq!(r3, 1.0);
+}
+
+#[test]
+fn duplicate_training_rows_cannot_outvote_distinct_ones() {
+    // k=3 around a CF at 0.5: duplicated class-0 row at 0.45 fills the
+    // neighbourhood, so the vote must reflect the duplication (2 copies +
+    // one 0.55) — this pins the "duplicates are real rows" semantics.
+    let train = Tensor::from_rows(&[
+        vec![0.45, 0.0],
+        vec![0.45, 0.0],
+        vec![0.55, 0.0],
+        vec![0.95, 0.0],
+    ]);
+    let train_pred = classify(&train); // 0, 0, 1, 1
+    let cf = Tensor::from_vec(1, 2, vec![0.5, 0.0]);
+    let score = ynn(&cf, &[1], &train, &train_pred, 3);
+    assert!((score - 1.0 / 3.0).abs() < 1e-6, "ynn with duplicates {score}");
+}
+
+#[test]
+fn robustness_boundary_cases() {
+    // A CF exactly at the decision boundary (0.5) with downward noise is
+    // invalidated; one at 1.0 clamps and never moves below 0.9.
+    let cf = Tensor::from_vec(2, 2, vec![0.5, 0.0, 1.0, 0.0]);
+    let r = robustness(&cf, &[1, 1], 0.1, 64, 3, classify);
+    assert!((0.0..=0.5).contains(&r), "only the deep CF can survive: {r}");
+
+    // epsilon = 0 keeps every valid CF regardless of k.
+    assert_eq!(robustness(&cf, &[1, 1], 0.0, 8, 3, classify), 1.0);
+
+    // k = 0 perturbations: vacuously zero by contract.
+    assert_eq!(robustness(&cf, &[1, 1], 0.1, 0, 3, classify), 0.0);
+}
+
+#[test]
+fn robustness_is_deterministic_in_the_seed() {
+    let cf = Tensor::from_vec(2, 2, vec![0.55, 0.0, 0.9, 0.0]);
+    let a = robustness(&cf, &[1, 1], 0.08, 32, 11, classify);
+    let b = robustness(&cf, &[1, 1], 0.08, 32, 11, classify);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn single_cf_fixtures() {
+    let train = Tensor::from_rows(&[vec![0.6, 0.0], vec![0.4, 0.0]]);
+    let train_pred = classify(&train); // 1, 0
+    let cf = Tensor::from_vec(1, 2, vec![0.58, 0.0]);
+    // Nearest row is 0.6 (class 1) → ynn@1 = 1; @2 = 1/2.
+    assert_eq!(ynn(&cf, &[1], &train, &train_pred, 1), 1.0);
+    assert_eq!(ynn(&cf, &[1], &train, &train_pred, 2), 0.5);
+    let d = manifold_distance(&cf, &train);
+    assert!((d - 0.02).abs() < 1e-6, "single-CF nearest distance {d}");
+}
+
+#[test]
+fn empty_sets_are_zero_not_nan() {
+    let empty = Tensor::zeros(0, 3);
+    let train = Tensor::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
+    assert_eq!(ynn(&empty, &[], &train, &[1], 4), 0.0);
+    assert_eq!(manifold_distance(&empty, &train), 0.0);
+    assert_eq!(robustness(&empty, &[], 0.1, 4, 0, classify), 0.0);
+    // Empty training set with non-empty CFs is likewise defined as zero.
+    let cf = Tensor::from_vec(1, 3, vec![0.5, 0.5, 0.5]);
+    let no_train = Tensor::zeros(0, 3);
+    assert_eq!(ynn(&cf, &[1], &no_train, &[], 4), 0.0);
+    assert_eq!(manifold_distance(&cf, &no_train), 0.0);
+}

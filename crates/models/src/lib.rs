@@ -14,7 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod blackbox;
+pub mod ensemble;
 pub mod vae;
 
 pub use blackbox::{BlackBox, BlackBoxConfig};
+pub use ensemble::{EnsembleBlackBox, EnsembleConfig};
 pub use vae::{Cvae, CvaeForward, PAPER_DROPOUT, PAPER_LATENT_DIM};

@@ -741,10 +741,32 @@ impl CheckpointManager {
 
 /// Renames a failed checkpoint aside so it stops shadowing good ones but
 /// stays available for post-mortems.
+///
+/// Collision-safe: if the same path corrupts repeatedly (e.g. a step file
+/// rewritten and re-quarantined across resume cycles), earlier forensic
+/// evidence is never overwritten — the first quarantine takes
+/// `{path}.corrupt`, later ones `{path}.corrupt.1`, `.corrupt.2`, … .
 pub fn quarantine(path: &Path) {
-    let mut target = path.as_os_str().to_owned();
-    target.push(".corrupt");
-    let _ = fs::rename(path, PathBuf::from(target));
+    let base = {
+        let mut t = path.as_os_str().to_owned();
+        t.push(".corrupt");
+        PathBuf::from(t)
+    };
+    let mut target = base.clone();
+    let mut n = 0u32;
+    while target.exists() {
+        n += 1;
+        let mut t = base.as_os_str().to_owned();
+        t.push(format!(".{n}"));
+        target = PathBuf::from(t);
+        // A directory with u32::MAX quarantined copies of one file is
+        // not a scenario worth looping forever on: give up uniqueness
+        // and overwrite the last slot.
+        if n == u32::MAX {
+            break;
+        }
+    }
+    let _ = fs::rename(path, target);
 }
 
 // ---------------------------------------------------------------------------
@@ -964,6 +986,29 @@ mod tests {
             mgr.step_path(3).display()
         ));
         assert!(quarantined.exists(), "quarantine keeps the evidence");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quarantine_never_overwrites_earlier_evidence() {
+        let dir = tmpdir("quarantine-unique");
+        let victim = dir.join("state.cfxckpt");
+        for round in 0..3u8 {
+            fs::write(&victim, [round]).unwrap();
+            quarantine(&victim);
+            assert!(!victim.exists(), "round {round}: file must move aside");
+        }
+        // Three distinct artifacts, each preserving its round's byte.
+        let expect = [
+            (dir.join("state.cfxckpt.corrupt"), 0u8),
+            (dir.join("state.cfxckpt.corrupt.1"), 1u8),
+            (dir.join("state.cfxckpt.corrupt.2"), 2u8),
+        ];
+        for (path, byte) in expect {
+            let bytes = fs::read(&path)
+                .unwrap_or_else(|_| panic!("{} missing", path.display()));
+            assert_eq!(bytes, [byte], "{} clobbered", path.display());
+        }
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -54,6 +54,11 @@ pub enum CfxError {
         /// The deadline budget that ran out, in milliseconds.
         deadline_ms: u64,
     },
+    /// A configuration knob carried a value that cannot work (zero
+    /// capacity, negative noise scale, non-finite hyper-parameter).
+    /// Rejected at construction/entry so the bad value never flows
+    /// silently into the degradation ladder or a training loop.
+    Config(String),
     /// A bounded queue or admission limit rejected new work — explicit
     /// load shedding, never unbounded growth. `retry_after_ms` is the
     /// hint a client should wait before retrying (the serving layer maps
@@ -95,6 +100,11 @@ impl CfxError {
         CfxError::Timeout { what: what.into(), deadline_ms }
     }
 
+    /// Shorthand constructor for [`CfxError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        CfxError::Config(msg.into())
+    }
+
     /// Shorthand constructor for [`CfxError::Overloaded`].
     pub fn overloaded(retry_after_ms: u64) -> Self {
         CfxError::Overloaded { retry_after_ms }
@@ -119,6 +129,7 @@ impl fmt::Display for CfxError {
             CfxError::Timeout { what, deadline_ms } => {
                 write!(f, "deadline of {deadline_ms} ms expired during {what}")
             }
+            CfxError::Config(msg) => write!(f, "config error: {msg}"),
             CfxError::Overloaded { retry_after_ms } => write!(
                 f,
                 "overloaded: request shed, retry after {retry_after_ms} ms"
@@ -149,6 +160,9 @@ mod tests {
         assert!(t.to_string().contains("explain_batch"));
         let o = CfxError::overloaded(50);
         assert!(o.to_string().contains("retry after 50 ms"));
+        assert!(CfxError::config("fallback_pool_cap must be > 0")
+            .to_string()
+            .contains("config error"));
     }
 
     #[test]
