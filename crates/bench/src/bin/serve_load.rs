@@ -10,6 +10,11 @@
 //!    hot row and the other half cycle a small shared pool, the shape
 //!    of production retry/dashboard traffic. The recorded cache
 //!    hit-rate is the headline (target: ≥ 90%).
+//! 3. **Tracing-overhead pair** — the same unique-row level run twice,
+//!    once with the JSONL trace sink dark and once armed (`--trace-out`),
+//!    drift monitor on both times. The recorded `overhead_pct` is the
+//!    p50 regression from arming full request tracing (target: ≤ 5%);
+//!    the traced run's JSONL is left on disk for `serve_trace_check`.
 //!
 //! ```text
 //! cargo run --release -p cfx-bench --bin serve_load -- [options]
@@ -48,6 +53,10 @@ usage: serve_load [options]
                          (default 3000)
   --seed N               RNG seed (default 42)
   --out PATH             output JSON path (default BENCH_serve.json)
+  --trace-out PATH       JSONL path for the traced overhead run
+                         (default serve_load_trace.jsonl)
+  --prom-out PATH        Prometheus snapshot written when the traced
+                         run drains (default: none)
   --help                 print this message
 
 Latency is measured per request over real TCP (loopback), keep-alive.
@@ -67,6 +76,8 @@ struct Opts {
     n: usize,
     seed: u64,
     out: String,
+    trace_out: String,
+    prom_out: Option<String>,
 }
 
 fn parse_list(s: &str, flag: &str) -> Vec<usize> {
@@ -87,6 +98,8 @@ fn parse_opts(args: &[String]) -> Opts {
         n: 3_000,
         seed: 42,
         out: "BENCH_serve.json".into(),
+        trace_out: "serve_load_trace.jsonl".into(),
+        prom_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -130,6 +143,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--out" => {
                 i += 1;
                 o.out = args[i].clone();
+            }
+            "--trace-out" => {
+                i += 1;
+                o.trace_out = args[i].clone();
+            }
+            "--prom-out" => {
+                i += 1;
+                o.prom_out = Some(args[i].clone());
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -415,6 +436,7 @@ fn spawn_server(
     fixture: &Fixture,
     workers: usize,
     cache_cap: usize,
+    prom_out: Option<&str>,
 ) -> cfx_serve::ServerHandle {
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".into(),
@@ -422,6 +444,7 @@ fn spawn_server(
         cache_cap,
         queue_cap: opts.queue_cap,
         default_deadline_ms: opts.deadline_ms,
+        prom_out: prom_out.map(std::path::PathBuf::from),
         ..Default::default()
     };
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -448,7 +471,7 @@ fn main() {
     let mut levels_json = Vec::new();
     let mut drains_json = Vec::new();
     for &workers in &opts.workers {
-        let handle = spawn_server(&opts, &fixture, workers, 0);
+        let handle = spawn_server(&opts, &fixture, workers, 0, None);
         let addr = handle.addr();
         eprintln!("serving on {addr} (workers={workers}, cache off)");
         for &clients in &opts.clients {
@@ -516,7 +539,7 @@ fn main() {
     // ---- 50%-duplicate scenario: cache on, shared hot row + pool ----
     let dup_workers = opts.workers.iter().copied().max().unwrap_or(1);
     let dup_clients = 8.min(opts.clients.iter().copied().max().unwrap_or(8));
-    let handle = spawn_server(&opts, &fixture, dup_workers, opts.cache_cap);
+    let handle = spawn_server(&opts, &fixture, dup_workers, opts.cache_cap, None);
     let addr = handle.addr();
     eprintln!(
         "serving on {addr} (workers={dup_workers}, cache_cap={}) — \
@@ -582,6 +605,94 @@ fn main() {
         drain_json(&report)
     ));
 
+    // ---- tracing-overhead pair: same level, sink dark then armed ----
+    // Unique rows, cache off, drift monitor on in both runs (it is
+    // always on by default); the only variable is the JSONL trace sink.
+    let tr_workers = dup_workers;
+    let tr_clients = dup_clients;
+    let make_level = || -> Vec<Arc<Vec<String>>> {
+        (0..tr_clients)
+            .map(|c| {
+                Arc::new(
+                    (0..opts.requests)
+                        .map(|j| {
+                            fixture.request(
+                                (c * opts.requests + j) * opts.rows,
+                                opts.rows,
+                                opts.deadline_ms,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+    let run_level = |prom_out: Option<&str>| -> (ClientStats, f64) {
+        let handle = spawn_server(&opts, &fixture, tr_workers, 0, prom_out);
+        let addr = handle.addr();
+        let (all, wall, _) = drive(
+            addr,
+            make_level(),
+            opts.rows,
+            opts.deadline_ms,
+            Duration::ZERO,
+        );
+        handle.shutdown();
+        handle.join();
+        (all, wall)
+    };
+    let baseline_traced = cfx_obs::jsonl_active();
+    let trace_path = std::path::Path::new(&opts.trace_out);
+    // Three alternating off/on pairs, latencies pooled per arm: a
+    // single pair on a busy host measures whatever the machine was
+    // doing that second, not the sink. Alternation cancels slow load
+    // drift; pooling triples the sample count behind each percentile.
+    const OVERHEAD_PAIRS: usize = 3;
+    let mut off = ClientStats::default();
+    let mut on = ClientStats::default();
+    for pair in 0..OVERHEAD_PAIRS {
+        cfx_obs::close_jsonl();
+        let (o, _) = run_level(None);
+        off.latencies.extend(o.latencies);
+        cfx_obs::init_jsonl(trace_path).expect("arm trace sink");
+        let last = pair + 1 == OVERHEAD_PAIRS;
+        let (t, _) =
+            run_level(if last { opts.prom_out.as_deref() } else { None });
+        on.latencies.extend(t.latencies);
+        cfx_obs::flush_jsonl();
+    }
+    off.latencies.sort();
+    on.latencies.sort();
+    cfx_obs::close_jsonl();
+    // init_jsonl appends, so the file accumulates every traced run.
+    let trace_records = std::fs::read_to_string(trace_path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0);
+    let p50_off = percentile(&off.latencies, 0.50);
+    let p50_on = percentile(&on.latencies, 0.50);
+    let p99_off = percentile(&off.latencies, 0.99);
+    let p99_on = percentile(&on.latencies, 0.99);
+    let overhead_pct = if p50_off > 0.0 {
+        (p50_on - p50_off) / p50_off * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "tracing overhead: workers={tr_workers} clients={tr_clients}  \
+         p50 off={p50_off:.2}ms on={p50_on:.2}ms  \
+         overhead={overhead_pct:+.1}%  trace_records={trace_records}",
+    );
+    let overhead_json = format!(
+        "{{\"workers\":{tr_workers},\"clients\":{tr_clients},\
+         \"requests_per_client\":{},\"pairs\":{OVERHEAD_PAIRS},\
+         \"baseline_traced\":{baseline_traced},\
+         \"p50_off_ms\":{p50_off:.3},\"p50_on_ms\":{p50_on:.3},\
+         \"p99_off_ms\":{p99_off:.3},\"p99_on_ms\":{p99_on:.3},\
+         \"overhead_pct\":{overhead_pct:.2},\
+         \"trace_records\":{trace_records},\"trace_path\":{:?}}}",
+        opts.requests, opts.trace_out
+    );
+
     let json = format!(
         "{{\"bench\":\"serve_load\",\"host_cores\":{host_cores},\
          \"note\":\"scaling levels use unique rows with the cache \
@@ -589,13 +700,14 @@ fn main() {
          compute-bound levels and the numbers below record that \
          honestly\",\"rows_per_request\":{},\"queue_cap\":{},\
          \"cache_cap\":{},\"deadline_ms\":{},\"levels\":[{}],\
-         \"dup50\":{},\"drains\":[{}]}}\n",
+         \"dup50\":{},\"tracing_overhead\":{},\"drains\":[{}]}}\n",
         opts.rows,
         opts.queue_cap,
         opts.cache_cap,
         opts.deadline_ms,
         levels_json.join(","),
         dup_json,
+        overhead_json,
         drains_json.join(",")
     );
     std::fs::write(&opts.out, &json)

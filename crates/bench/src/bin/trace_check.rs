@@ -9,8 +9,9 @@
 //!
 //! 1. every line parses as JSON (via the same zero-dependency parser
 //!    that wrote it);
-//! 2. every record carries `schema_version == 1`, a known `kind`
-//!    (`event`, `span_enter`, `span_exit`), and a non-empty `name`;
+//! 2. every record carries the current `schema_version`, a known
+//!    `kind` (`event`, `span_enter`, `span_exit`, `stage`, `request`),
+//!    and a non-empty `name`;
 //! 3. every `fit_epoch` event carries all four decomposed loss
 //!    components (`validity`, `proximity`, `feasibility`, `sparsity`)
 //!    plus `total` as finite numbers;
@@ -80,6 +81,9 @@ fn main() -> ExitCode {
         match kind {
             "event" => events += 1,
             "span_enter" | "span_exit" => spans += 1,
+            // Schema v2 request-tracing records (validated in depth by
+            // `serve_trace_check`; here they just need to be known).
+            "stage" | "request" => events += 1,
             other => {
                 eprintln!("line {lineno}: unknown kind {other:?}");
                 errors += 1;

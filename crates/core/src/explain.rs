@@ -265,6 +265,16 @@ impl FeasibleCfModel {
         };
         let mut pending: Vec<usize> =
             (0..examples.len()).filter(|&r| needs_help(&examples[r])).collect();
+        // Stage hook: when a serving worker has bound a request trace to
+        // this thread, the record below (like every event in this
+        // function) carries the trace id, so per-request ladder
+        // progression is reconstructable from the JSONL log.
+        cfx_obs::event!(
+            "explain_rung",
+            rung = "first_shot",
+            rows = examples.len(),
+            pending = pending.len(),
+        );
 
         // Rung 2: latent resampling on the still-failing rows only.
         for attempt in 1..=recovery.resample_attempts {
@@ -319,6 +329,13 @@ impl FeasibleCfModel {
                     still.push(r);
                 }
             }
+            cfx_obs::event!(
+                "explain_rung",
+                rung = "resample",
+                attempt = attempt,
+                recovered = pending.len() - still.len(),
+                pending = still.len(),
+            );
             pending = still;
         }
 
@@ -333,6 +350,11 @@ impl FeasibleCfModel {
             })
             .collect();
         if !fallback.is_empty() {
+            cfx_obs::event!(
+                "explain_rung",
+                rung = "fallback",
+                rows = fallback.len(),
+            );
             self.fallback_fill(x, &fallback, &mut examples);
         }
         let batch = ExplanationBatch { examples };

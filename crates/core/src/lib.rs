@@ -71,5 +71,5 @@ pub use mask::ImmutableMask;
 pub use path::{LatentPath, PathStep};
 pub use model::{
     EpochStats, FaultDetected, FeasibleCfModel, RecoveryEvent, TrainReport,
-    TrainStatus, SERVABLE_FORMAT,
+    TrainStatus, SERVABLE_FORMAT, SERVABLE_REFSTATS,
 };

@@ -981,6 +981,40 @@ impl FeasibleCfModel {
         self.blackbox.export_to(ckpt, "serve.bb");
     }
 
+    /// [`export_servable`](Self::export_servable) plus the reference
+    /// traffic moments the serving daemon's live drift monitor compares
+    /// incoming rows against: per encoded column, the training-set mean,
+    /// variance and smoothed [`cfx_obs::sketch::BINS`]-bin distribution
+    /// over `[0, 1]`, as a `width × (2 + BINS)` table under
+    /// [`SERVABLE_REFSTATS`]. The section is optional on import — a
+    /// checkpoint without it still loads, and the server falls back to
+    /// recomputing the stats from its boot dataset.
+    pub fn export_servable_full(
+        &self,
+        data: &EncodedDataset,
+        ckpt: &mut Checkpoint,
+    ) {
+        use cfx_obs::sketch::{FeatureStats, BINS};
+        self.export_servable(ckpt);
+        let width = data.width();
+        let x = &data.x;
+        let mut stats = vec![FeatureStats::default(); width];
+        for r in 0..x.rows() {
+            for (c, &v) in x.row_slice(r).iter().enumerate() {
+                stats[c].push(v as f64);
+            }
+        }
+        let mut table = Vec::with_capacity(width * (2 + BINS));
+        for s in &stats {
+            table.push(s.moments.mean() as f32);
+            table.push(s.moments.variance() as f32);
+            for p in s.sketch.proportions() {
+                table.push(p as f32);
+            }
+        }
+        ckpt.put_f32_table(SERVABLE_REFSTATS, width, 2 + BINS, &table);
+    }
+
     /// Restores the learned state written by
     /// [`export_servable`](Self::export_servable) into this scaffold
     /// model and rebuilds the fallback pool (its classes depend on the
@@ -1015,6 +1049,10 @@ impl FeasibleCfModel {
 
 /// Format marker of [`FeasibleCfModel::export_servable`] checkpoints.
 pub const SERVABLE_FORMAT: &str = "cfx-servable-v1";
+
+/// Checkpoint table name of the reference traffic moments written by
+/// [`FeasibleCfModel::export_servable_full`].
+pub const SERVABLE_REFSTATS: &str = "serve.refstats";
 
 /// Builds a length-`n` epoch order drawing alternately from the two
 /// prediction groups (shuffled, minority oversampled by cycling). Falls

@@ -10,7 +10,8 @@
 //!   [`metrics::Histogram`] handles in a global registry, exported as a
 //!   Prometheus text-format snapshot.
 //! * **Sinks** — an append-only JSONL event log (one schema-versioned
-//!   object per line, flushed per line) and a formatted stderr
+//!   object per line, batched per thread and appended under one lock
+//!   per batch, with crash-flush on thread exit) and a formatted stderr
 //!   subscriber for [`info!`]/[`warn!`] notices. The Prometheus
 //!   snapshot is written crash-safely (temp sibling → fsync → rename →
 //!   parent-dir fsync, the same discipline as `cfx_tensor::checkpoint`).
@@ -36,13 +37,17 @@
 pub mod json;
 pub mod metrics;
 mod sink;
+pub mod sketch;
 mod span;
+pub mod trace;
 
 pub use sink::{
-    close_jsonl, emit_event, init_from_env, init_jsonl, jsonl_active, log_active, mono_ns,
-    set_stderr, stderr_active, stderr_block, write_atomic, Level,
+    close_jsonl, emit_event, emit_request, emit_stage, flush_jsonl, init_from_env, init_jsonl,
+    jsonl_active, log_active, mono_ns, set_stderr, stderr_active, stderr_block, write_atomic,
+    Level,
 };
 pub use span::{current_span, SpanGuard};
+pub use trace::{current_trace, TraceId, TraceScope};
 
 /// `true` iff the `enabled` feature is compiled in. All emission macros
 /// branch on this const first, so the disabled build folds to nothing.
@@ -50,7 +55,13 @@ pub const ENABLED: bool = cfg!(feature = "enabled");
 
 /// Version stamped on every JSONL line as `"schema_version"`. Bump on
 /// any backwards-incompatible change to the line layout.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (request tracing): records may carry an optional `"trace"` field
+/// (a [`trace::TraceId`] in `{nonce:016x}-{seq:08x}` form), and two new
+/// kinds join `event`/`span_enter`/`span_exit`: `stage` (one named,
+/// timed slice of a request's lifecycle) and `request` (the terminal
+/// per-request access-log record with outcome and stage-timing fields).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A typed value attached to an event or span field.
 ///

@@ -115,6 +115,52 @@ fn valid_name(name: &str) -> bool {
         && !name.starts_with(|c: char| c.is_ascii_digit())
 }
 
+/// The family a registry key belongs to: the metric name up to the
+/// label block. `cfx_serve_drift_score{feature="c3"}` and
+/// `cfx_serve_drift_score{feature="c7"}` share one family (and one
+/// `# TYPE` header in the snapshot).
+fn family_of(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Builds the registry key `name{k1="v1",k2="v2"}` for a labeled
+/// metric. Label values are JSON/Prometheus-escaped (`\`, `"`, `\n`).
+/// Keys sort adjacently to their family in the BTreeMap, so the
+/// snapshot groups a family's series under one `# TYPE` header.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(valid_name(name), "bad metric name {name:?}");
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        debug_assert!(valid_name(k), "bad label name {k:?}");
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+/// Gets or registers the gauge `name{labels…}` (e.g. a per-feature
+/// drift score). The full labeled key is the registry entry; the
+/// Prometheus snapshot renders it verbatim, one series per label set,
+/// grouped under the family's single `# TYPE` header.
+pub fn gauge_labeled(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    gauge_by_key(&labeled(name, labels))
+}
+
 /// Gets or registers the counter `name`. Names must match
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`. A kind clash with an existing metric
 /// returns a detached handle (debug builds assert).
@@ -139,6 +185,12 @@ pub fn counter(name: &str) -> Counter {
 /// Gets or registers the gauge `name`.
 pub fn gauge(name: &str) -> Gauge {
     debug_assert!(valid_name(name), "bad metric name {name:?}");
+    gauge_by_key(name)
+}
+
+/// Registry lookup shared by [`gauge`] (bare names) and
+/// [`gauge_labeled`] (pre-rendered `name{…}` keys).
+fn gauge_by_key(name: &str) -> Gauge {
     if !crate::ENABLED {
         return Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits())));
     }
@@ -213,27 +265,41 @@ fn push_f64(out: &mut String, v: f64) {
 
 /// Renders every registered metric in the Prometheus text exposition
 /// format (sorted by name, `# TYPE` headers, cumulative histogram
-/// buckets with an explicit `+Inf`).
+/// buckets with an explicit `+Inf`). Labeled series
+/// (`name{key="value"}` registry keys) sort adjacently to their bare
+/// family name, which gets exactly one `# TYPE` header.
 pub fn prometheus_snapshot() -> String {
     if !crate::ENABLED {
         return String::new();
     }
     let reg = REGISTRY.lock().unwrap();
     let mut out = String::new();
+    let mut last_family = String::new();
     for (name, metric) in reg.iter() {
+        let family = family_of(name);
+        let fresh_family = family != last_family;
+        if fresh_family {
+            last_family = family.to_string();
+        }
         match metric {
             Metric::Counter(c) => {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                if fresh_family {
+                    let _ = writeln!(out, "# TYPE {family} counter");
+                }
                 let _ = writeln!(out, "{name} {}", c.get());
             }
             Metric::Gauge(g) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
+                if fresh_family {
+                    let _ = writeln!(out, "# TYPE {family} gauge");
+                }
                 let _ = write!(out, "{name} ");
                 push_f64(&mut out, g.get());
                 out.push('\n');
             }
             Metric::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {name} histogram");
+                if fresh_family {
+                    let _ = writeln!(out, "# TYPE {family} histogram");
+                }
                 let mut cumulative = 0u64;
                 for (i, bound) in h.0.bounds.iter().enumerate() {
                     cumulative += h.0.buckets[i].load(Ordering::Relaxed);
@@ -302,6 +368,25 @@ mod tests {
         assert!(snap.contains("test_latency_bucket{le=\"+Inf\"} 5\n"), "{snap}");
         assert!(snap.contains("test_latency_count 5\n"), "{snap}");
         assert_eq!(h.sum(), 0.5 + 0.7 + 5.0 + 50.0 + 5000.0);
+    }
+
+    // Registration is a no-op when the crate is disabled.
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn labeled_gauges_share_one_type_header() {
+        let _g = lock();
+        reset();
+        gauge_labeled("test_drift_score", &[("feature", "c0")]).set(0.1);
+        gauge_labeled("test_drift_score", &[("feature", "c1")]).set(0.5);
+        let snap = prometheus_snapshot();
+        assert_eq!(snap.matches("# TYPE test_drift_score gauge").count(), 1);
+        assert!(snap.contains("test_drift_score{feature=\"c0\"} 0.1\n"), "{snap}");
+        assert!(snap.contains("test_drift_score{feature=\"c1\"} 0.5\n"), "{snap}");
+        // Escaping keeps hostile label values on one line.
+        assert_eq!(
+            labeled("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
     }
 
     #[test]

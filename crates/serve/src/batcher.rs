@@ -50,8 +50,42 @@ pub struct ExplainJob {
     pub deadline: Instant,
     /// The deadline budget as requested, for error reporting.
     pub deadline_ms: u64,
-    /// Where the pre-rendered JSON body (or typed error) goes.
-    pub reply: mpsc::Sender<Result<String, CfxError>>,
+    /// When admission pushed the job (queue-wait timing anchor).
+    pub admitted_at: Instant,
+    /// The request's trace id, if the connection allocated one. The
+    /// worker binds it as the thread's trace scope while processing, so
+    /// every event emitted inside `explain_batch` carries it.
+    pub trace: Option<cfx_obs::TraceId>,
+    /// Where the rendered body (or typed error) plus worker-side stage
+    /// timings go.
+    pub reply: mpsc::Sender<JobReply>,
+}
+
+/// Worker-side stage timings for one job, in nanoseconds. Pure
+/// observation: computed from `Instant` reads around stages that run
+/// identically whether or not anyone looks at the numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTimings {
+    /// Admission push → worker pop (time spent queued).
+    pub queue_wait_ns: u64,
+    /// Worker pop → explain start (batch gather + predecessors in the
+    /// same batch).
+    pub linger_ns: u64,
+    /// Time inside `explain_batch_deadline_stream`.
+    pub explain_ns: u64,
+    /// Time rendering the JSON body.
+    pub serialize_ns: u64,
+    /// Which worker ran the job.
+    pub worker: u64,
+}
+
+/// One job's answer: the response body (or typed error) and where the
+/// worker's time went.
+pub struct JobReply {
+    /// Pre-rendered JSON body on success, typed error otherwise.
+    pub result: Result<String, CfxError>,
+    /// Worker-side stage decomposition.
+    pub timings: WorkerTimings,
 }
 
 /// Batching knobs (per worker).
@@ -90,15 +124,15 @@ pub fn run(
 ) {
     let jobs_metric = format!("cfx_serve_worker_jobs_total:w{}", ctx.index);
     while let Some(first) = queue.pop_wait() {
-        let mut batch = vec![first];
-        let mut rows = batch[0].rows.len();
+        let mut batch = vec![(first, Instant::now())];
+        let mut rows = batch[0].0.rows.len();
         let flush_by = Instant::now() + cfg.linger;
-        let flush_by = flush_by.min(batch[0].deadline);
+        let flush_by = flush_by.min(batch[0].0.deadline);
         while rows < cfg.max_batch_rows {
             match queue.pop_until(flush_by) {
                 Some(job) => {
                     rows += job.rows.len();
-                    batch.push(job);
+                    batch.push((job, Instant::now()));
                 }
                 None => break,
             }
@@ -116,8 +150,25 @@ pub fn run(
             histogram("cfx_serve_batch_rows", &[1.0, 4.0, 16.0, 64.0, 256.0])
                 .observe(rows as f64);
         }
-        for job in batch {
-            let result = explain_job(&servable, &job);
+        for (job, picked_at) in batch {
+            // Bind the request's trace to this thread: every event the
+            // explain ladder emits (rung progression, deadline cuts)
+            // lands in the log attributed to this exact request.
+            let _trace = job.trace.map(cfx_obs::TraceScope::enter);
+            let explain_start = Instant::now();
+            let (result, explain_ns, serialize_ns) =
+                explain_job(&servable, &job);
+            let timings = WorkerTimings {
+                queue_wait_ns: picked_at
+                    .saturating_duration_since(job.admitted_at)
+                    .as_nanos() as u64,
+                linger_ns: explain_start
+                    .saturating_duration_since(picked_at)
+                    .as_nanos() as u64,
+                explain_ns,
+                serialize_ns,
+                worker: ctx.index as u64,
+            };
             if let (Some(cache), Ok(body)) = (&ctx.cache, &result) {
                 // The worker inserts (not the connection thread): only
                 // here is the (body, model version) pairing known
@@ -135,29 +186,47 @@ pub fn run(
             }
             // A dead receiver (client gone) is fine; the send result
             // only tells us whether anyone is still listening.
-            let _ = job.reply.send(result);
+            let _ = job.reply.send(JobReply { result, timings });
         }
     }
 }
 
 /// Runs one job against the current snapshot, enforcing its deadline.
-fn explain_job(servable: &Servable, job: &ExplainJob) -> Result<String, CfxError> {
+/// Returns the result plus `(explain_ns, serialize_ns)` stage timings.
+fn explain_job(
+    servable: &Servable,
+    job: &ExplainJob,
+) -> (Result<String, CfxError>, u64, u64) {
     let now = Instant::now();
     if now >= job.deadline {
         // Expired while queued: shed the compute, type the miss.
         if cfx_obs::ENABLED {
             cfx_obs::metrics::counter("cfx_serve_expired_total").inc(1);
         }
-        return Err(CfxError::timeout("queued explain", job.deadline_ms));
+        return (
+            Err(CfxError::timeout("queued explain", job.deadline_ms)),
+            0,
+            0,
+        );
     }
     let x = Tensor::from_rows(&job.rows);
-    let batch = servable.model.explain_batch_deadline_stream(
+    let explain_timer = Instant::now();
+    let batch = match servable.model.explain_batch_deadline_stream(
         &x,
         &servable.recovery,
         job.deadline - now,
         job.fingerprint,
-    )?;
-    Ok(render_body(servable, &batch.examples))
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            return (Err(e), explain_timer.elapsed().as_nanos() as u64, 0)
+        }
+    };
+    let explain_ns = explain_timer.elapsed().as_nanos() as u64;
+    let serialize_timer = Instant::now();
+    let body = render_body(servable, &batch.examples);
+    let serialize_ns = serialize_timer.elapsed().as_nanos() as u64;
+    (Ok(body), explain_ns, serialize_ns)
 }
 
 /// Renders the `/explain` response body. Deterministic: floats go

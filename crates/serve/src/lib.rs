@@ -38,6 +38,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod drift;
 pub mod fault;
 pub mod http;
 pub mod queue;
@@ -45,13 +46,17 @@ pub mod registry;
 pub mod server;
 pub mod shard;
 
-pub use batcher::{BatcherConfig, ExplainJob, WorkerCtx};
+pub use batcher::{
+    BatcherConfig, ExplainJob, JobReply, WorkerCtx, WorkerTimings,
+};
 pub use cache::{CacheKey, CacheStats, ResponseCache};
+pub use drift::{DriftMonitor, DriftScores, ReferenceStats};
 pub use fault::{FaultClock, ServeFault};
 pub use http::{Limits, ParseError};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelRegistry, Servable};
 pub use server::{
-    install_signal_handlers, spawn, DrainReport, ServeConfig, ServerHandle,
+    install_signal_handlers, report_serve, spawn, DrainReport, LatencySummary,
+    ServeConfig, ServerHandle,
 };
 pub use shard::{fnv1a64, row_fingerprint, shard};

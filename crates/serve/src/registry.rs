@@ -12,9 +12,10 @@
 //! corrupt state is never loaded and never crashes the daemon.
 
 use crate::cache::ResponseCache;
+use crate::drift::ReferenceStats;
 use crate::shard::fnv1a64;
 use cfx_core::{
-    ExplainConfig, FeasibleCfModel, GenRecoveryConfig,
+    ExplainConfig, FeasibleCfModel, GenRecoveryConfig, SERVABLE_REFSTATS,
 };
 use cfx_data::EncodedDataset;
 use cfx_tensor::checkpoint::{self, Checkpoint};
@@ -65,6 +66,12 @@ impl Servable {
 /// Registry state: the current snapshot plus reload bookkeeping.
 pub struct ModelRegistry {
     current: Mutex<Arc<Servable>>,
+    /// Reference traffic moments for the drift monitor, refreshed with
+    /// every hot swap: preferred source is the checkpoint's
+    /// `serve.refstats` table (exported by `export_servable_full`, i.e.
+    /// the *new* model's training distribution); a checkpoint without
+    /// one falls back to recomputing from the boot dataset.
+    ref_stats: Mutex<Arc<ReferenceStats>>,
     dir: Option<PathBuf>,
     loaded: Mutex<Option<(SystemTime, PathBuf)>>,
     /// Response cache purged atomically with every swap (the version
@@ -81,8 +88,10 @@ impl ModelRegistry {
     /// Creates a registry serving `boot`, optionally hot-loading from
     /// `dir`.
     pub fn new(boot: Servable, dir: Option<PathBuf>) -> Self {
+        let ref_stats = Arc::new(ReferenceStats::from_dataset(&boot.data));
         ModelRegistry {
             current: Mutex::new(Arc::new(boot)),
+            ref_stats: Mutex::new(ref_stats),
             dir,
             loaded: Mutex::new(None),
             cache: Mutex::new(None),
@@ -98,6 +107,12 @@ impl ModelRegistry {
     /// The snapshot to serve the next batch from.
     pub fn current(&self) -> Arc<Servable> {
         Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The reference traffic moments the drift monitor scores against
+    /// (training-set stats of the currently served model).
+    pub fn ref_stats(&self) -> Arc<ReferenceStats> {
+        Arc::clone(&self.ref_stats.lock().unwrap())
     }
 
     /// Scans the watch directory and hot-loads the newest checkpoint if
@@ -179,7 +194,19 @@ impl ModelRegistry {
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_else(|| path.display().to_string()),
         };
+        // Refresh the drift reference alongside the model: the new
+        // checkpoint's own training moments when it shipped them, else
+        // the boot dataset's (better than scoring against a model that
+        // is no longer serving).
+        let fresh_ref = ckpt
+            .f32_table(SERVABLE_REFSTATS)
+            .ok()
+            .and_then(|(rows, cols, data)| {
+                ReferenceStats::from_table(rows, cols, &data)
+            })
+            .unwrap_or_else(|| ReferenceStats::from_dataset(&cur.data));
         *self.current.lock().unwrap() = Arc::new(next);
+        *self.ref_stats.lock().unwrap() = Arc::new(fresh_ref);
         if let Some(cache) = self.cache.lock().unwrap().as_ref() {
             cache.invalidate_all();
         }

@@ -27,17 +27,19 @@
 
 use crate::batcher::{self, BatcherConfig, ExplainJob};
 use crate::cache::{CacheKey, ResponseCache};
+use crate::drift::{self, DriftMonitor, REFRESH_EVERY_ROWS};
 use crate::fault::{FaultClock, ServeFault};
 use crate::http::{self, Limits, Method, Parse, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelRegistry, Servable};
 use crate::shard;
+use cfx_obs::FieldValue;
 use cfx_tensor::CfxError;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Daemon configuration. Defaults are sized for a single-host CI run;
@@ -83,6 +85,13 @@ pub struct ServeConfig {
     pub model_dir: Option<PathBuf>,
     /// Final Prometheus snapshot written at drain.
     pub prom_out: Option<PathBuf>,
+    /// PSI threshold that trips the drift warning when the column mean
+    /// *or* the single worst column exceeds it (classic PSI convention:
+    /// 0.1 is moderate shift, 0.25 is major).
+    pub drift_warn: f64,
+    /// Whether the live drift monitor runs. It is a pure observer
+    /// either way — response bytes are identical on or off.
+    pub drift_enabled: bool,
 }
 
 /// Reads a `usize` knob from the environment, falling back to
@@ -114,6 +123,8 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             model_dir: None,
             prom_out: None,
+            drift_warn: 0.25,
+            drift_enabled: true,
         }
     }
 }
@@ -131,6 +142,105 @@ pub struct DrainReport {
     pub timeouts: u64,
     /// Requests answered with a typed non-shed 4xx/5xx.
     pub malformed: u64,
+    /// Latency decomposition over served requests (zeros if none).
+    pub latency: LatencySummary,
+}
+
+/// End-to-end and per-stage latency percentiles over served `/explain`
+/// requests, computed at drain from the stage samples the tracing
+/// layer collects. All values are nanoseconds; `samples` is the count
+/// summarized (bounded by [`MAX_STAGE_SAMPLES`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Served requests summarized.
+    pub samples: u64,
+    /// Median end-to-end latency (request seen → response rendered).
+    pub p50_ns: u64,
+    /// 99th-percentile end-to-end latency.
+    pub p99_ns: u64,
+    /// Median time parsing + validating the request body.
+    pub parse_p50_ns: u64,
+    /// Median time queued before a worker picked the job up.
+    pub queue_wait_p50_ns: u64,
+    /// Median time between pickup and explain start (batch gather).
+    pub linger_p50_ns: u64,
+    /// Median time inside the explain ladder.
+    pub explain_p50_ns: u64,
+    /// Median time rendering the JSON body.
+    pub serialize_p50_ns: u64,
+    /// Median time rendering the HTTP response bytes.
+    pub respond_p50_ns: u64,
+}
+
+/// Renders the human latency-decomposition table printed at drain.
+pub fn report_serve(report: &DrainReport) -> String {
+    fn ms(ns: u64) -> f64 {
+        ns as f64 / 1e6
+    }
+    let l = &report.latency;
+    let mut out = String::with_capacity(384);
+    out.push_str("serve drain report\n");
+    out.push_str(&format!(
+        "  requests : accepted={} served={} shed={} timeouts={} malformed={}\n",
+        report.accepted,
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.malformed,
+    ));
+    if l.samples == 0 {
+        out.push_str("  latency  : no served requests sampled\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "  latency  : p50={:.3}ms p99={:.3}ms ({} samples)\n",
+        ms(l.p50_ns),
+        ms(l.p99_ns),
+        l.samples,
+    ));
+    out.push_str(&format!(
+        "  stage p50: parse={:.3}ms queue_wait={:.3}ms linger={:.3}ms explain={:.3}ms serialize={:.3}ms respond={:.3}ms\n",
+        ms(l.parse_p50_ns),
+        ms(l.queue_wait_p50_ns),
+        ms(l.linger_p50_ns),
+        ms(l.explain_p50_ns),
+        ms(l.serialize_p50_ns),
+        ms(l.respond_p50_ns),
+    ));
+    out
+}
+
+/// Cap on retained per-request stage samples: bounds drain-report
+/// memory under unbounded load (64 B each → ≤ 4 MiB).
+pub const MAX_STAGE_SAMPLES: usize = 65_536;
+
+/// Histogram bucket bounds shared by every stage/request duration
+/// metric (nanoseconds, 10 µs → 1 s).
+const STAGE_BOUNDS: [f64; 6] = [1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+
+/// Stage names in lifecycle order; each owns a
+/// `cfx_serve_stage_ns:<name>` histogram and a `stage` JSONL record.
+const STAGE_NAMES: [&str; 7] = [
+    "parse",
+    "cache_lookup",
+    "queue_wait",
+    "linger",
+    "explain",
+    "serialize",
+    "respond",
+];
+
+/// One served request's stage decomposition, retained for the
+/// drain-time [`LatencySummary`].
+#[derive(Clone, Copy, Default)]
+struct StageSample {
+    total_ns: u64,
+    parse_ns: u64,
+    queue_wait_ns: u64,
+    linger_ns: u64,
+    explain_ns: u64,
+    serialize_ns: u64,
+    respond_ns: u64,
 }
 
 struct Shared {
@@ -148,6 +258,10 @@ struct Shared {
     shed: AtomicU64,
     timeouts: AtomicU64,
     malformed: AtomicU64,
+    /// Live traffic drift monitor (`None` when disabled by config).
+    drift: Option<DriftMonitor>,
+    /// Stage samples from served requests, summarized at drain.
+    samples: Mutex<Vec<StageSample>>,
 }
 
 impl Shared {
@@ -232,6 +346,16 @@ fn register_metrics(workers: usize) {
     gauge("cfx_serve_queue_depth").set(0.0);
     gauge("cfx_serve_active_connections").set(0.0);
     gauge("cfx_serve_draining").set(0.0);
+    gauge("cfx_serve_drift_score_overall").set(0.0);
+    gauge("cfx_serve_drift_score_max").set(0.0);
+    gauge("cfx_serve_drift_rows_observed").set(0.0);
+    // Stage-latency histograms: registering the family up front means a
+    // scrape before the first request still shows every bucket series.
+    use cfx_obs::metrics::histogram;
+    histogram("cfx_serve_request_ns", &STAGE_BOUNDS);
+    for stage in STAGE_NAMES {
+        histogram(&format!("cfx_serve_stage_ns:{stage}"), &STAGE_BOUNDS);
+    }
 }
 
 /// Installs SIGTERM/SIGINT handlers that set `flag`. Hand-rolled FFI
@@ -291,6 +415,12 @@ pub fn spawn(
             .set(queues.iter().map(|q| q.cap()).sum::<usize>() as f64);
     }
     let cache = Arc::new(ResponseCache::new(cfg.cache_cap));
+    // The monitor needs the encoded width before `boot` moves into the
+    // registry; the reference moments themselves live in the registry
+    // so hot reloads refresh them.
+    let drift = cfg
+        .drift_enabled
+        .then(|| DriftMonitor::new(boot.data.width(), cfg.drift_warn));
     let registry = Arc::new(ModelRegistry::new(boot, cfg.model_dir.clone()));
     if cache.enabled() {
         registry.attach_cache(Arc::clone(&cache));
@@ -307,6 +437,8 @@ pub fn spawn(
         shed: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
         malformed: AtomicU64::new(0),
+        drift,
+        samples: Mutex::new(Vec::new()),
         cfg,
     });
     let join = std::thread::Builder::new()
@@ -420,6 +552,15 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
         // gauge so the drain snapshot reports the true (zero) backlog.
         cfx_obs::metrics::gauge("cfx_serve_queue_depth").set(0.0);
     }
+    // Score the final traffic tally so the drain snapshot's drift
+    // gauges cover every observed row, not just the last refresh tick.
+    if let Some(monitor) = &shared.drift {
+        monitor.refresh(&shared.registry.ref_stats());
+    }
+    // Final access-log flush *before* the Prometheus snapshot: the
+    // JSONL tail and the metrics file then describe the same finished
+    // run (worker/connection batches already flushed at thread exit).
+    cfx_obs::flush_jsonl();
 
     let report = DrainReport {
         accepted,
@@ -427,6 +568,7 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
         shed: shared.shed.load(Ordering::SeqCst),
         timeouts: shared.timeouts.load(Ordering::SeqCst),
         malformed: shared.malformed.load(Ordering::SeqCst),
+        latency: latency_summary(&shared),
     };
     if let Some(path) = &shared.cfg.prom_out {
         if let Err(e) = cfx_obs::metrics::write_prometheus(path) {
@@ -444,8 +586,45 @@ fn run(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
         shed = report.shed,
         timeouts = report.timeouts,
         malformed = report.malformed,
+        p50_ns = report.latency.p50_ns,
+        p99_ns = report.latency.p99_ns,
     );
     report
+}
+
+/// Sorted-percentile over one stage field of the retained samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Summarizes the retained stage samples into the drain report's
+/// latency decomposition.
+fn latency_summary(shared: &Shared) -> LatencySummary {
+    let samples = shared.samples.lock().unwrap_or_else(|e| e.into_inner());
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    let col = |f: fn(&StageSample) -> u64| -> Vec<u64> {
+        let mut v: Vec<u64> = samples.iter().map(f).collect();
+        v.sort_unstable();
+        v
+    };
+    let total = col(|s| s.total_ns);
+    LatencySummary {
+        samples: samples.len() as u64,
+        p50_ns: percentile(&total, 0.50),
+        p99_ns: percentile(&total, 0.99),
+        parse_p50_ns: percentile(&col(|s| s.parse_ns), 0.50),
+        queue_wait_p50_ns: percentile(&col(|s| s.queue_wait_ns), 0.50),
+        linger_p50_ns: percentile(&col(|s| s.linger_ns), 0.50),
+        explain_p50_ns: percentile(&col(|s| s.explain_ns), 0.50),
+        serialize_p50_ns: percentile(&col(|s| s.serialize_ns), 0.50),
+        respond_p50_ns: percentile(&col(|s| s.respond_ns), 0.50),
+    }
 }
 
 /// Answers one connection with a connection-cap 429 and closes it.
@@ -557,6 +736,21 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn_index: u64) {
                         kind = e.kind(),
                         conn = conn_index,
                     );
+                    // Requests that die in HTTP parsing never reach
+                    // `handle_explain`; give them their own trace id and
+                    // terminal access-log record so the log accounts
+                    // for every byte stream the server answered.
+                    let trace = cfx_obs::TraceId::next();
+                    let _scope = cfx_obs::TraceScope::enter(trace);
+                    cfx_obs::emit_request(
+                        "http",
+                        &[
+                            ("outcome", FieldValue::Str("malformed".into())),
+                            ("status", FieldValue::U64(e.status() as u64)),
+                            ("kind", FieldValue::Str(e.kind().to_string())),
+                            ("conn", FieldValue::U64(conn_index)),
+                        ],
+                    );
                 }
                 let body = error_body(e.kind(), &e.to_string(), None);
                 let resp = http::render_response(
@@ -602,6 +796,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn_index: u64) {
                 if cfx_obs::ENABLED {
                     cfx_obs::metrics::counter("cfx_serve_timeouts_total")
                         .inc(1);
+                    let trace = cfx_obs::TraceId::next();
+                    let _scope = cfx_obs::TraceScope::enter(trace);
+                    cfx_obs::emit_request(
+                        "http",
+                        &[
+                            ("outcome", FieldValue::Str("timeout_408".into())),
+                            ("status", FieldValue::U64(408)),
+                            ("conn", FieldValue::U64(conn_index)),
+                        ],
+                    );
                 }
                 let body = error_body(
                     "timeout",
@@ -682,6 +886,14 @@ fn handle_healthz(shared: &Shared, keep_alive: bool) -> Vec<u8> {
         ),
     );
     cfx_obs::json::write_str(&mut body, &snapshot.source);
+    if let Some(monitor) = &shared.drift {
+        body.push_str(",\"drift\":");
+        body.push_str(&drift::healthz_json(
+            monitor,
+            &shared.registry.ref_stats(),
+            3,
+        ));
+    }
     body.push('}');
     http::render_response(200, "application/json", &[], body.as_bytes(), keep_alive)
 }
@@ -764,6 +976,107 @@ fn parse_explain_body(
     Ok(ExplainRequest { rows, deadline_ms })
 }
 
+/// Per-request observation record the explain handler fills in as
+/// stages complete. Pure bookkeeping: nothing in here feeds back into
+/// the response bytes, so tracing on vs off cannot change what the
+/// client sees.
+#[derive(Default)]
+struct ExplainObs {
+    /// Terminal outcome tag (`served`, `shed_429`, `timeout_504`,
+    /// `draining_503`, `malformed`, `internal_500`).
+    outcome: &'static str,
+    /// HTTP status answered.
+    status: u16,
+    /// Rows in the request (0 when parsing failed).
+    rows: u64,
+    /// Cache disposition: `hit`, `miss`, or `off`.
+    cache: &'static str,
+    /// Worker that ran the job, when one did.
+    worker: Option<u64>,
+    parse_ns: u64,
+    cache_lookup_ns: u64,
+    queue_wait_ns: u64,
+    linger_ns: u64,
+    explain_ns: u64,
+    serialize_ns: u64,
+    respond_ns: u64,
+    /// Whole-request wall time (first byte of handling → response
+    /// rendered). The stages above are disjoint sub-intervals of this
+    /// window, so their sum never exceeds it.
+    total_ns: u64,
+}
+
+impl ExplainObs {
+    /// Stages in lifecycle order, paired with [`STAGE_NAMES`].
+    fn stages(&self) -> [(&'static str, u64); 7] {
+        [
+            ("parse", self.parse_ns),
+            ("cache_lookup", self.cache_lookup_ns),
+            ("queue_wait", self.queue_wait_ns),
+            ("linger", self.linger_ns),
+            ("explain", self.explain_ns),
+            ("serialize", self.serialize_ns),
+            ("respond", self.respond_ns),
+        ]
+    }
+}
+
+/// Emits one finished request's telemetry — stage histograms, a
+/// `stage` JSONL record per nonzero stage, the terminal `request`
+/// access-log record — and retains a latency sample when it was
+/// served. Called with the request's trace scope still bound so every
+/// record carries the trace id.
+fn finish_explain(shared: &Shared, obs: &ExplainObs) {
+    if cfx_obs::ENABLED {
+        use cfx_obs::metrics::histogram;
+        histogram("cfx_serve_request_ns", &STAGE_BOUNDS)
+            .observe(obs.total_ns as f64);
+        for (stage, ns) in obs.stages() {
+            if ns == 0 {
+                continue;
+            }
+            histogram(&format!("cfx_serve_stage_ns:{stage}"), &STAGE_BOUNDS)
+                .observe(ns as f64);
+            cfx_obs::emit_stage(stage, ns, &[]);
+        }
+        if cfx_obs::jsonl_active() {
+            let mut fields: Vec<(&str, FieldValue)> = vec![
+                ("outcome", FieldValue::Str(obs.outcome.into())),
+                ("status", FieldValue::U64(obs.status as u64)),
+                ("rows", FieldValue::U64(obs.rows)),
+                ("cache", FieldValue::Str(obs.cache.into())),
+                ("total_ns", FieldValue::U64(obs.total_ns)),
+                ("parse_ns", FieldValue::U64(obs.parse_ns)),
+                ("cache_lookup_ns", FieldValue::U64(obs.cache_lookup_ns)),
+                ("queue_wait_ns", FieldValue::U64(obs.queue_wait_ns)),
+                ("linger_ns", FieldValue::U64(obs.linger_ns)),
+                ("explain_ns", FieldValue::U64(obs.explain_ns)),
+                ("serialize_ns", FieldValue::U64(obs.serialize_ns)),
+                ("respond_ns", FieldValue::U64(obs.respond_ns)),
+            ];
+            if let Some(w) = obs.worker {
+                fields.push(("worker", FieldValue::U64(w)));
+            }
+            cfx_obs::emit_request("explain", &fields);
+        }
+    }
+    if obs.outcome == "served" {
+        let mut samples =
+            shared.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.len() < MAX_STAGE_SAMPLES {
+            samples.push(StageSample {
+                total_ns: obs.total_ns,
+                parse_ns: obs.parse_ns,
+                queue_wait_ns: obs.queue_wait_ns,
+                linger_ns: obs.linger_ns,
+                explain_ns: obs.explain_ns,
+                serialize_ns: obs.serialize_ns,
+                respond_ns: obs.respond_ns,
+            });
+        }
+    }
+}
+
 fn handle_explain(
     shared: &Shared,
     req: &Request,
@@ -773,15 +1086,58 @@ fn handle_explain(
     if cfx_obs::ENABLED {
         cfx_obs::metrics::counter("cfx_serve_requests_total").inc(1);
     }
+    // Every request gets a trace id; the scope binds it to this thread
+    // so records emitted anywhere below (including inside the worker,
+    // which re-binds from `ExplainJob::trace`) carry it.
+    let trace_id = cfx_obs::TraceId::next();
+    let _scope = cfx_obs::ENABLED.then(|| cfx_obs::TraceScope::enter(trace_id));
+    // Echo the id only when the client opts in with an `X-Cfx-Trace`
+    // request header. The echo is a function of the request alone —
+    // never of whether a sink is armed — so response bytes stay
+    // identical with tracing on or off.
+    let trace_echo: Vec<(&str, String)> = req
+        .header("x-cfx-trace")
+        .map(|_| vec![("X-Cfx-Trace", trace_id.to_string())])
+        .unwrap_or_default();
+    let started = Instant::now();
+    let mut obs = ExplainObs::default();
+    let resp = explain_inner(
+        shared,
+        req,
+        keep_alive,
+        anchor,
+        &trace_echo,
+        &mut obs,
+    );
+    obs.total_ns = started.elapsed().as_nanos() as u64;
+    finish_explain(shared, &obs);
+    resp
+}
+
+fn explain_inner(
+    shared: &Shared,
+    req: &Request,
+    keep_alive: bool,
+    anchor: Instant,
+    extra: &[(&str, String)],
+    obs: &mut ExplainObs,
+) -> Vec<u8> {
     let snapshot = shared.registry.current();
     let width = snapshot.data.width();
+    let parse_timer = Instant::now();
     let parsed = match parse_explain_body(
         &req.body,
         width,
         shared.cfg.max_rows_per_request,
     ) {
-        Ok(p) => p,
+        Ok(p) => {
+            obs.parse_ns = parse_timer.elapsed().as_nanos() as u64;
+            p
+        }
         Err(msg) => {
+            obs.parse_ns = parse_timer.elapsed().as_nanos() as u64;
+            obs.outcome = "malformed";
+            obs.status = 422;
             shared.malformed.fetch_add(1, Ordering::SeqCst);
             if cfx_obs::ENABLED {
                 cfx_obs::metrics::counter("cfx_serve_malformed_total").inc(1);
@@ -790,42 +1146,68 @@ fn handle_explain(
             return http::render_response(
                 422,
                 "application/json",
-                &[],
+                extra,
                 body.as_bytes(),
                 keep_alive,
             );
         }
     };
+    obs.rows = parsed.rows.len() as u64;
     let deadline_ms = parsed
         .deadline_ms
         .unwrap_or(shared.cfg.default_deadline_ms)
         .min(shared.cfg.max_deadline_ms);
     let deadline = anchor + Duration::from_millis(deadline_ms);
 
-    // One content hash serves three masters: the shard selector (which
+    // One content hash serves four masters: the shard selector (which
     // worker), the recovery RNG stream (worker-count-invariant bytes),
-    // and the cache-key routing hash.
+    // the cache-key routing hash, and the drift-accumulator shard.
     let fingerprint = shard::row_fingerprint(&parsed.rows);
+
+    // Fold the rows into the drift accumulator before cache lookup and
+    // admission: hits and sheds are still traffic the model is being
+    // asked about, so they count as observed. Refresh scores when the
+    // total crosses a cadence boundary (exactly one caller observes
+    // each crossing, since `observe` returns post-add totals).
+    if let Some(monitor) = &shared.drift {
+        let total = monitor.observe(&parsed.rows, fingerprint);
+        let before = total - parsed.rows.len() as u64;
+        if total / REFRESH_EVERY_ROWS > before / REFRESH_EVERY_ROWS {
+            monitor.refresh(&shared.registry.ref_stats());
+        }
+    }
+
+    obs.cache = "off";
     if shared.cache.enabled() {
+        let lookup_timer = Instant::now();
         let key = CacheKey::new(
             &parsed.rows,
             fingerprint,
             snapshot.version,
             snapshot.explain_fingerprint(),
         );
-        if let Some(body) = shared.cache.get(&key) {
+        let cached = shared.cache.get(&key);
+        obs.cache_lookup_ns = lookup_timer.elapsed().as_nanos() as u64;
+        if let Some(body) = cached {
             // Cached: answer without touching a queue or a worker. The
             // body was rendered by this exact (rows, version, config)
             // triple, so it is byte-identical to a recompute.
+            obs.cache = "hit";
+            obs.outcome = "served";
+            obs.status = 200;
             shared.served.fetch_add(1, Ordering::SeqCst);
-            return http::render_response(
+            let respond_timer = Instant::now();
+            let resp = http::render_response(
                 200,
                 "application/json",
-                &[],
+                extra,
                 body.as_bytes(),
                 keep_alive,
             );
+            obs.respond_ns = respond_timer.elapsed().as_nanos() as u64;
+            return resp;
         }
+        obs.cache = "miss";
     }
 
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -834,6 +1216,8 @@ fn handle_explain(
         fingerprint,
         deadline,
         deadline_ms,
+        admitted_at: Instant::now(),
+        trace: cfx_obs::current_trace(),
         reply: reply_tx,
     };
     let worker = shard::shard(fingerprint, shared.queues.len());
@@ -845,6 +1229,8 @@ fn handle_explain(
             }
         }
         Err(PushError::Full(_)) => {
+            obs.outcome = "shed_429";
+            obs.status = 429;
             shared.shed.fetch_add(1, Ordering::SeqCst);
             if cfx_obs::ENABLED {
                 cfx_obs::metrics::counter("cfx_serve_shed_total").inc(1);
@@ -852,26 +1238,30 @@ fn handle_explain(
             let retry_ms = shared.shed_retry_after_ms();
             let e = CfxError::overloaded(retry_ms);
             let body = error_body("overloaded", &e.to_string(), Some(retry_ms));
-            let retry = retry_after_header(retry_ms);
+            let mut hdrs = extra.to_vec();
+            hdrs.push(retry_after_header(retry_ms));
             return http::render_response(
                 429,
                 "application/json",
-                &[retry],
+                &hdrs,
                 body.as_bytes(),
                 keep_alive,
             );
         }
         Err(PushError::Closed(_)) => {
+            obs.outcome = "draining_503";
+            obs.status = 503;
             let body = error_body(
                 "draining",
                 "server is draining and no longer admits work",
                 Some(shared.cfg.retry_after_ms),
             );
-            let retry = retry_after_header(shared.cfg.retry_after_ms);
+            let mut hdrs = extra.to_vec();
+            hdrs.push(retry_after_header(shared.cfg.retry_after_ms));
             return http::render_response(
                 503,
                 "application/json",
-                &[retry],
+                &hdrs,
                 body.as_bytes(),
                 false,
             );
@@ -885,44 +1275,84 @@ fn handle_explain(
         + Duration::from_millis(shared.cfg.linger_ms)
         + Duration::from_secs(30);
     match reply_rx.recv_timeout(backstop) {
-        Ok(Ok(body)) => {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            http::render_response(200, "application/json", &[], body.as_bytes(), keep_alive)
-        }
-        Ok(Err(e)) => {
-            let (status, kind, retry_after) = map_cfx_error(&e);
-            if status == 504 {
-                shared.timeouts.fetch_add(1, Ordering::SeqCst);
-                if cfx_obs::ENABLED {
-                    cfx_obs::metrics::counter("cfx_serve_timeouts_total")
-                        .inc(1);
+        Ok(reply) => {
+            obs.queue_wait_ns = reply.timings.queue_wait_ns;
+            obs.linger_ns = reply.timings.linger_ns;
+            obs.explain_ns = reply.timings.explain_ns;
+            obs.serialize_ns = reply.timings.serialize_ns;
+            obs.worker = Some(reply.timings.worker);
+            match reply.result {
+                Ok(body) => {
+                    obs.outcome = "served";
+                    obs.status = 200;
+                    shared.served.fetch_add(1, Ordering::SeqCst);
+                    let respond_timer = Instant::now();
+                    let resp = http::render_response(
+                        200,
+                        "application/json",
+                        extra,
+                        body.as_bytes(),
+                        keep_alive,
+                    );
+                    obs.respond_ns =
+                        respond_timer.elapsed().as_nanos() as u64;
+                    resp
                 }
-            } else {
-                shared.malformed.fetch_add(1, Ordering::SeqCst);
-                if cfx_obs::ENABLED {
-                    cfx_obs::metrics::counter("cfx_serve_malformed_total")
-                        .inc(1);
+                Err(e) => {
+                    let (status, kind, retry_after) = map_cfx_error(&e);
+                    obs.status = status;
+                    obs.outcome = match status {
+                        504 => "timeout_504",
+                        429 => "shed_429",
+                        _ => "malformed",
+                    };
+                    if status == 504 {
+                        shared.timeouts.fetch_add(1, Ordering::SeqCst);
+                        if cfx_obs::ENABLED {
+                            cfx_obs::metrics::counter(
+                                "cfx_serve_timeouts_total",
+                            )
+                            .inc(1);
+                        }
+                    } else {
+                        shared.malformed.fetch_add(1, Ordering::SeqCst);
+                        if cfx_obs::ENABLED {
+                            cfx_obs::metrics::counter(
+                                "cfx_serve_malformed_total",
+                            )
+                            .inc(1);
+                        }
+                    }
+                    let body = error_body(kind, &e.to_string(), retry_after);
+                    let mut hdrs = extra.to_vec();
+                    if let Some(ms) = retry_after {
+                        hdrs.push(retry_after_header(ms));
+                    }
+                    http::render_response(
+                        status,
+                        "application/json",
+                        &hdrs,
+                        body.as_bytes(),
+                        keep_alive,
+                    )
                 }
             }
-            let body = error_body(kind, &e.to_string(), retry_after);
-            let extra: Vec<(&str, String)> = retry_after
-                .map(|ms| vec![retry_after_header(ms)])
-                .unwrap_or_default();
-            http::render_response(
-                status,
-                "application/json",
-                &extra,
-                body.as_bytes(),
-                keep_alive,
-            )
         }
         Err(_) => {
             // Batcher gone (panic or disconnect): answer 500 so the
             // client is never left hanging.
+            obs.outcome = "internal_500";
+            obs.status = 500;
             shared.malformed.fetch_add(1, Ordering::SeqCst);
             let body =
                 error_body("internal", "explain worker unavailable", None);
-            http::render_response(500, "application/json", &[], body.as_bytes(), false)
+            http::render_response(
+                500,
+                "application/json",
+                extra,
+                body.as_bytes(),
+                false,
+            )
         }
     }
 }

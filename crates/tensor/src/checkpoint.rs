@@ -299,6 +299,49 @@ impl Checkpoint {
             .collect())
     }
 
+    /// Stores a dense `rows × cols` `f32` matrix as a pair of sections:
+    /// `name.shape` (the two dimensions) and `name.data` (row-major bit
+    /// patterns). Used for non-tensor tabular payloads that still need
+    /// shape validation on read — e.g. the servable reference-moments
+    /// table the serving daemon's drift monitor compares live traffic
+    /// against.
+    pub fn put_f32_table(&mut self, name: &str, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "table {name:?}: {} values for {rows}x{cols}",
+            data.len()
+        );
+        self.put_u64s(&format!("{name}.shape"), &[rows as u64, cols as u64]);
+        self.put_f32s(&format!("{name}.data"), data);
+    }
+
+    /// Reads back a matrix written by [`put_f32_table`](Self::put_f32_table)
+    /// as `(rows, cols, row-major data)`, validating that the payload
+    /// length matches the declared shape.
+    pub fn f32_table(&self, name: &str) -> Result<(usize, usize, Vec<f32>), CfxError> {
+        let shape = self.u64s(&format!("{name}.shape"))?;
+        let [rows, cols] = shape[..] else {
+            return Err(CfxError::corrupt(format!(
+                "table {name:?}: shape section holds {} values, expected 2",
+                shape.len()
+            )));
+        };
+        let data = self.f32s(&format!("{name}.data"))?;
+        if data.len() as u64 != rows.saturating_mul(cols) {
+            return Err(CfxError::corrupt(format!(
+                "table {name:?}: {} values for declared {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok((rows as usize, cols as usize, data))
+    }
+
+    /// True when a table of this name exists (both halves present).
+    pub fn has_f32_table(&self, name: &str) -> bool {
+        self.has(&format!("{name}.shape")) && self.has(&format!("{name}.data"))
+    }
+
     /// Stores a UTF-8 string.
     pub fn put_str(&mut self, name: &str, value: &str) {
         self.put_bytes(name, value.as_bytes().to_vec());

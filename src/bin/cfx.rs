@@ -12,13 +12,14 @@
 //!     dump the generated benchmark as CSV to stdout
 //! cfx serve <adult|kdd|law> [--addr A] [--workers W] [--cache-cap C]
 //!           [--queue-cap Q] [--deadline-ms D] [--model-dir DIR]
-//!           [--prom-out FILE] [--n N] [--seed S]
+//!           [--prom-out FILE] [--drift-warn PSI] [--n N] [--seed S]
 //!     train a boot model and serve POST /explain, GET /healthz and
 //!     GET /metrics until SIGTERM/SIGINT triggers a graceful drain.
 //!     --workers (or CFX_SERVE_WORKERS) sizes the explain pool — jobs
 //!     are sharded by row content, so responses are byte-identical at
 //!     any worker count; --cache-cap (or CFX_SERVE_CACHE_CAP, 0 = off)
-//!     bounds the response cache.
+//!     bounds the response cache; --drift-warn sets the PSI threshold
+//!     the live traffic drift monitor warns at (default 0.25).
 //!     CFX_SERVE_FAULT=slow-client|malformed|kill@<n> arms deterministic
 //!     chaos for drills.
 //! ```
@@ -45,6 +46,7 @@ struct Args {
     deadline_ms: u64,
     model_dir: Option<String>,
     prom_out: Option<String>,
+    drift_warn: Option<f64>,
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
@@ -62,6 +64,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         deadline_ms: 2_000,
         model_dir: None,
         prom_out: None,
+        drift_warn: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +148,15 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 i += 1;
                 out.prom_out =
                     Some(args.get(i).cloned().ok_or("bad --prom-out")?);
+            }
+            "--drift-warn" => {
+                i += 1;
+                out.drift_warn = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
+                        .ok_or("bad --drift-warn (want a PSI > 0)")?,
+                );
             }
             name => {
                 out.dataset = DatasetId::parse(name)
@@ -331,6 +343,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         default_deadline_ms: args.deadline_ms,
         model_dir: args.model_dir.clone().map(Into::into),
         prom_out: args.prom_out.clone().map(Into::into),
+        drift_warn: args.drift_warn.unwrap_or(defaults.drift_warn),
         ..defaults
     };
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -351,5 +364,6 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.timeouts,
         report.malformed
     );
+    print!("{}", serve::report_serve(&report));
     Ok(())
 }

@@ -277,13 +277,15 @@ fn deadline_paths_are_typed_timeouts() {
             rows: rows.clone(),
             deadline: Instant::now() - Duration::from_millis(10),
             deadline_ms: 5,
+            admitted_at: Instant::now(),
+            trace: None,
             reply: tx,
         })
         .ok()
         .expect("push");
     let reply = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
     assert!(
-        matches!(reply, Err(CfxError::Timeout { .. })),
+        matches!(reply.result, Err(CfxError::Timeout { .. })),
         "expired job must be a typed timeout"
     );
     queue.close();
@@ -311,9 +313,11 @@ fn hot_reload_and_corrupt_quarantine() {
     };
     assert!(healthz(addr).contains("\"model_version\":0"));
 
-    // Drop a valid servable checkpoint and wait for the hot reload.
+    // Drop a valid servable checkpoint (with reference moments, so the
+    // drift monitor's hot-reload path is exercised) and wait for the
+    // hot reload.
     let mut ckpt = Checkpoint::new();
-    f.model.export_servable(&mut ckpt);
+    f.model.export_servable_full(&f.data, &mut ckpt);
     ckpt.write_atomic(&dir.join(format!("m1.{EXTENSION}"))).unwrap();
     let t0 = Instant::now();
     loop {
